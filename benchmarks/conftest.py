@@ -1,0 +1,6 @@
+"""Make scenarios.py importable when running from the repo root."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

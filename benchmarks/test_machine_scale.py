@@ -1,0 +1,83 @@
+"""Machine-scale characterization: the stack at paper-scale node counts.
+
+The sites run 1,688 to 27,648 nodes (Sisu to Blue Waters; Trinity is
+~20,000).  This bench builds a Trinity-class dragonfly, steps it with a
+live workload, runs full synchronized collection sweeps, and measures
+the per-operation costs that determine whether one-minute whole-system
+collection (the NCSA discipline) is feasible — which on this stack it
+comfortably is.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine, PackedPlacement, build_dragonfly
+from repro.cluster.workload import APP_LIBRARY, Job
+from repro.pipeline import MonitoringPipeline
+from repro.sources.counters import NodeCounterCollector
+from repro.sources.sedc import SedcCollector
+from repro.storage.tsdb import TimeSeriesStore
+
+
+@pytest.fixture(scope="module")
+def trinity():
+    """A Trinity-class machine: 52 groups -> 19,968 nodes."""
+    topo = build_dragonfly(groups=52, chassis_per_group=6,
+                           blades_per_chassis=16, nodes_per_router=4)
+    machine = Machine(topo, placement=PackedPlacement(), seed=1)
+    for i in range(4):
+        j = Job(APP_LIBRARY["qmc"], 4096, 0.0, seed=i)
+        machine.scheduler.submit(j, 0.0)
+    machine.step(10.0)
+    return machine
+
+
+class TestTrinityScale:
+    def test_inventory(self, trinity):
+        n = len(trinity.topo.nodes)
+        print(f"\nTrinity-class machine: {n} nodes, "
+              f"{len(trinity.topo.links)} links, "
+              f"{len(trinity.topo.cabinets)} cabinets")
+        assert n >= 19_000
+        assert len(trinity.scheduler.running) == 4
+
+    def test_bench_machine_step(self, trinity, benchmark):
+        benchmark.pedantic(trinity.step, args=(10.0,), rounds=5,
+                           iterations=1)
+
+    def test_bench_full_node_sweep(self, trinity, benchmark):
+        collector = SedcCollector(interval_s=60.0)
+        out = benchmark(collector.collect, trinity, trinity.now)
+        assert out.n_samples == 3 * len(trinity.topo.nodes)
+
+    def test_bench_sweep_ingest(self, trinity, benchmark):
+        collector = NodeCounterCollector(interval_s=60.0)
+        out = collector.collect(trinity, trinity.now)
+
+        def ingest():
+            store = TimeSeriesStore()
+            for b in out.batches:
+                store.append(b)
+            return store
+
+        store = benchmark.pedantic(ingest, rounds=3, iterations=1)
+        assert store.stats().samples == out.n_samples
+
+    def test_one_minute_collection_is_feasible(self, trinity):
+        """The NCSA discipline: a whole-system sweep + ingest must cost
+        far less than the one-minute interval it runs on."""
+        import time
+
+        pipeline = MonitoringPipeline(
+            trinity,
+            collectors=[NodeCounterCollector(60.0), SedcCollector(60.0)],
+        )
+        t0 = time.perf_counter()
+        pipeline.scheduler.poll(trinity, trinity.now + 60.0)
+        wall = time.perf_counter() - t0
+        samples = pipeline.tsdb.stats().samples
+        print(f"\nfull-system sweep of {len(trinity.topo.nodes)} nodes: "
+              f"{samples} samples collected+ingested in {wall * 1e3:.0f} ms "
+              f"({100 * wall / 60.0:.2f}% of the collection interval)")
+        assert samples >= 7 * len(trinity.topo.nodes)
+        assert wall < 30.0   # vastly under the 60 s budget

@@ -1,0 +1,118 @@
+"""Transport comparison: pub/sub bus vs LDMS pull tree vs syslog.
+
+Section IV-B: sites juggle "a variety of transport mechanisms" with
+different fidelity/overhead tradeoffs, and "multiple transports may in
+some cases be necessary and even desirable".  We measure throughput of
+each class and loss behaviour under an event storm — the scenario that
+also blows up Splunk bills.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.events import Event, EventKind, Severity
+from repro.core.metric import SeriesBatch
+from repro.transport.bus import MessageBus
+from repro.transport.ldms import Sampler, build_tree
+from repro.transport.syslogfwd import SyslogForwarder
+
+N_NODES = 256
+
+
+def make_events(n, t0=0.0, rate=1000.0):
+    return [
+        Event(t0 + i / rate, f"n{i % N_NODES}", EventKind.CONSOLE,
+              Severity.INFO, f"event number {i}")
+        for i in range(n)
+    ]
+
+
+class TestBusThroughput:
+    def test_bench_bus_fanout(self, benchmark):
+        bus = MessageBus()
+        sink = bus.subscribe("metrics.*", maxlen=100_000)
+        batch = SeriesBatch.sweep("m", 0.0, [f"n{i}" for i in range(64)],
+                                  np.ones(64))
+
+        def publish_sweep():
+            for _ in range(100):
+                bus.publish("metrics.m", batch)
+            return sink.drain()
+
+        out = benchmark(publish_sweep)
+        assert len(out) == 100
+
+
+class TestLdmsTree:
+    def sampler(self, i):
+        def fn(now):
+            return [SeriesBatch.sweep("m", now, [f"n{i}"], [1.0])]
+        return Sampler(f"n{i}", fn)
+
+    @pytest.mark.parametrize("fan_in", [4, 16, 256])
+    def test_bench_tree_pull(self, benchmark, fan_in):
+        root = build_tree([self.sampler(i) for i in range(N_NODES)],
+                          fan_in=fan_in)
+        out = benchmark(root.pull, 60.0)
+        assert len(out) == N_NODES
+
+    def test_deeper_trees_move_more_wire_bytes(self):
+        flat = build_tree([self.sampler(i) for i in range(N_NODES)],
+                          fan_in=256)
+        deep = build_tree([self.sampler(i) for i in range(N_NODES)],
+                          fan_in=4)
+        flat.pull(0.0)
+        deep.pull(0.0)
+
+        def total_wire(agg):
+            own = agg.wire_bytes
+            for c in agg.children:
+                if hasattr(c, "wire_bytes"):
+                    own += total_wire(c)
+            return own
+
+        wf, wd = total_wire(flat), total_wire(deep)
+        print(f"\nwire bytes per sweep: fan-in 256 (1 level) = {wf}, "
+              f"fan-in 4 ({deep.depth()} levels) = {wd} "
+              f"({wd / wf:.1f}x re-forwarding cost)")
+        assert wd > wf
+
+
+class TestSyslogUnderStorm:
+    def test_bench_forwarding(self, benchmark):
+        sink = []
+        fwd = SyslogForwarder(sink.append, rate_per_s=1e9, burst=10**6)
+        events = make_events(1000)
+        benchmark.pedantic(
+            lambda: fwd.forward(0.0, events), rounds=5, iterations=1
+        )
+        assert sink
+
+    def test_loss_vs_storm_intensity(self):
+        print("\nsyslog loss under event storms (capacity 1000 ev/s):")
+        rows = []
+        for storm in (500, 1000, 5000, 20000):
+            sink = []
+            fwd = SyslogForwarder(sink.append, rate_per_s=1000.0,
+                                  burst=200, retry_buffer=500)
+            # one second of storm, then 2 quiet seconds to drain retries
+            fwd.forward(0.0, make_events(storm))
+            fwd.forward(1.0, [])
+            fwd.forward(2.0, [])
+            s = fwd.stats()
+            rows.append((storm, s.loss_rate))
+            print(f"  {storm:6d} events/s -> delivered {s.forwarded}, "
+                  f"lost {s.dropped} ({100 * s.loss_rate:.0f}%)")
+        # loss must be monotone in storm intensity, zero when under rate
+        assert rows[0][1] == 0.0
+        assert all(b[1] >= a[1] for a, b in zip(rows, rows[1:]))
+        assert rows[-1][1] > 0.5
+
+    def test_bus_drops_oldest_not_newest_under_storm(self):
+        bus = MessageBus()
+        sub = bus.subscribe("t", maxlen=100)
+        for i in range(1000):
+            bus.publish("t", i)
+        got = [e.payload for e in sub.drain()]
+        assert got == list(range(900, 1000))
+        assert bus.stats().dropped == 900

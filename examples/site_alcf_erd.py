@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""ALCF story: raw ERD access (Deluge) and link-BER trend analysis.
+
+Reproduces the Theta methodology (Sections II-8, IV-A):
+
+1. the vendor event stream is an opaque binary format; the default
+   text path exposes only a lossy subset, while the Deluge-style tap
+   decodes the raw stream into complete native events;
+2. the vendor's default log handling scatters events into many per-day,
+   per-kind files with inconsistent formats — we show the parsing cost;
+3. trend analysis on per-link bit error rates flags the marginal cable
+   and predicts when it will cross the FEC budget — before it fails.
+
+Run:  python examples/site_alcf_erd.py
+"""
+
+import numpy as np
+
+from repro.analysis.trend import fit_trend, time_to_threshold
+from repro.cluster import BerDegradation, HungNode, Machine, build_dragonfly
+from repro.cluster.workload import APP_LIBRARY, Job
+from repro.pipeline import MonitoringPipeline
+from repro.sources.counters import NetLinkCollector
+from repro.sources.erd import DelugeTap, EventRouter
+from repro.sources.logsource import CrayLogSplitter, parse_split_logs
+
+BER_ALARM = 1e-11   # FEC budget: page when a link is headed here
+
+
+def main() -> None:
+    topo = build_dragonfly(groups=2, chassis_per_group=3,
+                           blades_per_chassis=4)
+    machine = Machine(topo, gpu_nodes="all", seed=23)
+
+    # ground truth: link 12's BER grows one decade per day; plus some
+    # unrelated events for the log story
+    machine.faults.add(BerDegradation(start=0.0, link_index=12,
+                                      decades_per_day=1.5))
+    machine.faults.add(HungNode(start=3600.0, duration=600.0,
+                                node=topo.nodes[7]))
+    job = Job(APP_LIBRARY["lammps"], 32, 0.0, seed=1)
+    machine.scheduler.submit(job, 0.0)
+
+    # collect link counters hourly over two simulated days
+    pipeline = MonitoringPipeline(
+        machine, collectors=[NetLinkCollector(interval_s=3600.0)]
+    )
+    pipeline.run(duration_s=2 * 86400.0, dt=120.0)
+
+    # -- 1. raw ERD vs vendor text subset ----------------------------------
+    print("=== event stream access ===")
+    print(f"events routed through the ERD: {pipeline.router.events_routed}")
+    text_lines = pipeline.router.text_subset()
+    decoded = pipeline.logs   # the Deluge tap fed the log store
+    print(f"vendor text subset exposes {len(text_lines)} lines "
+          f"(console+hwerr only, structured fields dropped)")
+    print(f"Deluge-style raw decode recovered {len(decoded)} complete "
+          f"events across all kinds")
+
+    # -- 2. the split-log mess and what parsing costs ----------------------
+    splitter = CrayLogSplitter()
+    all_events = [decoded.get(i) for i in range(len(decoded))]
+    splitter.write(all_events)
+    parsed = parse_split_logs(splitter.files)
+    print(f"\nvendor-style log split: {splitter.n_files()} files across "
+          f"per-day/per-kind directories, 4 timestamp formats")
+    print(f"site-side parser recovered {len(parsed)}/{len(all_events)} "
+          f"records after format-specific regexes + multi-line reassembly")
+
+    # -- 3. BER trend analysis ----------------------------------------------
+    print("\n=== link BER trend analysis ===")
+    link_names = machine.network.link_names()
+    flagged = []
+    for name in (link_names[12], link_names[13]):
+        series = pipeline.tsdb.query("link.ber", name)
+        fit = fit_trend(series, log_space=True)
+        eta = time_to_threshold(fit, BER_ALARM, now=machine.now)
+        decades_per_day = fit.slope * 86400.0
+        print(f"  {name}: BER now {series.values[-1]:.2e}, trend "
+              f"{decades_per_day:+.2f} decades/day (r2={fit.r2:.2f}), "
+              f"ETA to {BER_ALARM:g}: "
+              f"{'none' if eta is None else f'{eta / 86400.0:.1f} days'}")
+        if eta is not None:
+            flagged.append(name)
+    assert link_names[12] in flagged, "the degrading link must be flagged"
+    assert link_names[13] not in flagged, "healthy links must not page"
+    print("\nthe marginal cable was flagged from trend alone, days before "
+          "it would cross the FEC budget.")
+
+
+if __name__ == "__main__":
+    main()

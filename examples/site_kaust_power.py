@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""KAUST story: power signatures, load imbalance, hung-node detection.
+
+Reproduces the Shaheen2 methodology (Section II-7, Figure 3):
+
+1. profile known-good runs of an application into a power-signature
+   library;
+2. run the same application with an injected load imbalance: per-cabinet
+   power spreads ~3x, total system draw sags (Figure 3), the signature
+   match fails, and the imbalance detector names hot/cold cabinets;
+3. a node hangs after its job dies: the power sweep vs allocation table
+   cross-check flags it.
+
+Run:  python examples/site_kaust_power.py
+"""
+
+import numpy as np
+
+from repro.analysis.powersig import (
+    SignatureLibrary,
+    detect_hung_nodes,
+    detect_load_imbalance,
+    match,
+)
+from repro.cluster import (
+    HungNode,
+    LoadImbalance,
+    Machine,
+    PackedPlacement,
+    PowerModel,
+    build_dragonfly,
+)
+from repro.cluster.workload import APP_LIBRARY, Job
+from repro.core.metric import SeriesBatch
+from repro.pipeline import MonitoringPipeline, default_collectors
+from repro.viz.figures import figure3_power
+
+
+def run_job(machine_seed: int, fault=None, sim_hours=1.6,
+            collect_s=60.0):
+    """Run one full-machine qmc job under monitoring; returns
+    (pipeline, job, machine)."""
+    # four cabinets so imbalance concentrated in one cabinet shows the
+    # Figure 3 cabinet-to-cabinet contrast
+    topo = build_dragonfly(groups=4, chassis_per_group=3,
+                           blades_per_chassis=4)
+    machine = Machine(topo, placement=PackedPlacement(), seed=machine_seed)
+    job = Job(APP_LIBRARY["qmc"], len(topo.nodes), 0.0, seed=machine_seed)
+    machine.scheduler.submit(job, 0.0)
+    if fault is not None:
+        machine.faults.add(fault)
+    pipeline = MonitoringPipeline(
+        machine,
+        collectors=default_collectors(machine,
+                                      metric_interval_s=collect_s),
+    )
+    pipeline.run(hours=sim_hours, dt=10.0)
+    return pipeline, job, machine
+
+
+def job_power_series(pipeline, job):
+    return pipeline.jobs.condense_job_series(
+        pipeline.tsdb, job.id, "node.power_w", agg="sum", step=60.0
+    )
+
+
+def main() -> None:
+    # -- 1. build the signature library from known-good runs --------------
+    library = SignatureLibrary()
+    for seed in (21, 22, 23):
+        pipeline, job, _ = run_job(seed)
+        series = job_power_series(pipeline, job)
+        library.record_run("qmc", series, n_nodes=len(job.nodes))
+    sig = library.signature("qmc")
+    print(f"signature library: qmc from {sig.n_runs} runs, "
+          f"mean {sig.mean_level:.0f} W/node")
+
+    # -- 2. the imbalanced run (Figure 3) ----------------------------------
+    # concentrate the work on the first quarter of ranks = cabinet 0
+    fault = LoadImbalance(start=1200.0, duration=1800.0, frac_busy=0.25,
+                          wait_util=0.05)
+    pipeline, job, machine = run_job(31, fault=fault)
+    series = job_power_series(pipeline, job)
+    verdict = match(library, "qmc", series, n_nodes=len(job.nodes))
+    print(f"\nsignature match on the bad run: matches={verdict.matches} "
+          f"({verdict.detail})")
+
+    fig3 = figure3_power(pipeline.tsdb, 0.0, machine.now)
+    print("\n" + fig3.render(height=8))
+    print(f"\ncabinet spread at worst moment: "
+          f"{fig3.summary['max_cabinet_spread']:.2f}x "
+          f"(paper reports up to ~3x)")
+    print(f"system draw max/min over the window: "
+          f"{fig3.summary['system_max_over_min']:.2f}x "
+          f"(paper reports ~1.9x)")
+
+    # the detector over the worst cabinet sweep
+    spread_t = fig3.summary["spread_time_s"]
+    cab_sweep_vals = []
+    cabs = pipeline.tsdb.components("cabinet.power_w")
+    for c in cabs:
+        b = pipeline.tsdb.query("cabinet.power_w", c, spread_t - 30,
+                                spread_t + 90)
+        if len(b):
+            cab_sweep_vals.append((c, float(b.values[0])))
+    sweep = SeriesBatch.sweep(
+        "cabinet.power_w", spread_t,
+        [c for c, _ in cab_sweep_vals], [v for _, v in cab_sweep_vals],
+    )
+    finding = detect_load_imbalance(sweep, spread_threshold=1.5)
+    print(f"imbalance detector: detected={finding.detected}, "
+          f"hot={finding.hot_cabinets}, cold={finding.cold_cabinets}")
+
+    # -- 3. hung-node detection --------------------------------------------
+    topo = build_dragonfly(groups=2, chassis_per_group=3,
+                           blades_per_chassis=4)
+    machine = Machine(topo, placement=PackedPlacement(), seed=41)
+    job = Job(APP_LIBRARY["qmc"], 8, 0.0, seed=41, walltime_req=900.0)
+    machine.scheduler.submit(job, 0.0)
+    machine.run(600.0, dt=10.0)
+    victim = job.nodes[0]
+    machine.faults.add(HungNode(start=machine.now, node=victim))
+    machine.run(1200.0, dt=10.0)   # walltime kills the job; node burns on
+
+    sweep = SeriesBatch.sweep(
+        "node.power_w", machine.now, machine.nodes.names,
+        machine.nodes.power_w,
+    )
+    hung = detect_hung_nodes(sweep, list(machine.scheduler.allocated))
+    print(f"\nhung-node detector flags: {hung} "
+          f"(ground truth: {[victim]})")
+
+
+if __name__ == "__main__":
+    main()

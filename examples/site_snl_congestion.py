@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""SNL story: congestion levels and regions from HSN counters.
+
+Reproduces the Sandia methodology (Section II-9): synchronized per-link
+stall/traffic counters -> congestion levels -> connected congestion
+*regions* over the topology -> which jobs the region impacts.  Runs on
+both interconnects the paper targets: an Aries-style dragonfly and a
+Gemini-style 3D torus.
+
+Run:  python examples/site_snl_congestion.py
+"""
+
+import numpy as np
+
+from repro.analysis.congestion import (
+    congestion_levels,
+    congestion_regions,
+    jobs_touching_region,
+)
+from repro.cluster import (
+    Machine,
+    ScatteredPlacement,
+    build_dragonfly,
+    build_torus,
+)
+from repro.cluster.workload import APP_LIBRARY, Job
+from repro.pipeline import MonitoringPipeline
+from repro.sources.counters import NetLinkCollector
+from repro.storage.jobstore import JobIndex
+from repro.viz.topoview import by_link_class, group_pair_matrix, render_group_matrix
+
+
+def run_and_analyze(topo, label: str, seed: int = 3) -> None:
+    print(f"=== {label}: {len(topo.nodes)} nodes, "
+          f"{len(topo.links)} links ===")
+    machine = Machine(topo, placement=ScatteredPlacement(), seed=seed)
+
+    # the aggressor: a large all-to-all job scattered across the fabric,
+    # plus an innocent bystander
+    aggressor = Job(APP_LIBRARY["cfd_fft"], min(64, len(topo.nodes) // 2),
+                    0.0, seed=seed)
+    bystander = Job(APP_LIBRARY["qmc"], 8, 0.0, seed=seed + 1)
+    machine.scheduler.submit(aggressor, 0.0)
+    machine.scheduler.submit(bystander, 0.0)
+
+    pipeline = MonitoringPipeline(
+        machine, collectors=[NetLinkCollector(interval_s=30.0)]
+    )
+    pipeline.run(duration_s=900.0, dt=10.0)
+
+    stall = machine.network.link_stall_ratio
+    levels = congestion_levels(stall)
+    counts = {name: int((levels == i).sum())
+              for i, name in enumerate(("none", "low", "medium", "high"))}
+    print(f"link congestion levels: {counts}")
+
+    print("by link class:")
+    for klass, agg in by_link_class(topo, stall).items():
+        print(f"  {klass:6} mean={agg['mean']:.3f} max={agg['max']:.3f} "
+              f"links={agg['count']:.0f}")
+
+    regions = congestion_regions(topo, stall, min_level=1)
+    print(f"congestion regions (level>=low): {len(regions)}")
+    for r in regions[:3]:
+        print(f"  region: {r.size} links, {len(r.routers)} routers, "
+              f"groups {r.groups}, mean stall {r.mean_stall:.3f}, "
+              f"max {r.max_stall:.3f}")
+
+    if regions:
+        touched = jobs_touching_region(
+            topo, regions[0], pipeline.jobs.jobs_active_at(machine.now - 1)
+        )
+        print(f"jobs with traffic crossing the top region: {touched} "
+              f"(aggressor is job {aggressor.id})")
+
+    mat = group_pair_matrix(topo, stall)
+    print(render_group_matrix(mat))
+    print()
+
+
+def main() -> None:
+    run_and_analyze(
+        build_dragonfly(groups=3, chassis_per_group=3,
+                        blades_per_chassis=4),
+        "Aries-style dragonfly",
+    )
+    run_and_analyze(
+        build_torus(4, 4, 4),
+        "Gemini-style 3D torus",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""repro — an end-to-end HPC monitoring stack.
+
+Reproduction of *Large-Scale System Monitoring Experiences and
+Recommendations* (Ahlgren et al., IEEE CLUSTER 2018, HPCMASPA workshop):
+the complete monitoring capability ten large Cray sites describe building
+piecemeal — data sources, transport, storage, analysis, visualization,
+and response — demonstrated against a simulated large-scale HPC platform
+with realistic failure modes.
+
+Quick tour::
+
+    from repro.cluster import Machine, build_dragonfly, JobGenerator
+    from repro.pipeline import MonitoringPipeline, default_pipeline
+
+    machine = Machine(build_dragonfly(groups=4),
+                      job_generator=JobGenerator(seed=1))
+    pipeline = default_pipeline(machine)
+    pipeline.run(hours=2)
+    print(pipeline.alerts())
+
+Subpackages:
+
+- :mod:`repro.core`      — metric/event datatypes, schema registry, clocks
+- :mod:`repro.cluster`   — the simulated platform (topology, network,
+  filesystem, scheduler, workload, faults)
+- :mod:`repro.sources`   — collectors: counters, SEDC, ERD, logs, probes,
+  benchmarks, health checks, power, queue stats
+- :mod:`repro.transport` — pub/sub bus, LDMS-style aggregation tree,
+  syslog forwarding
+- :mod:`repro.storage`   — time-series store, relational store, log store,
+  hierarchical tiering, job index
+- :mod:`repro.analysis`  — anomaly/trend/congestion/power-signature/
+  aggressor-victim/queue/log analyses
+- :mod:`repro.response`  — SEC-style event correlation, alerting, actions
+- :mod:`repro.viz`       — aggregation, drill-down dashboards, figures
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, cluster, core, response, sources, storage, transport, viz
+from .pipeline import MonitoringPipeline, default_collectors, default_pipeline
+
+__all__ = [
+    "analysis",
+    "cluster",
+    "core",
+    "response",
+    "sources",
+    "storage",
+    "transport",
+    "viz",
+    "MonitoringPipeline",
+    "default_collectors",
+    "default_pipeline",
+    "__version__",
+]

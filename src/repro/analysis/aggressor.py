@@ -1,0 +1,103 @@
+"""Aggressor/victim classification from runtime variability (HLRS).
+
+Section II-10: HLRS identifies "'aggressor' and 'victim' applications
+based on their runtime variability.  Applications having high runtime
+variability are classified as 'victim' applications and those running
+concurrently that don't hit the 'victim' variability threshold are
+considered as possible 'aggressor' applications where the resource
+being contended for is assumed to be the HSN."
+
+Inputs are exactly what a site has: completed-job runtimes per
+application, plus the concurrency relation from the job-allocation
+index.  No interconnect counters are required — which is the method's
+appeal and its documented limitation (it names *suspects*, not
+convictions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+import numpy as np
+
+from .stats import coefficient_of_variation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..storage.jobstore import JobIndex
+
+__all__ = ["AppVariability", "AggressorReport", "classify"]
+
+
+@dataclass(frozen=True, slots=True)
+class AppVariability:
+    app: str
+    n_runs: int
+    mean_runtime: float
+    cov: float             # coefficient of variation of runtimes
+    is_victim: bool
+
+
+@dataclass(frozen=True, slots=True)
+class AggressorReport:
+    victims: tuple[AppVariability, ...]
+    aggressors: tuple[str, ...]            # suspect app names
+    stable: tuple[AppVariability, ...]
+    # victim app -> suspect apps seen running concurrently with its runs
+    suspects_by_victim: Mapping[str, tuple[str, ...]]
+
+
+def classify(
+    index: "JobIndex",
+    cov_threshold: float = 0.10,
+    min_runs: int = 3,
+) -> AggressorReport:
+    """Classify applications into victims / possible aggressors.
+
+    ``cov_threshold`` is the victim variability threshold; apps with
+    fewer than ``min_runs`` completed runs are left unclassified (their
+    CoV is statistically meaningless).
+    """
+    runtimes = index.runtimes_by_app()
+    variabilities: dict[str, AppVariability] = {}
+    for app, times in runtimes.items():
+        if len(times) < min_runs:
+            continue
+        cov = coefficient_of_variation(np.asarray(times))
+        variabilities[app] = AppVariability(
+            app=app,
+            n_runs=len(times),
+            mean_runtime=float(np.mean(times)),
+            cov=float(cov),
+            is_victim=bool(np.isfinite(cov) and cov >= cov_threshold),
+        )
+
+    victims = [v for v in variabilities.values() if v.is_victim]
+    stable = [v for v in variabilities.values() if not v.is_victim]
+    stable_names = {v.app for v in stable}
+
+    # for each victim app, collect stable apps concurrent with its runs
+    suspects_by_victim: dict[str, tuple[str, ...]] = {}
+    all_suspects: set[str] = set()
+    victim_names = {v.app for v in victims}
+    for alloc in list(index.jobs_overlapping(-np.inf, np.inf)):
+        if alloc.app not in victim_names or alloc.end is None:
+            continue
+        concurrent = index.concurrent_with(alloc.job_id)
+        suspects = {
+            a.app
+            for a in concurrent
+            if a.app in stable_names and a.app != alloc.app
+        }
+        if suspects:
+            prev = set(suspects_by_victim.get(alloc.app, ()))
+            suspects_by_victim[alloc.app] = tuple(
+                sorted(prev | suspects)
+            )
+            all_suspects |= suspects
+
+    return AggressorReport(
+        victims=tuple(sorted(victims, key=lambda v: -v.cov)),
+        aggressors=tuple(sorted(all_suspects)),
+        stable=tuple(sorted(stable, key=lambda v: v.app)),
+        suspects_by_victim=suspects_by_victim,
+    )

@@ -1,0 +1,222 @@
+"""Anomaly detectors over sweeps and series.
+
+Section III-B: "Sites have long been interested in early detection ...
+based on trend and outlier analysis."  Detectors here come in two
+shapes:
+
+* **sweep detectors** — given one synchronized sweep (one metric across
+  many components at one instant), flag the outlying components
+  (:func:`sweep_outliers`, :class:`ThresholdDetector`);
+* **series detectors** — given one component's history, flag the times
+  where behaviour changed (:class:`EwmaDetector`,
+  :class:`CusumDetector`, :func:`iqr_outliers`).
+
+All detectors return :class:`Detection` records so the response layer
+can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.metric import SeriesBatch
+from .stats import ewma, mad, robust_zscores
+
+__all__ = [
+    "Detection",
+    "sweep_outliers",
+    "ThresholdDetector",
+    "iqr_outliers",
+    "EwmaDetector",
+    "CusumDetector",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Detection:
+    """One detector firing."""
+
+    time: float
+    metric: str
+    component: str
+    score: float          # detector-specific magnitude (z, excess, ...)
+    kind: str             # "outlier" | "threshold" | "shift" | "changepoint"
+    detail: str = ""
+
+
+def sweep_outliers(
+    batch: SeriesBatch, z_threshold: float = 4.0
+) -> list[Detection]:
+    """Components whose value in a synchronized sweep is a robust outlier.
+
+    The workhorse for "one of 10,000 like components is misbehaving":
+    hung nodes in power sweeps, one slow OST in a latency sweep, one hot
+    link in a stall sweep.
+    """
+    if len(batch) < 4:
+        return []
+    z = robust_zscores(batch.values)
+    out = []
+    for c, t, v, zi in zip(batch.components, batch.times, batch.values, z):
+        if np.isfinite(zi) and abs(zi) >= z_threshold:
+            out.append(
+                Detection(
+                    time=float(t),
+                    metric=batch.metric,
+                    component=str(c),
+                    score=float(zi),
+                    kind="outlier",
+                    detail=f"value={v:.4g} z={zi:.1f}",
+                )
+            )
+    out.sort(key=lambda d: -abs(d.score))
+    return out
+
+
+class ThresholdDetector:
+    """Fixed-threshold detector with hysteresis (alert once per episode)."""
+
+    def __init__(
+        self,
+        metric: str,
+        threshold: float,
+        above: bool = True,
+        clear_fraction: float = 0.9,
+    ) -> None:
+        self.metric = metric
+        self.threshold = float(threshold)
+        self.above = above
+        self.clear_level = threshold * clear_fraction if above else (
+            threshold / clear_fraction if clear_fraction else threshold
+        )
+        self._firing: set[str] = set()
+
+    def check(self, batch: SeriesBatch) -> list[Detection]:
+        if batch.metric != self.metric:
+            return []
+        out = []
+        for c, t, v in zip(batch.components, batch.times, batch.values):
+            comp = str(c)
+            breached = v > self.threshold if self.above else v < self.threshold
+            cleared = v < self.clear_level if self.above else v > self.clear_level
+            if breached and comp not in self._firing:
+                self._firing.add(comp)
+                out.append(
+                    Detection(
+                        time=float(t),
+                        metric=self.metric,
+                        component=comp,
+                        score=float(v - self.threshold)
+                        if self.above
+                        else float(self.threshold - v),
+                        kind="threshold",
+                        detail=f"value={v:.4g} threshold={self.threshold:g}",
+                    )
+                )
+            elif cleared and comp in self._firing:
+                self._firing.discard(comp)
+        return out
+
+
+def iqr_outliers(values: np.ndarray, k: float = 1.5) -> np.ndarray:
+    """Boolean mask of Tukey-fence outliers in a 1-D array."""
+    v = np.asarray(values, dtype=float)
+    finite = v[np.isfinite(v)]
+    if len(finite) < 4:
+        return np.zeros(len(v), dtype=bool)
+    q1, q3 = np.percentile(finite, [25, 75])
+    iqr = q3 - q1
+    lo, hi = q1 - k * iqr, q3 + k * iqr
+    return (v < lo) | (v > hi)
+
+
+class EwmaDetector:
+    """Detects level shifts in one series via an EWMA control band."""
+
+    def __init__(
+        self,
+        alpha: float = 0.2,
+        band_sigmas: float = 4.0,
+        warmup: int = 10,
+    ) -> None:
+        self.alpha = alpha
+        self.band_sigmas = band_sigmas
+        self.warmup = warmup
+
+    def detect(self, batch: SeriesBatch) -> list[Detection]:
+        n = len(batch)
+        if n <= self.warmup:
+            return []
+        v = batch.values
+        smooth = ewma(v, self.alpha)
+        sigma = mad(np.diff(v[: self.warmup])) or float(
+            np.std(v[: self.warmup]) or 1e-12
+        )
+        out = []
+        firing = False
+        for i in range(self.warmup, n):
+            resid = v[i] - smooth[i - 1]
+            breach = abs(resid) > self.band_sigmas * sigma
+            if breach and not firing:
+                out.append(
+                    Detection(
+                        time=float(batch.times[i]),
+                        metric=batch.metric,
+                        component=str(batch.components[i]),
+                        score=float(resid / sigma),
+                        kind="shift",
+                        detail=f"resid={resid:.4g} sigma={sigma:.4g}",
+                    )
+                )
+            firing = breach
+        return out
+
+
+class CusumDetector:
+    """Two-sided CUSUM changepoint detector on one series.
+
+    Flags sustained mean shifts (benchmark-FOM degradation onsets in
+    Figure 2) rather than single spikes; ``k`` is the slack and ``h``
+    the decision threshold, both in units of the series' robust sigma.
+    """
+
+    def __init__(self, k: float = 0.5, h: float = 5.0, warmup: int = 10) -> None:
+        self.k = k
+        self.h = h
+        self.warmup = warmup
+
+    def detect(self, batch: SeriesBatch) -> list[Detection]:
+        n = len(batch)
+        if n <= self.warmup:
+            return []
+        v = batch.values
+        mu = float(np.median(v[: self.warmup]))
+        sigma = mad(v[: self.warmup])
+        if not np.isfinite(sigma) or sigma == 0:
+            sigma = float(np.std(v[: self.warmup])) or 1e-12
+        s_hi = 0.0
+        s_lo = 0.0
+        out = []
+        for i in range(self.warmup, n):
+            # winsorize so one wild sample cannot trip the statistic on
+            # its own; only *sustained* shifts accumulate past h
+            z = float(np.clip((v[i] - mu) / sigma, -4.0, 4.0))
+            s_hi = max(0.0, s_hi + z - self.k)
+            s_lo = max(0.0, s_lo - z - self.k)
+            if s_hi > self.h or s_lo > self.h:
+                direction = "up" if s_hi > self.h else "down"
+                out.append(
+                    Detection(
+                        time=float(batch.times[i]),
+                        metric=batch.metric,
+                        component=str(batch.components[i]),
+                        score=float(max(s_hi, s_lo)),
+                        kind="changepoint",
+                        detail=f"direction={direction}",
+                    )
+                )
+                s_hi = s_lo = 0.0   # restart after signalling
+                mu = float(np.median(v[max(0, i - self.warmup): i + 1]))
+        return out

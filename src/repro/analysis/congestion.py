@@ -1,0 +1,159 @@
+"""Network congestion levels and regions from HSN counters (SNL).
+
+Section II-9: SNL uses "functional combinations of High Speed Network
+(HSN) performance counters, collected periodically ... and synchronously
+across a whole system, to determine congestion levels, congestion
+regions, and impact on application performance", on both Aries dragonfly
+and Gemini torus networks.
+
+Given one synchronized sweep of per-link stall ratios:
+
+* :func:`congestion_levels` bins each link into none/low/medium/high;
+* :func:`congestion_regions` finds connected *regions* of congested
+  links over the router graph (a hot spot is a subgraph, not a link);
+* :func:`jobs_touching_region` attributes which running jobs have
+  traffic crossing a region — the "impact on application performance"
+  step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..cluster.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..storage.jobstore import Allocation
+
+__all__ = [
+    "LEVEL_THRESHOLDS",
+    "congestion_levels",
+    "CongestionRegion",
+    "congestion_regions",
+    "jobs_touching_region",
+]
+
+# stall-ratio thresholds for none/low/medium/high, from the observation
+# that stalls below ~5% are noise and beyond ~25% applications visibly slow
+LEVEL_THRESHOLDS: tuple[float, float, float] = (0.05, 0.12, 0.25)
+LEVEL_NAMES = ("none", "low", "medium", "high")
+
+
+def congestion_levels(stall_ratio: np.ndarray) -> np.ndarray:
+    """Map per-link stall ratios to level indices 0..3."""
+    r = np.asarray(stall_ratio, dtype=float)
+    lo, mid, hi = LEVEL_THRESHOLDS
+    levels = np.zeros(len(r), dtype=np.int64)
+    levels[r >= lo] = 1
+    levels[r >= mid] = 2
+    levels[r >= hi] = 3
+    return levels
+
+
+@dataclass(frozen=True, slots=True)
+class CongestionRegion:
+    """One connected hot spot in the interconnect."""
+
+    link_indices: tuple[int, ...]
+    routers: tuple[str, ...]
+    mean_stall: float
+    max_stall: float
+    groups: tuple[int, ...]        # topology groups the region touches
+
+    @property
+    def size(self) -> int:
+        return len(self.link_indices)
+
+
+def congestion_regions(
+    topo: Topology,
+    stall_ratio: np.ndarray,
+    min_level: int = 2,
+    min_links: int = 1,
+) -> list[CongestionRegion]:
+    """Connected components of links at or above ``min_level``.
+
+    Two congested links belong to the same region when they share a
+    router — congestion spreads hop-by-hop through backpressure, so
+    physical adjacency is the right notion of "same event".
+    """
+    levels = congestion_levels(stall_ratio)
+    hot = np.nonzero(levels >= min_level)[0]
+    if len(hot) == 0:
+        return []
+    sub = nx.Graph()
+    for idx in hot:
+        link = topo.links[idx]
+        sub.add_edge(link.a, link.b, index=int(idx))
+    # group lookup per router: use any attached node's group; routers
+    # host nodes, so derive via the topology's node->router mapping
+    router_group: dict[str, int] = {}
+    for node, router in topo.node_router.items():
+        router_group.setdefault(router, topo.node_group[node])
+    regions = []
+    for comp in nx.connected_components(sub):
+        idxs = sorted(
+            sub.edges[u, v]["index"]
+            for u, v in sub.subgraph(comp).edges
+        )
+        if len(idxs) < min_links:
+            continue
+        stalls = np.asarray([stall_ratio[i] for i in idxs])
+        groups = sorted(
+            {router_group[r] for r in comp if r in router_group}
+        )
+        regions.append(
+            CongestionRegion(
+                link_indices=tuple(idxs),
+                routers=tuple(sorted(comp)),
+                mean_stall=float(stalls.mean()),
+                max_stall=float(stalls.max()),
+                groups=tuple(groups),
+            )
+        )
+    regions.sort(key=lambda r: (-r.max_stall, -r.size))
+    return regions
+
+
+def jobs_touching_region(
+    topo: Topology,
+    region: CongestionRegion,
+    allocations: Sequence["Allocation"],
+    sample_pairs: int = 32,
+    seed: int = 0,
+) -> list[int]:
+    """Job ids whose traffic plausibly crosses the region.
+
+    Routes a bounded sample of intra-job node pairs and checks for
+    intersection with the region's links; exact for small jobs, sampled
+    for large ones.
+    """
+    rng = np.random.default_rng(seed)
+    region_links = set(region.link_indices)
+    touched: list[int] = []
+    for alloc in allocations:
+        nodes = list(alloc.nodes)
+        if len(nodes) < 2:
+            continue
+        n = len(nodes)
+        pairs: list[tuple[int, int]]
+        if n * (n - 1) // 2 <= sample_pairs:
+            pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        else:
+            pairs = [
+                tuple(rng.choice(n, size=2, replace=False))
+                for _ in range(sample_pairs)
+            ]
+        for i, j in pairs:
+            try:
+                route = topo.route(nodes[i], nodes[j])
+            except Exception:
+                continue
+            if region_links.intersection(route):
+                touched.append(alloc.job_id)
+                break
+    return touched

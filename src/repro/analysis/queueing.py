@@ -1,0 +1,123 @@
+"""Queue-backlog characterization (NERSC) and wait-time estimation (CSC).
+
+NERSC: "large or sudden changes in outstanding demand can indicate for
+example a spike in jobs that fail immediately upon starting (quickly
+emptying the queue) or a blockage in the queue (quickly filling it)."
+CSC: queue-length monitoring "to provide users a realistic view into
+the expected wait time for the currently submitted workload."
+
+:func:`characterize` segments a backlog series into episodes
+(normal / filling / draining / blockage) from robust derivative and
+level statistics; :func:`estimate_wait` converts backlog into an
+expected start delay for a hypothetical new job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.metric import SeriesBatch
+from .stats import mad, rolling_mean
+
+__all__ = ["QueueEpisode", "characterize", "estimate_wait"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueueEpisode:
+    """One classified stretch of queue behaviour."""
+
+    t_start: float
+    t_end: float
+    label: str              # "normal" | "filling" | "draining" | "blockage"
+    mean_level: float
+    slope: float            # backlog units per second
+
+
+def _label(slope: float, slope_sigma: float, level: float,
+           level_median: float) -> str:
+    fast = abs(slope) > 4.0 * max(slope_sigma, 1e-12)
+    if fast and slope > 0:
+        # sustained fast fill with elevated level = blockage signature
+        if level > 1.5 * max(level_median, 1e-12):
+            return "blockage"
+        return "filling"
+    if fast and slope < 0:
+        return "draining"
+    return "normal"
+
+
+def characterize(
+    backlog: SeriesBatch,
+    window: int = 5,
+) -> list[QueueEpisode]:
+    """Segment a backlog series into labeled episodes.
+
+    Adjacent samples with the same label merge into one episode; the
+    slope statistics are robust to the heavy-tailed arrivals real queues
+    have.
+    """
+    n = len(backlog)
+    if n < window + 2:
+        return []
+    t = backlog.times
+    v = rolling_mean(backlog.values, window)
+    dt = np.diff(t)
+    dv = np.diff(v)
+    slopes = np.divide(dv, dt, out=np.zeros_like(dv), where=dt > 0)
+    # noise scale from slope *changes*, not slopes themselves — a long
+    # sustained fill/drain would otherwise inflate the scale and hide
+    # itself (the contamination problem robust stats exist for)
+    slope_sigma = mad(np.diff(slopes)) if len(slopes) > 2 else mad(slopes)
+    if not np.isfinite(slope_sigma) or slope_sigma == 0:
+        slope_sigma = float(np.std(np.diff(slopes))) or 1e-12
+    level_median = float(np.median(v))
+
+    labels = [
+        _label(slopes[i], slope_sigma, v[i + 1], level_median)
+        for i in range(n - 1)
+    ]
+    episodes: list[QueueEpisode] = []
+    start = 0
+    for i in range(1, n):
+        if i == n - 1 or labels[i] != labels[start]:
+            seg = slice(start, i + 1)
+            seg_t = t[seg]
+            seg_v = backlog.values[seg]
+            slope = (
+                (seg_v[-1] - seg_v[0]) / (seg_t[-1] - seg_t[0])
+                if seg_t[-1] > seg_t[0]
+                else 0.0
+            )
+            episodes.append(
+                QueueEpisode(
+                    t_start=float(seg_t[0]),
+                    t_end=float(seg_t[-1]),
+                    label=labels[start],
+                    mean_level=float(seg_v.mean()),
+                    slope=float(slope),
+                )
+            )
+            start = i
+    return episodes
+
+
+def estimate_wait(
+    backlog_node_hours: float,
+    machine_nodes: int,
+    utilization: float = 0.9,
+) -> float:
+    """Expected seconds before a newly submitted job can start (CSC view).
+
+    First-order estimate: the queued node-hours must drain through the
+    machine's effective capacity before the new arrival reaches the
+    head.  Deliberately simple — it is a user-facing expectation, not a
+    simulation.
+    """
+    if machine_nodes < 1:
+        raise ValueError("machine_nodes must be >= 1")
+    capacity_node_hours_per_s = machine_nodes * utilization / 3600.0
+    if capacity_node_hours_per_s <= 0:
+        return float("inf")
+    return backlog_node_hours / capacity_node_hours_per_s

@@ -1,0 +1,93 @@
+"""Shared robust statistics used across the analysis modules.
+
+Telemetry from a big machine is heavy-tailed and contaminated by the
+very anomalies we hunt, so location/scale estimates default to robust
+forms (median / MAD) rather than mean / stddev.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mad",
+    "robust_zscores",
+    "ewma",
+    "rolling_mean",
+    "coefficient_of_variation",
+]
+
+# scale factor making MAD a consistent sigma estimator for normal data
+_MAD_TO_SIGMA = 1.4826
+
+
+def mad(x: np.ndarray) -> float:
+    """Median absolute deviation, scaled to estimate sigma."""
+    x = np.asarray(x, dtype=float)
+    x = x[np.isfinite(x)]
+    if len(x) == 0:
+        return float("nan")
+    med = np.median(x)
+    return float(_MAD_TO_SIGMA * np.median(np.abs(x - med)))
+
+
+def robust_zscores(x: np.ndarray) -> np.ndarray:
+    """Z-scores against median/MAD; zero-spread data scores 0 everywhere.
+
+    Contaminated samples barely move the median, so one screaming
+    component cannot hide itself by inflating the scale estimate — the
+    failure mode plain z-scores have on small sweeps.
+    """
+    x = np.asarray(x, dtype=float)
+    finite = x[np.isfinite(x)]
+    if len(finite) == 0:
+        return np.zeros_like(x)
+    med = float(np.median(finite))
+    scale = mad(x)
+    if not np.isfinite(scale) or scale == 0.0:
+        # degenerate bulk (e.g. every idle node at exactly idle power):
+        # fall back to the mean absolute deviation, which a single
+        # outlier CAN move — scaled to be sigma-consistent for normals
+        scale = 1.2533 * float(np.mean(np.abs(finite - med)))
+    if scale == 0.0:
+        return np.zeros_like(x)   # literally constant: nothing to flag
+    return (x - med) / scale
+
+
+def ewma(x: np.ndarray, alpha: float) -> np.ndarray:
+    """Exponentially weighted moving average (vectorized recurrence)."""
+    if not (0 < alpha <= 1):
+        raise ValueError("alpha must be in (0, 1]")
+    x = np.asarray(x, dtype=float)
+    out = np.empty_like(x)
+    acc = x[0] if len(x) else 0.0
+    for i, v in enumerate(x):
+        acc = alpha * v + (1 - alpha) * acc
+        out[i] = acc
+    return out
+
+
+def rolling_mean(x: np.ndarray, window: int) -> np.ndarray:
+    """Trailing rolling mean; the first ``window-1`` points use what's
+    available (expanding head) rather than NaN."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    x = np.asarray(x, dtype=float)
+    csum = np.concatenate([[0.0], np.cumsum(x)])
+    out = np.empty_like(x)
+    for i in range(len(x)):
+        lo = max(0, i + 1 - window)
+        out[i] = (csum[i + 1] - csum[lo]) / (i + 1 - lo)
+    return out
+
+
+def coefficient_of_variation(x: np.ndarray) -> float:
+    """std/mean of finite values; NaN when undefined, 0 for constants."""
+    x = np.asarray(x, dtype=float)
+    x = x[np.isfinite(x)]
+    if len(x) < 2:
+        return float("nan")
+    m = x.mean()
+    if m == 0:
+        return float("nan")
+    return float(x.std(ddof=1) / abs(m))

@@ -1,0 +1,193 @@
+"""Streaming analysis: detectors that run at ingest, not over the store.
+
+Table I (*Analysis and Visualization*): "Analysis capabilities should be
+supported at variety of locations within the monitoring infrastructure
+(e.g., at data sources, as streaming analysis, at the store, at points
+of exposure to consumers)."  The store-side analyses live in the sibling
+modules; this module provides the *streaming* location — operators that
+subscribe to bus topics and evaluate every batch as it flows past,
+with O(1) state per series:
+
+* :class:`StreamingStats` — running mean/min/max/count per series
+  (Welford), queryable at any moment without touching a store;
+* :class:`StreamingOutlierDetector` — robust sweep-outlier detection on
+  every synchronized sweep at ingest; detections are available the
+  instant the sweep lands rather than at the next analysis-hook cadence;
+* :class:`StreamingRateWatch` — counter-rate watchdog: flags a series
+  whose derivative exceeds a limit (e.g. error counters accelerating).
+
+All three attach to a :class:`~repro.transport.bus.MessageBus` with one
+call and expose drainable detection queues, so the pipeline can treat
+them exactly like analysis hooks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..core.metric import MetricKey, SeriesBatch
+from .anomaly import Detection, sweep_outliers
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..transport.bus import MessageBus, Subscription
+
+__all__ = [
+    "RunningMoments",
+    "StreamingStats",
+    "StreamingOutlierDetector",
+    "StreamingRateWatch",
+]
+
+
+@dataclass
+class RunningMoments:
+    """Welford running moments for one series (O(1) memory)."""
+
+    n: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def update(self, x: float) -> None:
+        if not math.isfinite(x):
+            return
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (x - self.mean)
+        self.minimum = min(self.minimum, x)
+        self.maximum = max(self.maximum, x)
+
+    @property
+    def variance(self) -> float:
+        return self.m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class _BusAttached:
+    """Shared plumbing: subscribe to a topic pattern with a callback."""
+
+    def __init__(self) -> None:
+        self._sub: "Subscription | None" = None
+
+    def attach(self, bus: "MessageBus", pattern: str = "metrics.*") -> None:
+        self._sub = bus.subscribe(pattern, callback=self._on_envelope,
+                                  name=type(self).__name__)
+
+    def _on_envelope(self, env) -> None:
+        payload = env.payload
+        if isinstance(payload, SeriesBatch):
+            self.observe(payload)
+
+    def observe(self, batch: SeriesBatch) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class StreamingStats(_BusAttached):
+    """Running per-series statistics maintained at ingest."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._moments: dict[MetricKey, RunningMoments] = {}
+        self.batches_seen = 0
+
+    def observe(self, batch: SeriesBatch) -> None:
+        self.batches_seen += 1
+        for c, v in zip(batch.components, batch.values):
+            key = MetricKey(batch.metric, str(c))
+            m = self._moments.get(key)
+            if m is None:
+                m = self._moments[key] = RunningMoments()
+            m.update(float(v))
+
+    def get(self, metric: str, component: str) -> RunningMoments | None:
+        return self._moments.get(MetricKey(metric, component))
+
+    def series_count(self) -> int:
+        return len(self._moments)
+
+
+class StreamingOutlierDetector(_BusAttached):
+    """Per-sweep robust outlier detection, evaluated at ingest."""
+
+    def __init__(
+        self,
+        metrics: tuple[str, ...],
+        z_threshold: float = 5.0,
+        min_sweep: int = 8,
+    ) -> None:
+        super().__init__()
+        self.metrics = set(metrics)
+        self.z_threshold = float(z_threshold)
+        self.min_sweep = int(min_sweep)
+        self._detections: list[Detection] = []
+        self.sweeps_checked = 0
+
+    def observe(self, batch: SeriesBatch) -> None:
+        if batch.metric not in self.metrics or len(batch) < self.min_sweep:
+            return
+        self.sweeps_checked += 1
+        self._detections.extend(
+            sweep_outliers(batch, z_threshold=self.z_threshold)
+        )
+
+    def drain(self) -> list[Detection]:
+        out = self._detections
+        self._detections = []
+        return out
+
+
+class StreamingRateWatch(_BusAttached):
+    """Flags series whose rate of change exceeds a limit.
+
+    Designed for cumulative counters (``gpu.ecc_dbe``, error tallies):
+    remembers only the previous sample per series and fires when
+    ``(v - prev_v) / (t - prev_t)`` crosses ``max_rate``.
+    """
+
+    def __init__(self, metric: str, max_rate_per_s: float) -> None:
+        super().__init__()
+        self.metric = metric
+        self.max_rate_per_s = float(max_rate_per_s)
+        self._last: dict[str, tuple[float, float]] = {}
+        self._detections: list[Detection] = []
+
+    def observe(self, batch: SeriesBatch) -> None:
+        if batch.metric != self.metric:
+            return
+        for c, t, v in zip(batch.components, batch.times, batch.values):
+            comp = str(c)
+            prev = self._last.get(comp)
+            self._last[comp] = (float(t), float(v))
+            if prev is None:
+                continue
+            pt, pv = prev
+            dt = float(t) - pt
+            if dt <= 0:
+                continue
+            rate = (float(v) - pv) / dt
+            if rate > self.max_rate_per_s:
+                self._detections.append(
+                    Detection(
+                        time=float(t),
+                        metric=self.metric,
+                        component=comp,
+                        score=rate / self.max_rate_per_s,
+                        kind="threshold",
+                        detail=(
+                            f"rate {rate:.4g}/s exceeds "
+                            f"{self.max_rate_per_s:g}/s"
+                        ),
+                    )
+                )
+
+    def drain(self) -> list[Detection]:
+        out = self._detections
+        self._detections = []
+        return out

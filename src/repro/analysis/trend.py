@@ -1,0 +1,147 @@
+"""Trend analysis: degradation prediction and failure-rate growth.
+
+ALCF "performs trend analysis ... on component error rates (e.g., High
+Speed Network (HSN) link Bit Error Rates (BER)) and the datacenter
+environmental conditions.  Based on these trends, ALCF personnel can
+flag and diagnose unusual behaviors on component and subsystem levels"
+(Section II-8).  ORNL's GPU story began with "an increasing rate of GPU
+failures" 2.5 years into production (Section II-6).
+
+Two primitives:
+
+* :func:`fit_trend` / :func:`time_to_threshold` — (log-)linear trend of
+  one series and the projected crossing time of a limit (when will this
+  link's BER hit the FEC budget?);
+* :class:`FailureRateTracker` — windowed event-rate growth detection
+  (is the GPU failure rate above its historical baseline?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.metric import SeriesBatch
+
+__all__ = [
+    "TrendFit",
+    "fit_trend",
+    "time_to_threshold",
+    "FailureRateTracker",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TrendFit:
+    """Least-squares line fit (possibly in log space)."""
+
+    slope: float           # units (or decades) per second
+    intercept: float       # value (or log10 value) at t=0
+    r2: float
+    log_space: bool
+
+    def predict(self, t: float) -> float:
+        y = self.intercept + self.slope * t
+        return 10 ** y if self.log_space else y
+
+
+def fit_trend(batch: SeriesBatch, log_space: bool = False) -> TrendFit:
+    """Fit a line to one series; ``log_space=True`` fits log10(value),
+    appropriate for exponentially growing quantities like BER."""
+    if len(batch) < 2:
+        raise ValueError("need at least two samples to fit a trend")
+    t = batch.times
+    v = batch.values
+    if log_space:
+        if (v <= 0).any():
+            raise ValueError("log-space fit requires positive values")
+        y = np.log10(v)
+    else:
+        y = v
+    slope, intercept = np.polyfit(t, y, 1)
+    pred = intercept + slope * t
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return TrendFit(float(slope), float(intercept), r2, log_space)
+
+
+def time_to_threshold(
+    fit: TrendFit, threshold: float, now: float
+) -> float | None:
+    """Projected seconds from ``now`` until the trend crosses
+    ``threshold`` (None if the trend never gets there)."""
+    target = np.log10(threshold) if fit.log_space else threshold
+    # a numerically-flat fit projects crossings centuries out; report
+    # "never" rather than a meaningless astronomical number
+    _NEVER_S = 100 * 365 * 86400.0
+    if fit.slope == 0 or abs(target - (fit.intercept + fit.slope * now)) / max(abs(fit.slope), 1e-300) > _NEVER_S:
+        cur = fit.intercept + fit.slope * now
+        if cur >= target and fit.slope >= 0:
+            return 0.0
+        return None
+    t_cross = (target - fit.intercept) / fit.slope
+    remaining = t_cross - now
+    current = fit.intercept + fit.slope * now
+    if remaining <= 0:
+        return 0.0 if current >= target or fit.slope > 0 else None
+    # only meaningful when trending toward the threshold
+    if (fit.slope > 0 and current < target) or (
+        fit.slope < 0 and current > target
+    ):
+        return float(remaining)
+    return None
+
+
+class FailureRateTracker:
+    """Windowed failure-rate growth detector (ORNL GPU wave).
+
+    Record failure timestamps as they happen; :meth:`rate_ratio` compares
+    the failure rate of the most recent window against the long-run
+    baseline rate, and :meth:`elevated` applies a Poisson-aware minimum
+    count so a single unlucky failure doesn't page anyone.
+    """
+
+    def __init__(self, window_s: float = 30 * 86400.0) -> None:
+        self.window_s = float(window_s)
+        self._times: list[float] = []
+
+    def record(self, time: float) -> None:
+        self._times.append(float(time))
+
+    def count(self) -> int:
+        return len(self._times)
+
+    def recent_rate(self, now: float) -> float:
+        """Failures per second over the trailing window."""
+        t0 = now - self.window_s
+        recent = sum(1 for t in self._times if t >= t0)
+        return recent / self.window_s
+
+    def baseline_rate(self, now: float) -> float:
+        """Failures per second before the trailing window began."""
+        t0 = now - self.window_s
+        old = [t for t in self._times if t < t0]
+        if not old:
+            return 0.0
+        span = t0 - min(old)
+        return len(old) / span if span > 0 else 0.0
+
+    def rate_ratio(self, now: float) -> float:
+        """recent/baseline rate; inf when there was no baseline failure."""
+        base = self.baseline_rate(now)
+        recent = self.recent_rate(now)
+        if base == 0.0:
+            return float("inf") if recent > 0 else 1.0
+        return recent / base
+
+    def elevated(
+        self, now: float, ratio_threshold: float = 3.0, min_recent: int = 5
+    ) -> bool:
+        t0 = now - self.window_s
+        recent = sum(1 for t in self._times if t >= t0)
+        return (
+            recent >= min_recent
+            and self.rate_ratio(now) >= ratio_threshold
+        )

@@ -1,0 +1,117 @@
+"""Benchmark performance-variation detection (NERSC Figure 2).
+
+NERSC "publishes performance over time" of its benchmark suite so that
+"occurrences and onset of performance problems are apparent in
+visualizations tracking performance over time and are used by staff to
+drive further investigation and diagnosis."  Section III-B also notes
+that "understanding and attributing this variation has been reported to
+be the highest priority question sites seek to answer."
+
+:func:`detect_degradations` turns a benchmark's figure-of-merit series
+into explicit degradation windows (onset, recovery, depth);
+:func:`attribute_window` does the first step of diagnosis by collecting
+which events and fault ground truth overlap a degradation window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.events import Event
+from ..core.metric import SeriesBatch
+from .stats import mad
+
+__all__ = ["DegradationWindow", "detect_degradations", "attribute_window"]
+
+
+@dataclass(frozen=True, slots=True)
+class DegradationWindow:
+    """One contiguous stretch where a benchmark ran below expectation."""
+
+    benchmark: str
+    t_onset: float
+    t_recovery: float | None     # None = still degraded at series end
+    depth: float                 # worst fractional drop below baseline
+    n_points: int
+
+
+def detect_degradations(
+    fom_series: SeriesBatch,
+    baseline_points: int = 5,
+    drop_fraction: float = 0.10,
+) -> list[DegradationWindow]:
+    """Find windows where the FOM sits below baseline by more than
+    ``drop_fraction``.
+
+    The baseline is the median of the first ``baseline_points`` samples
+    (assumed healthy — acceptance-era data); noise robustness comes from
+    requiring the drop to exceed both the fraction and 3 robust sigmas.
+    """
+    n = len(fom_series)
+    if n <= baseline_points:
+        return []
+    v = fom_series.values
+    t = fom_series.times
+    base = float(np.median(v[:baseline_points]))
+    sigma = mad(v[:baseline_points])
+    if not np.isfinite(sigma) or sigma == 0:
+        sigma = float(np.std(v[:baseline_points])) or 1e-12
+    floor = min(base * (1.0 - drop_fraction), base - 3.0 * sigma)
+
+    name = str(fom_series.components[0]) if n else fom_series.metric
+    windows: list[DegradationWindow] = []
+    in_window = False
+    onset = 0.0
+    worst = 0.0
+    count = 0
+    for i in range(n):
+        degraded = v[i] < floor
+        if degraded and not in_window:
+            in_window = True
+            onset = float(t[i])
+            worst = 0.0
+            count = 0
+        if degraded:
+            worst = max(worst, (base - v[i]) / base)
+            count += 1
+        if not degraded and in_window:
+            windows.append(
+                DegradationWindow(name, onset, float(t[i]), worst, count)
+            )
+            in_window = False
+    if in_window:
+        windows.append(DegradationWindow(name, onset, None, worst, count))
+    return windows
+
+
+def attribute_window(
+    window: DegradationWindow,
+    events: Sequence[Event],
+    ground_truth: Sequence[Mapping] = (),
+    slack_s: float = 120.0,
+) -> dict:
+    """Collect everything that overlaps a degradation window.
+
+    Returns the events within [onset - slack, recovery + slack] plus the
+    injected-fault ground-truth records overlapping the same span — the
+    "drive further investigation" handoff, and the oracle tests use to
+    check the detector found the right thing.
+    """
+    t0 = window.t_onset - slack_s
+    t1 = (window.t_recovery if window.t_recovery is not None
+          else float("inf")) + slack_s
+    overlapping_events = [e for e in events if t0 <= e.time < t1]
+    overlapping_faults = [
+        g
+        for g in ground_truth
+        if g["start"] < t1
+        and (g["end"] is None or g["end"] > t0)
+    ]
+    return {
+        "window": window,
+        "events": overlapping_events,
+        "faults": overlapping_faults,
+    }

@@ -1,0 +1,97 @@
+"""Simulated HPC platform substrate (the monitored system)."""
+
+from .components import GpuStore
+from .faults import (
+    BerDegradation,
+    ConfigDrift,
+    CorrosionExcursion,
+    Fault,
+    FaultInjector,
+    HungNode,
+    LinkFailure,
+    LoadImbalance,
+    MdsDegradation,
+    MemoryLeak,
+    MountLoss,
+    QueueBlockage,
+    ServiceDeath,
+    SlowOst,
+    ThermalExcursion,
+)
+from .filesystem import IODemand, LustreFS
+from .machine import Machine, RoomEnv
+from .network import FLIT_BYTES, Flow, NetworkState
+from .node import ESSENTIAL_SERVICES, Node, NodeStore
+from .power import PowerModel
+from .scheduler import (
+    BatchScheduler,
+    PackedPlacement,
+    ScatteredPlacement,
+    SchedulerEvent,
+    TopoAwarePlacement,
+)
+from .topology import (
+    DragonflyTopology,
+    Link,
+    Topology,
+    TorusTopology,
+    build_dragonfly,
+    build_torus,
+)
+from .workload import (
+    APP_LIBRARY,
+    AppProfile,
+    CommPattern,
+    Job,
+    JobGenerator,
+    JobState,
+    Phase,
+)
+
+__all__ = [
+    "GpuStore",
+    "BerDegradation",
+    "ConfigDrift",
+    "CorrosionExcursion",
+    "Fault",
+    "FaultInjector",
+    "HungNode",
+    "LinkFailure",
+    "LoadImbalance",
+    "MdsDegradation",
+    "MemoryLeak",
+    "MountLoss",
+    "QueueBlockage",
+    "ServiceDeath",
+    "SlowOst",
+    "ThermalExcursion",
+    "IODemand",
+    "LustreFS",
+    "Machine",
+    "RoomEnv",
+    "FLIT_BYTES",
+    "Flow",
+    "NetworkState",
+    "ESSENTIAL_SERVICES",
+    "Node",
+    "NodeStore",
+    "PowerModel",
+    "BatchScheduler",
+    "PackedPlacement",
+    "ScatteredPlacement",
+    "SchedulerEvent",
+    "TopoAwarePlacement",
+    "DragonflyTopology",
+    "Link",
+    "Topology",
+    "TorusTopology",
+    "build_dragonfly",
+    "build_torus",
+    "APP_LIBRARY",
+    "AppProfile",
+    "CommPattern",
+    "Job",
+    "JobGenerator",
+    "JobState",
+    "Phase",
+]

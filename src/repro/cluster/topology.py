@@ -1,0 +1,376 @@
+"""HSN topologies: Aries-style dragonfly and Gemini-style 3D torus.
+
+The participating sites run Cray XC (Aries dragonfly — Theta, Cori,
+Edison, Piz Daint, Shaheen2, Hazel Hen, Trinity, Sisu) and Cray XE/XK
+(Gemini 3D torus — Blue Waters, Titan) machines.  SNL's congestion work
+(Section II-9) explicitly targets both interconnects, so we build both.
+
+Component naming follows the Cray *cname* convention so that telemetry
+looks like real site telemetry:
+
+    c{col}-{row}            cabinet
+    c{col}-{row}c{k}        chassis ``k`` within cabinet
+    c{col}-{row}c{k}s{s}    blade (slot) ``s`` within chassis
+    c{col}-{row}c{k}s{s}n{i} node ``i`` on blade
+
+Routers carry the blade cname with an ``a0`` (Aries) or ``g0`` (Gemini)
+suffix.  Links are identified by ``(router_a, router_b)`` name pairs plus
+a class: ``green`` (intra-chassis backplane), ``black`` (intra-group
+cables), ``blue`` (global optical) for dragonfly; ``x+``/``x-``/... for
+torus dimensions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import networkx as nx
+
+__all__ = [
+    "Link",
+    "Topology",
+    "DragonflyTopology",
+    "TorusTopology",
+    "build_dragonfly",
+    "build_torus",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """One physical HSN link (modeled as bidirectional with shared counters)."""
+
+    index: int
+    a: str                  # router cname
+    b: str                  # router cname
+    klass: str              # green | black | blue | x | y | z
+    bandwidth_Bps: float    # usable payload bandwidth, bytes/second
+
+    @property
+    def name(self) -> str:
+        return f"{self.a}<->{self.b}"
+
+
+class Topology:
+    """Base class: routers, links, node attachment, and shortest routing.
+
+    Subclasses fill ``graph`` (networkx, routers as vertices, edge attr
+    ``link`` -> :class:`Link`), ``node_router`` (node cname -> router
+    cname), and the structural maps used for aggregation (node -> cabinet,
+    node -> group).  Route computation is cached per router pair.
+    """
+
+    def __init__(self) -> None:
+        self.graph = nx.Graph()
+        self.links: list[Link] = []
+        self.node_router: dict[str, str] = {}
+        self.node_cabinet: dict[str, str] = {}
+        self.node_group: dict[str, int] = {}
+        self._route_cache: dict[tuple[str, str], tuple[int, ...]] = {}
+
+    # -- construction helpers ---------------------------------------------
+
+    def _add_link(
+        self, a: str, b: str, klass: str, bandwidth_Bps: float
+    ) -> Link:
+        link = Link(len(self.links), a, b, klass, bandwidth_Bps)
+        self.links.append(link)
+        self.graph.add_edge(a, b, link=link)
+        return link
+
+    # -- inventory ----------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[str]:
+        """All compute-node cnames, in deterministic order."""
+        return self._nodes
+
+    @property
+    def routers(self) -> list[str]:
+        return sorted(self.graph.nodes)
+
+    @property
+    def cabinets(self) -> list[str]:
+        return sorted(set(self.node_cabinet.values()))
+
+    def nodes_in_cabinet(self, cabinet: str) -> list[str]:
+        return [n for n in self._nodes if self.node_cabinet[n] == cabinet]
+
+    def link_by_index(self, idx: int) -> Link:
+        return self.links[idx]
+
+    # -- routing -------------------------------------------------------------
+
+    def route(self, src_node: str, dst_node: str) -> tuple[int, ...]:
+        """Link indices on the path between two compute nodes.
+
+        Uses the topology's deterministic minimal path (subclasses
+        override ``_router_path`` for topology-specific routing).  Cached
+        per router pair — route tables on the real hardware are similarly
+        static between failures.
+        """
+        ra = self.node_router[src_node]
+        rb = self.node_router[dst_node]
+        if ra == rb:
+            return ()
+        key = (ra, rb)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        path = self._router_path(ra, rb)
+        idxs = tuple(
+            self.graph.edges[u, v]["link"].index
+            for u, v in zip(path, path[1:])
+        )
+        self._route_cache[key] = idxs
+        return idxs
+
+    def _router_path(self, ra: str, rb: str) -> list[str]:
+        return nx.shortest_path(self.graph, ra, rb)
+
+    def invalidate_routes(self) -> None:
+        """Flush the route cache (after a link failure / recovery)."""
+        self._route_cache.clear()
+
+    def remove_link(self, idx: int) -> None:
+        """Take a link out of service (fault injection)."""
+        link = self.links[idx]
+        if self.graph.has_edge(link.a, link.b):
+            self.graph.remove_edge(link.a, link.b)
+            self.invalidate_routes()
+
+    def restore_link(self, idx: int) -> None:
+        """Return a failed link to service."""
+        link = self.links[idx]
+        if not self.graph.has_edge(link.a, link.b):
+            self.graph.add_edge(link.a, link.b, link=link)
+            self.invalidate_routes()
+
+
+class DragonflyTopology(Topology):
+    """Aries-style dragonfly.
+
+    ``groups`` electrical groups, each of ``chassis_per_group`` chassis of
+    ``blades_per_chassis`` blades; one router and ``nodes_per_router``
+    nodes per blade.  Intra-chassis routers are all-to-all over the
+    backplane (green); same-slot routers across chassis of a group are
+    connected (black); groups are connected all-to-all by global optical
+    links (blue), each group contributing evenly spread endpoints.
+
+    On the real XC a group is two cabinets of three chassis each; we keep
+    that mapping (cabinet = 3 chassis) so cabinet-level power aggregation
+    (Figure 3) has honest physical structure.
+    """
+
+    CHASSIS_PER_CABINET = 3
+
+    def __init__(
+        self,
+        groups: int = 4,
+        chassis_per_group: int = 6,
+        blades_per_chassis: int = 16,
+        nodes_per_router: int = 4,
+        link_bw_Bps: float = 14e9,      # Aries-class per-link payload bw
+        global_bw_Bps: float = 4.7e9,   # optical per-link
+        nic_bw_Bps: float = 10e9,       # node injection bandwidth
+    ) -> None:
+        super().__init__()
+        if chassis_per_group % self.CHASSIS_PER_CABINET:
+            raise ValueError("chassis_per_group must be a multiple of 3")
+        self.groups = groups
+        self.chassis_per_group = chassis_per_group
+        self.blades_per_chassis = blades_per_chassis
+        self.nodes_per_router = nodes_per_router
+        self.nic_bw_Bps = float(nic_bw_Bps)
+        self._nodes: list[str] = []
+        self._build(link_bw_Bps, global_bw_Bps)
+
+    # router cname helpers
+    def _chassis_cname(self, group: int, chassis: int) -> str:
+        cab_in_group, chassis_in_cab = divmod(
+            chassis, self.CHASSIS_PER_CABINET
+        )
+        cab_index = group * (
+            self.chassis_per_group // self.CHASSIS_PER_CABINET
+        ) + cab_in_group
+        return f"c{cab_index}-0c{chassis_in_cab}"
+
+    def _router_cname(self, group: int, chassis: int, blade: int) -> str:
+        return f"{self._chassis_cname(group, chassis)}s{blade}a0"
+
+    def _build(self, link_bw: float, global_bw: float) -> None:
+        # routers + nodes
+        for g in range(self.groups):
+            for c in range(self.chassis_per_group):
+                chassis_cname = self._chassis_cname(g, c)
+                cabinet_cname = chassis_cname[: chassis_cname.rindex("c")]
+                for s in range(self.blades_per_chassis):
+                    router = self._router_cname(g, c, s)
+                    self.graph.add_node(router)
+                    for i in range(self.nodes_per_router):
+                        node = f"{chassis_cname}s{s}n{i}"
+                        self._nodes.append(node)
+                        self.node_router[node] = router
+                        self.node_cabinet[node] = cabinet_cname
+                        self.node_group[node] = g
+        # green: all-to-all within chassis
+        for g in range(self.groups):
+            for c in range(self.chassis_per_group):
+                routers = [
+                    self._router_cname(g, c, s)
+                    for s in range(self.blades_per_chassis)
+                ]
+                for a, b in itertools.combinations(routers, 2):
+                    self._add_link(a, b, "green", link_bw)
+        # black: same slot across chassis within a group
+        for g in range(self.groups):
+            for s in range(self.blades_per_chassis):
+                routers = [
+                    self._router_cname(g, c, s)
+                    for c in range(self.chassis_per_group)
+                ]
+                for a, b in itertools.combinations(routers, 2):
+                    self._add_link(a, b, "black", link_bw)
+        # blue: groups all-to-all with >=2 parallel global links per pair
+        # (real XC systems have many; two guarantees single-link failures
+        # never partition groups), endpoints spread round-robin so global
+        # traffic does not funnel through one gateway router
+        routers_per_group = self.chassis_per_group * self.blades_per_chassis
+        n_parallel = max(2, self.blades_per_chassis // 4)
+        pair_counter = 0
+        for ga, gb in itertools.combinations(range(self.groups), 2):
+            made = 0
+            offset = 0
+            while made < n_parallel and offset < routers_per_group * 2:
+                idx_a = (pair_counter * n_parallel + made + offset) % (
+                    routers_per_group
+                )
+                idx_b = (idx_a * 7 + 3 + made) % routers_per_group
+                ca, sa = divmod(idx_a, self.blades_per_chassis)
+                cb, sb = divmod(idx_b, self.blades_per_chassis)
+                a = self._router_cname(ga, ca, sa)
+                b = self._router_cname(gb, cb, sb)
+                if not self.graph.has_edge(a, b):
+                    self._add_link(a, b, "blue", global_bw)
+                    made += 1
+                else:
+                    offset += 1
+            pair_counter += 1
+
+    def _router_path(self, ra: str, rb: str) -> list[str]:
+        # Minimal dragonfly routing favors: local hop -> global link ->
+        # local hop.  networkx shortest path on the built graph realizes
+        # exactly that because green/black links make groups near-cliques.
+        return nx.shortest_path(self.graph, ra, rb)
+
+
+class TorusTopology(Topology):
+    """Gemini-style 3D torus (Blue Waters / Titan class).
+
+    Routers form an ``nx * ny * nz`` torus; each router (Gemini ASIC)
+    serves ``nodes_per_router`` nodes (2 on real Gemini blades).  Routing
+    is dimension-ordered (x then y then z, each dimension taking the
+    shorter wrap direction), matching the largely-static routing the
+    paper's TAS discussion assumes.
+    """
+
+    def __init__(
+        self,
+        nx_dim: int = 4,
+        ny_dim: int = 4,
+        nz_dim: int = 4,
+        nodes_per_router: int = 2,
+        link_bw_Bps: float = 9.4e9,
+        nic_bw_Bps: float = 6e9,
+    ) -> None:
+        super().__init__()
+        self.dims = (nx_dim, ny_dim, nz_dim)
+        self.nodes_per_router = nodes_per_router
+        self.nic_bw_Bps = float(nic_bw_Bps)
+        self._nodes: list[str] = []
+        self._link_lookup: dict[tuple[str, str], int] = {}
+        self._build(link_bw_Bps)
+
+    def _router_cname(self, x: int, y: int, z: int) -> str:
+        return f"c{x}-{y}c0s{z}g0"
+
+    def _coords(self, router: str) -> tuple[int, int, int]:
+        return self._router_coords[router]
+
+    def _build(self, link_bw: float) -> None:
+        nx_d, ny_d, nz_d = self.dims
+        self._router_coords: dict[str, tuple[int, int, int]] = {}
+        for x in range(nx_d):
+            for y in range(ny_d):
+                for z in range(nz_d):
+                    r = self._router_cname(x, y, z)
+                    self.graph.add_node(r)
+                    self._router_coords[r] = (x, y, z)
+                    cabinet = f"c{x}-{y}"
+                    for i in range(self.nodes_per_router):
+                        node = f"c{x}-{y}c0s{z}n{i}"
+                        self._nodes.append(node)
+                        self.node_router[node] = r
+                        self.node_cabinet[node] = cabinet
+                        self.node_group[node] = x  # x-slab as "group"
+        axes = ("x", "y", "z")
+        for x in range(nx_d):
+            for y in range(ny_d):
+                for z in range(nz_d):
+                    here = self._router_cname(x, y, z)
+                    neighbors = (
+                        self._router_cname((x + 1) % nx_d, y, z),
+                        self._router_cname(x, (y + 1) % ny_d, z),
+                        self._router_cname(x, y, (z + 1) % nz_d),
+                    )
+                    for axis, other in zip(axes, neighbors):
+                        if other == here:
+                            continue  # dimension of size 1: no link
+                        if not self.graph.has_edge(here, other):
+                            link = self._add_link(here, other, axis, link_bw)
+                            self._link_lookup[(here, other)] = link.index
+                            self._link_lookup[(other, here)] = link.index
+
+    def _router_path(self, ra: str, rb: str) -> list[str]:
+        # dimension-order routing with shortest wrap per dimension
+        path = [ra]
+        x, y, z = self._coords(ra)
+        tx, ty, tz = self._coords(rb)
+        cur = [x, y, z]
+        target = [tx, ty, tz]
+        for dim in range(3):
+            size = self.dims[dim]
+            while cur[dim] != target[dim]:
+                fwd = (target[dim] - cur[dim]) % size
+                back = (cur[dim] - target[dim]) % size
+                step = 1 if fwd <= back else -1
+                cur[dim] = (cur[dim] + step) % size
+                nxt = self._router_cname(*cur)
+                prev = path[-1]
+                if not self.graph.has_edge(prev, nxt):
+                    # failed link on the dimension-order path: fall back to
+                    # adaptive (shortest available) routing for the rest
+                    rest = nx.shortest_path(self.graph, prev, rb)
+                    return path[:-1] + rest
+                path.append(nxt)
+        return path
+
+
+def build_dragonfly(
+    groups: int = 4,
+    chassis_per_group: int = 6,
+    blades_per_chassis: int = 16,
+    nodes_per_router: int = 4,
+    **kw,
+) -> DragonflyTopology:
+    """Convenience constructor used by examples and benches."""
+    return DragonflyTopology(
+        groups, chassis_per_group, blades_per_chassis, nodes_per_router, **kw
+    )
+
+
+def build_torus(
+    nx_dim: int = 4, ny_dim: int = 4, nz_dim: int = 4, **kw
+) -> TorusTopology:
+    return TorusTopology(nx_dim, ny_dim, nz_dim, **kw)

@@ -1,0 +1,421 @@
+"""Applications and jobs: the load the monitored machine carries.
+
+Several of the paper's detection stories hinge on *application behaviour
+being repeatable*:
+
+* KAUST (Section II-7): "the power profiles of applications were
+  repeatable enough that they can ... identify problems with the system
+  and applications" — so an :class:`AppProfile` deterministically maps
+  job phase to per-node CPU demand (and hence power), with only small
+  run-to-run noise.
+* HLRS (Section II-10): victim applications show high *runtime
+  variability* under HSN contention while aggressors do not — so a job's
+  progress rate here degrades when its communication or I/O is throttled
+  by shared-resource contention, making runtime an emergent, honest
+  signal.
+* NCSA Figure 4 attributes an aggregate I/O spike to one job — so I/O
+  demand is attributed per job by the filesystem model.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .filesystem import IODemand
+from .network import Flow
+
+__all__ = [
+    "CommPattern",
+    "Phase",
+    "AppProfile",
+    "JobState",
+    "Job",
+    "JobGenerator",
+    "APP_LIBRARY",
+]
+
+
+class CommPattern(str, enum.Enum):
+    NONE = "none"            # embarrassingly parallel
+    RING = "ring"            # nearest-neighbor 1D
+    HALO3D = "halo3d"        # stencil halo exchange (approximated)
+    ALLTOALL = "alltoall"    # transpose/FFT-style global exchange
+    HOTSPOT = "hotspot"      # reduction to a root (I/O-master pattern)
+
+
+@dataclass(frozen=True, slots=True)
+class Phase:
+    """One phase of an application's execution.
+
+    ``frac``          fraction of total work done in this phase.
+    ``cpu_util``      per-node CPU utilization demanded.
+    ``comm_Bps``      per-node injection demand, bytes/s.
+    ``read_Bps``      per-node filesystem read demand, bytes/s.
+    ``write_Bps``     per-node filesystem write demand, bytes/s.
+    ``md_ops_s``      per-node metadata ops/s.
+    """
+
+    frac: float
+    cpu_util: float = 0.9
+    comm_Bps: float = 0.0
+    read_Bps: float = 0.0
+    write_Bps: float = 0.0
+    md_ops_s: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class AppProfile:
+    """A named application with a repeatable resource signature."""
+
+    name: str
+    phases: tuple[Phase, ...]
+    comm_pattern: CommPattern = CommPattern.NONE
+    work_seconds: float = 3600.0      # nominal runtime, uncontended
+    comm_weight: float = 0.0          # fraction of progress gated on comm
+    io_weight: float = 0.0            # fraction gated on filesystem
+    runtime_noise: float = 0.02       # intrinsic run-to-run variability
+    typical_nodes: tuple[int, ...] = (32, 64, 128)
+
+    def __post_init__(self) -> None:
+        total = sum(p.frac for p in self.phases)
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ValueError(
+                f"{self.name}: phase fractions sum to {total}, expected 1"
+            )
+        if self.comm_weight + self.io_weight > 1.0:
+            raise ValueError("comm_weight + io_weight must be <= 1")
+
+    def phase_at(self, progress_frac: float) -> Phase:
+        """The phase active at ``progress_frac`` of total work in [0,1)."""
+        x = min(max(progress_frac, 0.0), 0.999999)
+        acc = 0.0
+        for p in self.phases:
+            acc += p.frac
+            if x < acc:
+                return p
+        return self.phases[-1]
+
+
+class JobState(str, enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+class Job:
+    """One batch job instance."""
+
+    _counter = itertools.count(1)
+
+    def __init__(
+        self,
+        app: AppProfile,
+        n_nodes: int,
+        submit_time: float,
+        walltime_req: float | None = None,
+        seed: int = 0,
+        job_id: int | None = None,
+        user: str = "user0",
+    ) -> None:
+        self.id = job_id if job_id is not None else next(Job._counter)
+        self.app = app
+        self.n_nodes = int(n_nodes)
+        self.submit_time = float(submit_time)
+        self.user = user
+        rng = np.random.default_rng(seed ^ (self.id * 0x9E3779B1))
+        self._rng = rng
+        noise = 1.0 + rng.normal(0.0, app.runtime_noise)
+        self.work_seconds = app.work_seconds * max(noise, 0.5)
+        self.walltime_req = (
+            float(walltime_req)
+            if walltime_req is not None
+            else self.work_seconds * 2.0
+        )
+        self.state = JobState.PENDING
+        self.nodes: list[str] = []
+        self.start_time: float | None = None
+        self.end_time: float | None = None
+        self.progress = 0.0          # seconds of work completed
+        # per-node utilization multipliers; faults can skew them to model
+        # load imbalance (Figure 3)
+        self.node_util_scale: np.ndarray | None = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self, time: float, nodes: Sequence[str]) -> None:
+        if self.state is not JobState.PENDING:
+            raise RuntimeError(f"job {self.id} cannot start from {self.state}")
+        self.state = JobState.RUNNING
+        self.start_time = float(time)
+        self.nodes = list(nodes)
+        self.node_util_scale = np.ones(len(self.nodes))
+
+    def finish(self, time: float, state: JobState = JobState.COMPLETED) -> None:
+        self.state = state
+        self.end_time = float(time)
+
+    @property
+    def runtime(self) -> float | None:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    @property
+    def progress_frac(self) -> float:
+        return min(self.progress / self.work_seconds, 1.0)
+
+    # -- fault hooks ----------------------------------------------------------------
+
+    def inject_imbalance(self, frac_busy: float, wait_util: float = 0.15) -> None:
+        """Concentrate the work on a contiguous ``frac_busy`` of ranks.
+
+        The overloaded ranks stay at full utilization; the rest finish
+        their (small) share early and idle at synchronization points at
+        ``wait_util``.  With packed placement the busy block maps onto a
+        subset of cabinets, producing the KAUST Figure 3 signature:
+        per-cabinet power variation of ~3x and markedly lower total
+        system draw, while job progress slows to the aggregate rate.
+        """
+        if self.node_util_scale is None:
+            raise RuntimeError("job not running")
+        n_busy = max(1, int(len(self.nodes) * frac_busy))
+        self.node_util_scale[:] = wait_util   # waiters idle at barriers
+        self.node_util_scale[:n_busy] = 1.0   # overloaded contiguous block
+
+    def clear_imbalance(self) -> None:
+        if self.node_util_scale is not None:
+            self.node_util_scale[:] = 1.0
+
+    # -- per-step demand generation -----------------------------------------------------
+
+    def demanded_util(self) -> np.ndarray:
+        """Per-assigned-node CPU utilization demanded this step."""
+        phase = self.app.phase_at(self.progress_frac)
+        base = np.full(len(self.nodes), phase.cpu_util)
+        if self.node_util_scale is not None:
+            base = base * self.node_util_scale
+        return base
+
+    def flows(self, dt: float, max_pairs: int = 64) -> list[Flow]:
+        """Traffic demands for this step, per the app's comm pattern."""
+        phase = self.app.phase_at(self.progress_frac)
+        rate = phase.comm_Bps
+        if rate <= 0 or len(self.nodes) < 2:
+            return []
+        pattern = self.app.comm_pattern
+        nodes = self.nodes
+        n = len(nodes)
+        per_node_bytes = rate * dt
+        if pattern is CommPattern.RING:
+            return [
+                Flow(nodes[i], nodes[(i + 1) % n], per_node_bytes)
+                for i in range(n)
+            ]
+        if pattern is CommPattern.HALO3D:
+            # approximate a 3D stencil with +-1, +-k, +-k^2 neighbors in
+            # allocation order; six exchanges per node, bytes split evenly
+            k = max(1, round(n ** (1 / 3)))
+            out: list[Flow] = []
+            strides = (1, k, k * k)
+            per_dir = per_node_bytes / 6.0
+            for i in range(n):
+                for s in strides:
+                    out.append(Flow(nodes[i], nodes[(i + s) % n], per_dir))
+                    out.append(Flow(nodes[i], nodes[(i - s) % n], per_dir))
+            return out
+        if pattern is CommPattern.ALLTOALL:
+            # sample a bounded set of pairs carrying the aggregate volume,
+            # so cost stays O(max_pairs) at any job size
+            total_bytes = per_node_bytes * n
+            n_pairs = min(max_pairs, n * (n - 1))
+            per_pair = total_bytes / n_pairs
+            out = []
+            for _ in range(n_pairs):
+                i, j = self._rng.choice(n, size=2, replace=False)
+                out.append(Flow(nodes[i], nodes[j], per_pair))
+            return out
+        if pattern is CommPattern.HOTSPOT:
+            root = nodes[0]
+            return [
+                Flow(nodes[i], root, per_node_bytes)
+                for i in range(1, n)
+            ]
+        return []
+
+    def io_demand(self, dt: float, n_ost: int) -> IODemand | None:
+        """Filesystem demand for this step (or None when idle on I/O)."""
+        phase = self.app.phase_at(self.progress_frac)
+        n = len(self.nodes)
+        read_b = phase.read_Bps * n * dt
+        write_b = phase.write_Bps * n * dt
+        md = phase.md_ops_s * n * dt
+        if read_b <= 0 and write_b <= 0 and md <= 0:
+            return None
+        # stripe over a deterministic subset proportional to job size
+        width = max(1, min(n_ost, n // 8 or 1))
+        start = self.id % n_ost
+        stripe = tuple((start + i) % n_ost for i in range(width))
+        return IODemand(self.id, read_b, write_b, md, stripe)
+
+    def advance(
+        self,
+        dt: float,
+        comm_eff: float = 1.0,
+        io_eff: float = 1.0,
+        cpu_speed: float = 1.0,
+    ) -> None:
+        """Advance job progress given achieved resource efficiencies.
+
+        ``comm_eff`` / ``io_eff`` in [0, 1] are the achieved fractions of
+        demanded communication / I/O this step; ``cpu_speed`` is the
+        effective frequency fraction of the job's nodes (p-state caps
+        slow the compute-bound portion — the SNL power-sweep knob).
+        Imbalanced jobs progress at the aggregate rate of their ranks.
+        """
+        app = self.app
+        balance = (
+            float(self.node_util_scale.mean())
+            if self.node_util_scale is not None and len(self.node_util_scale)
+            else 1.0
+        )
+        cpu_frac = 1.0 - app.comm_weight - app.io_weight
+        speed = (
+            cpu_frac * balance * cpu_speed
+            + app.comm_weight * min(comm_eff, balance)
+            + app.io_weight * min(io_eff, balance)
+        )
+        self.progress += dt * speed
+
+    @property
+    def done(self) -> bool:
+        return self.progress >= self.work_seconds
+
+
+def _library() -> dict[str, AppProfile]:
+    """Application mix motivated by the paper's workloads.
+
+    Chosen to span the detection scenarios: a compute-bound code (power
+    signature work), a halo-exchange code and an all-to-all code
+    (network congestion, aggressor/victim), an I/O-heavy checkpointing
+    code (filesystem stories), and a metadata-hammering code.
+    """
+    lib = {}
+    lib["lammps"] = AppProfile(
+        name="lammps",
+        phases=(
+            Phase(0.05, cpu_util=0.4, read_Bps=20e6),        # setup/read
+            Phase(0.90, cpu_util=0.95, comm_Bps=80e6),       # MD steps
+            Phase(0.05, cpu_util=0.3, write_Bps=50e6),       # output
+        ),
+        comm_pattern=CommPattern.HALO3D,
+        work_seconds=3600.0,
+        comm_weight=0.25,
+        typical_nodes=(32, 64, 128),
+    )
+    lib["qmc"] = AppProfile(  # compute-bound, flat high power (KAUST-style)
+        name="qmc",
+        phases=(Phase(1.0, cpu_util=0.98, comm_Bps=5e6),),
+        comm_pattern=CommPattern.RING,
+        work_seconds=5400.0,
+        comm_weight=0.05,
+        typical_nodes=(64, 128, 256),
+    )
+    lib["cfd_fft"] = AppProfile(  # all-to-all heavy: the classic aggressor
+        name="cfd_fft",
+        phases=(
+            Phase(0.1, cpu_util=0.7, read_Bps=40e6),
+            Phase(0.8, cpu_util=0.85, comm_Bps=400e6),
+            Phase(0.1, cpu_util=0.4, write_Bps=80e6),
+        ),
+        comm_pattern=CommPattern.ALLTOALL,
+        work_seconds=2700.0,
+        comm_weight=0.55,
+        typical_nodes=(64, 128),
+    )
+    lib["climate"] = AppProfile(  # periodic checkpointer (Figure 4 spike)
+        name="climate",
+        phases=(
+            Phase(0.22, cpu_util=0.9, comm_Bps=60e6),
+            Phase(0.03, cpu_util=0.3, write_Bps=900e6, md_ops_s=5.0),
+            Phase(0.22, cpu_util=0.9, comm_Bps=60e6),
+            Phase(0.03, cpu_util=0.3, write_Bps=900e6, md_ops_s=5.0),
+            Phase(0.22, cpu_util=0.9, comm_Bps=60e6),
+            Phase(0.03, cpu_util=0.3, write_Bps=900e6, md_ops_s=5.0),
+            Phase(0.22, cpu_util=0.9, comm_Bps=60e6),
+            Phase(0.03, cpu_util=0.3, write_Bps=900e6, md_ops_s=5.0),
+        ),
+        comm_pattern=CommPattern.HALO3D,
+        work_seconds=7200.0,
+        comm_weight=0.15,
+        io_weight=0.15,
+        typical_nodes=(32, 64),
+    )
+    lib["genomics"] = AppProfile(  # metadata hammer, victim-prone
+        name="genomics",
+        phases=(
+            Phase(0.5, cpu_util=0.6, read_Bps=150e6, md_ops_s=40.0),
+            Phase(0.5, cpu_util=0.8, write_Bps=60e6, md_ops_s=20.0),
+        ),
+        comm_pattern=CommPattern.NONE,
+        work_seconds=1800.0,
+        io_weight=0.5,
+        typical_nodes=(8, 16, 32),
+    )
+    return lib
+
+
+APP_LIBRARY: dict[str, AppProfile] = _library()
+
+
+class JobGenerator:
+    """Poisson job arrivals drawn from an application mix."""
+
+    def __init__(
+        self,
+        apps: Sequence[AppProfile] | None = None,
+        weights: Sequence[float] | None = None,
+        mean_interarrival_s: float = 300.0,
+        max_nodes: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.apps = list(apps) if apps else list(APP_LIBRARY.values())
+        if weights is None:
+            weights = [1.0] * len(self.apps)
+        w = np.asarray(weights, dtype=float)
+        self.weights = w / w.sum()
+        self.mean_interarrival_s = float(mean_interarrival_s)
+        self.max_nodes = max_nodes
+        self._rng = np.random.default_rng(seed)
+        self._next_arrival = float(
+            self._rng.exponential(self.mean_interarrival_s)
+        )
+        self.seed = seed
+
+    def poll(self, now: float) -> list[Job]:
+        """Jobs submitted up to ``now`` since the last poll."""
+        out: list[Job] = []
+        while self._next_arrival <= now:
+            app = self._rng.choice(self.apps, p=self.weights)
+            n_nodes = int(self._rng.choice(app.typical_nodes))
+            if self.max_nodes is not None:
+                n_nodes = min(n_nodes, self.max_nodes)
+            out.append(
+                Job(
+                    app,
+                    n_nodes,
+                    submit_time=self._next_arrival,
+                    seed=self.seed,
+                    user=f"user{int(self._rng.integers(0, 8))}",
+                )
+            )
+            self._next_arrival += float(
+                self._rng.exponential(self.mean_interarrival_s)
+            )
+        return out

@@ -1,0 +1,26 @@
+"""Core datatypes and plumbing shared by every layer of the stack."""
+
+from .clock import DriftingClock, DriftModel, SimClock
+from .config import CollectorConfig, MonitoringConfig
+from .events import Event, EventKind, Severity
+from .metric import MetricKey, Sample, SeriesBatch, merge_batches
+from .registry import MetricClass, MetricRegistry, MetricSpec, default_registry
+
+__all__ = [
+    "CollectorConfig",
+    "MonitoringConfig",
+    "DriftingClock",
+    "DriftModel",
+    "SimClock",
+    "Event",
+    "EventKind",
+    "Severity",
+    "MetricKey",
+    "Sample",
+    "SeriesBatch",
+    "merge_batches",
+    "MetricClass",
+    "MetricRegistry",
+    "MetricSpec",
+    "default_registry",
+]

@@ -1,0 +1,171 @@
+"""Declarative monitoring configuration.
+
+Table I (*Architecture*): "Multiple flexible data paths should be
+anticipated, with changes in data direction and data access easily
+configured and changed."  :class:`MonitoringConfig` captures a full
+deployment — which collectors at which intervals, storage and response
+settings — as plain data that can be serialized, diffed between sites,
+and applied to build a pipeline.  ``from_dict``/``to_dict`` round-trip
+through JSON so a site can keep its monitoring deployment in version
+control (the shareability the paper's sites lack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.machine import Machine
+    from ..pipeline import MonitoringPipeline
+
+__all__ = ["CollectorConfig", "MonitoringConfig"]
+
+#: collector names resolvable by :meth:`MonitoringConfig.build`
+KNOWN_COLLECTORS = (
+    "node_counters",
+    "injection",
+    "net_links",
+    "sedc",
+    "power",
+    "fs_probes",
+    "ost_counters",
+    "queue_stats",
+    "environment",
+    "benchmark_suite",
+    "node_health",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class CollectorConfig:
+    """One collector's deployment settings."""
+
+    name: str                     # one of KNOWN_COLLECTORS
+    interval_s: float = 60.0
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.name not in KNOWN_COLLECTORS:
+            raise ValueError(
+                f"unknown collector {self.name!r}; known: "
+                f"{', '.join(KNOWN_COLLECTORS)}"
+            )
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+
+
+@dataclass(slots=True)
+class MonitoringConfig:
+    """A complete monitoring deployment as data."""
+
+    collectors: list[CollectorConfig] = field(default_factory=list)
+    tick_s: float = 10.0
+    alert_renotify_s: float = 3600.0
+    health_gate: bool = True
+    seed: int = 0
+
+    # -- presets ---------------------------------------------------------------
+
+    @classmethod
+    def default(cls) -> "MonitoringConfig":
+        """The full collector complement at the paper's typical rates:
+        one-minute synchronized sweeps (NCSA), 10-minute test suites
+        (LANL), 5-minute facility data."""
+        minute = [
+            "node_counters", "injection", "net_links", "sedc", "power",
+            "fs_probes", "ost_counters", "queue_stats",
+        ]
+        return cls(
+            collectors=[CollectorConfig(n, 60.0) for n in minute]
+            + [
+                CollectorConfig("environment", 300.0),
+                CollectorConfig("benchmark_suite", 600.0),
+                CollectorConfig("node_health", 600.0),
+            ]
+        )
+
+    @classmethod
+    def minimal(cls) -> "MonitoringConfig":
+        """Counters + health only (a small site's starting point)."""
+        return cls(
+            collectors=[
+                CollectorConfig("node_counters", 60.0),
+                CollectorConfig("sedc", 60.0),
+                CollectorConfig("node_health", 600.0),
+            ],
+            health_gate=False,
+        )
+
+    # -- (de)serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "collectors": [asdict(c) for c in self.collectors],
+            "tick_s": self.tick_s,
+            "alert_renotify_s": self.alert_renotify_s,
+            "health_gate": self.health_gate,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MonitoringConfig":
+        return cls(
+            collectors=[
+                CollectorConfig(**c) for c in data.get("collectors", [])
+            ],
+            tick_s=float(data.get("tick_s", 10.0)),
+            alert_renotify_s=float(data.get("alert_renotify_s", 3600.0)),
+            health_gate=bool(data.get("health_gate", True)),
+            seed=int(data.get("seed", 0)),
+        )
+
+    # -- application ------------------------------------------------------------------
+
+    def build(self, machine: "Machine") -> "MonitoringPipeline":
+        """Assemble a pipeline on ``machine`` per this configuration."""
+        from ..pipeline import MonitoringPipeline
+        from ..sources.benchmarks import BenchmarkSuite
+        from ..sources.counters import (
+            InjectionCollector,
+            NetLinkCollector,
+            NodeCounterCollector,
+        )
+        from ..sources.environment import EnvironmentCollector
+        from ..sources.fsprobes import FsProbeCollector, OstCounterCollector
+        from ..sources.health import HealthGate, NodeHealthSuite
+        from ..sources.powermon import PowerCollector
+        from ..sources.queuestats import QueueStatsCollector
+        from ..sources.sedc import SedcCollector
+
+        factories = {
+            "node_counters": lambda i: NodeCounterCollector(i),
+            "injection": lambda i: InjectionCollector(i),
+            "net_links": lambda i: NetLinkCollector(i),
+            "sedc": lambda i: SedcCollector(i),
+            "power": lambda i: PowerCollector(machine, i),
+            "fs_probes": lambda i: FsProbeCollector(i),
+            "ost_counters": lambda i: OstCounterCollector(i),
+            "queue_stats": lambda i: QueueStatsCollector(i),
+            "environment": lambda i: EnvironmentCollector(i),
+            "benchmark_suite": lambda i: BenchmarkSuite(
+                interval_s=i, seed=self.seed
+            ),
+            "node_health": lambda i: NodeHealthSuite(interval_s=i),
+        }
+        collectors = [
+            factories[c.name](c.interval_s)
+            for c in self.collectors
+            if c.enabled
+        ]
+        pipeline = MonitoringPipeline(
+            machine,
+            collectors=collectors,
+            tick_s=self.tick_s,
+            renotify_s=self.alert_renotify_s,
+        )
+        if self.health_gate and machine.scheduler.health_gate is None:
+            gate = HealthGate(machine)
+            machine.scheduler.health_gate = gate.gate
+            pipeline.health_gate = gate
+        return pipeline

@@ -1,0 +1,89 @@
+"""Event datatypes: the non-numeric telemetry currency of the stack.
+
+Numeric telemetry flows as :class:`repro.core.metric.SeriesBatch`; textual
+and discrete telemetry — console messages, hardware errors, scheduler
+actions, alerts — flows as :class:`Event`.  The paper's Section IV-A
+describes Cray's Event Router Daemon multiplexing many event *classes*
+over one stream; we model that with ``Event.kind``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Severity", "EventKind", "Event"]
+
+
+class Severity(enum.IntEnum):
+    """Syslog-style severities (ordered: higher is more severe)."""
+
+    DEBUG = 0
+    INFO = 1
+    NOTICE = 2
+    WARNING = 3
+    ERROR = 4
+    CRITICAL = 5
+    ALERT = 6
+    EMERGENCY = 7
+
+
+class EventKind(str, enum.Enum):
+    """Event classes multiplexed over the event router (ERD analog)."""
+
+    CONSOLE = "console"          # kernel / service console messages
+    HWERR = "hwerr"              # hardware error records
+    ENV = "env"                  # environmental readings crossing thresholds
+    NETWORK = "network"          # HSN link/router events
+    FILESYSTEM = "filesystem"    # filesystem server events
+    SCHEDULER = "scheduler"      # job start/end/cancel, queue actions
+    HEALTH = "health"            # health-check results
+    POWER = "power"              # power-cap / power-band events
+    ALERT = "alert"              # alerts emitted by the response layer
+    ACTION = "action"            # automated responses taken
+    TEST = "test"                # benchmark / probe suite results
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A discrete occurrence on a component at a point in time.
+
+    ``time``       seconds since simulation epoch, *as stamped by the
+                   producer* — which may be subject to local clock drift
+                   (Section III-B warns that drifting local clocks corrupt
+                   cross-component association; :mod:`repro.analysis.correlate`
+                   quantifies this).
+    ``component``  cname of the producing component, or a logical id.
+    ``kind``       event class (console, hwerr, ...).
+    ``severity``   syslog-style severity.
+    ``message``    human-readable single-line message; what a site's log
+                   scanners regex against.
+    ``fields``     structured payload (the "native format" the paper asks
+                   vendors to preserve; never lossily flattened).
+    """
+
+    time: float
+    component: str
+    kind: EventKind
+    severity: Severity
+    message: str
+    fields: Mapping[str, Any] = field(default_factory=dict)
+
+    def syslog_line(self) -> str:
+        """Render as a syslog-like text line (transport/logfile format)."""
+        return (
+            f"{self.time:.3f} {self.component} "
+            f"{self.kind.value}.{self.severity.name.lower()}: {self.message}"
+        )
+
+    def with_time(self, time: float) -> "Event":
+        """Copy of this event restamped at ``time`` (clock-drift modeling)."""
+        return Event(
+            time=time,
+            component=self.component,
+            kind=self.kind,
+            severity=self.severity,
+            message=self.message,
+            fields=self.fields,
+        )

@@ -1,0 +1,290 @@
+"""End-to-end monitoring pipeline: the system Table I specifies.
+
+One :class:`MonitoringPipeline` wires together every layer against a
+:class:`~repro.cluster.machine.Machine`:
+
+  sources  — collectors on synchronized intervals (counters, SEDC,
+             probes, benchmarks, health, queue, power, environment)
+  events   — the ERD-analog router draining machine events, decoded by
+             a Deluge-style tap
+  transport— a pub/sub bus fanning data to *multiple consumers*
+             (Table I: "direct the data and analysis results to
+             multiple consumers")
+  storage  — TSDB for numeric series, log store for events, job index
+             for per-job extraction, relational store for jobs/tests
+  response — SEC rule engine + action engine with alert dedup
+  analysis — hooks that run user-supplied analyses on a cadence
+
+``default_pipeline`` assembles the stack the way a site would deploy it;
+everything is swappable (Table I: "Extensibility and modularity are
+fundamental").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .analysis.anomaly import Detection
+from .cluster.machine import Machine
+from .core.events import Event
+from .core.metric import SeriesBatch
+from .core.registry import MetricRegistry, default_registry
+from .response.actions import ActionEngine, AlertManager
+from .response.policy import default_sec_engine, detections_to_requests
+from .response.sec import SecEngine
+from .sources.base import CollectionScheduler, Collector
+from .sources.benchmarks import BenchmarkSuite
+from .sources.counters import (
+    InjectionCollector,
+    NetLinkCollector,
+    NodeCounterCollector,
+)
+from .sources.environment import EnvironmentCollector
+from .sources.erd import DelugeTap, EventRouter
+from .sources.fsprobes import FsProbeCollector, OstCounterCollector
+from .sources.health import HealthGate, NodeHealthSuite
+from .sources.powermon import PowerCollector
+from .sources.queuestats import QueueStatsCollector
+from .sources.sedc import SedcCollector
+from .storage.jobstore import JobIndex
+from .storage.logstore import LogStore
+from .storage.sqlstore import SqlStore
+from .storage.tsdb import TimeSeriesStore
+from .transport.bus import MessageBus
+from .viz.dashboard import Dashboard
+
+__all__ = ["MonitoringPipeline", "default_pipeline", "default_collectors"]
+
+AnalysisHook = Callable[["MonitoringPipeline", float], Sequence[Detection]]
+
+
+class MonitoringPipeline:
+    """The assembled end-to-end monitoring system over one machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        collectors: Sequence[Collector] = (),
+        registry: MetricRegistry | None = None,
+        sec: SecEngine | None = None,
+        tick_s: float = 10.0,
+        renotify_s: float = 3600.0,
+    ) -> None:
+        self.machine = machine
+        self.registry = registry or default_registry()
+        self.tick_s = float(tick_s)
+
+        self.bus = MessageBus()
+        self.tsdb = TimeSeriesStore()
+        self.logs = LogStore()
+        self.jobs = JobIndex()
+        self.sql = SqlStore()
+
+        self.scheduler = CollectionScheduler(self.bus, self.registry)
+        for c in collectors:
+            self.scheduler.add(c)
+
+        self.router = EventRouter()
+        self.tap = self.router.attach(DelugeTap())
+
+        self.sec = sec or default_sec_engine()
+        self.alerts = AlertManager(renotify_s=renotify_s)
+        self.actions = ActionEngine(machine, self.alerts)
+
+        self._analysis_hooks: list[tuple[float, float, AnalysisHook]] = []
+        self._streaming: list = []
+
+        # metric fan-out: one subscription stores everything numeric
+        self.bus.subscribe(
+            "metrics.*", callback=self._on_metric, name="tsdb-ingest"
+        )
+        self.bus.subscribe(
+            "events.*", callback=self._on_event, name="log-ingest"
+        )
+        self._tracked_jobs: set[int] = set()
+        self._known_done: set[int] = set()
+
+    # -- bus sinks ---------------------------------------------------------------
+
+    def _on_metric(self, env) -> None:
+        payload = env.payload
+        if isinstance(payload, SeriesBatch):
+            self.tsdb.append(payload)
+
+    def _on_event(self, env) -> None:
+        payload = env.payload
+        if isinstance(payload, Event):
+            self.logs.append(payload)
+
+    # -- analysis hooks ---------------------------------------------------------------
+
+    def add_analysis(self, interval_s: float, hook: AnalysisHook) -> None:
+        """Run ``hook(pipeline, now)`` every ``interval_s``; returned
+        detections flow through the response policy into actions."""
+        self._analysis_hooks.append((interval_s, 0.0, hook))
+
+    def add_streaming(self, detector, pattern: str = "metrics.*"):
+        """Attach a streaming analysis operator (Table I's "streaming"
+        analysis location): it observes every matching batch at ingest,
+        and any detections it queues drain into the response path each
+        tick."""
+        detector.attach(self.bus, pattern)
+        self._streaming.append(detector)
+        return detector
+
+    # -- job tracking ----------------------------------------------------------------------
+
+    def _track_jobs(self, now: float) -> None:
+        sched = self.machine.scheduler
+        for job in sched.running:
+            if job.id not in self._tracked_jobs and job.start_time is not None:
+                self.jobs.record_start(
+                    job.id, job.app.name, job.nodes, job.start_time,
+                    user=job.user,
+                )
+                self.sql.upsert_job(
+                    job.id, job.app.name, job.n_nodes, job.submit_time,
+                    "running", start_time=job.start_time, nodes=job.nodes,
+                )
+                self._tracked_jobs.add(job.id)
+        for job in sched.completed:
+            if job.id in self._known_done:
+                continue
+            if job.id not in self._tracked_jobs and job.start_time is not None:
+                self.jobs.record_start(
+                    job.id, job.app.name, job.nodes, job.start_time,
+                    user=job.user,
+                )
+                self._tracked_jobs.add(job.id)
+            if job.id in self._tracked_jobs and job.end_time is not None:
+                self.jobs.record_end(job.id, job.end_time)
+                self.sql.upsert_job(
+                    job.id, job.app.name, job.n_nodes, job.submit_time,
+                    job.state.value, start_time=job.start_time,
+                    end_time=job.end_time, nodes=job.nodes,
+                )
+                self._known_done.add(job.id)
+                # CSCS post-job check: when a health gate is installed,
+                # every finished job's nodes are re-validated and
+                # failures drained before anything else lands on them
+                gate = getattr(self, "health_gate", None)
+                if gate is not None:
+                    gate.post_job(job)
+
+    # -- main loop -------------------------------------------------------------------------
+
+    def step(self, dt: float | None = None) -> None:
+        """Advance the machine one tick and run the monitoring plane."""
+        dt = self.tick_s if dt is None else dt
+        self.machine.step(dt)
+        now = self.machine.now
+
+        # event plane: machine events -> router -> decoded -> log store + SEC
+        self.router.pump(self.machine)
+        fresh_events = self.tap.drain()
+        for ev in fresh_events:
+            self.bus.publish(f"events.{ev.kind.value}", ev, source="erd")
+        requests = self.sec.feed(fresh_events)
+        requests += self.sec.tick(now)
+
+        # metric plane: due collectors sweep the machine; events they
+        # emit (benchmark DEGRADED, health failures) also feed the SEC
+        # rules — "triggered based on arbitrary locations in the data
+        # and analysis pathways" (Table I)
+        collected = self.scheduler.poll(self.machine, now)
+        if collected.events:
+            requests += self.sec.feed(collected.events)
+
+        # job tenancy
+        self._track_jobs(now)
+
+        # streaming detectors saw the sweeps at ingest; drain them now
+        for det in self._streaming:
+            drain = getattr(det, "drain", None)
+            if drain is not None:
+                found = drain()
+                if found:
+                    requests += detections_to_requests(list(found),
+                                                       rule_prefix="stream")
+
+        # analysis hooks on their cadence
+        for i, (interval, next_due, hook) in enumerate(self._analysis_hooks):
+            if now >= next_due:
+                detections = hook(self, now)
+                if detections:
+                    requests += detections_to_requests(list(detections))
+                self._analysis_hooks[i] = (interval, now + interval, hook)
+
+        # response plane
+        if requests:
+            self.actions.execute(requests)
+
+    def run(
+        self,
+        duration_s: float | None = None,
+        hours: float | None = None,
+        dt: float | None = None,
+    ) -> None:
+        if (duration_s is None) == (hours is None):
+            raise ValueError("pass exactly one of duration_s or hours")
+        total = duration_s if duration_s is not None else hours * 3600.0
+        end = self.machine.now + total
+        while self.machine.now < end - 1e-9:
+            self.step(dt)
+
+    # -- convenience surfaces -------------------------------------------------------------------
+
+    def dashboard(self) -> Dashboard:
+        return Dashboard(self.tsdb)
+
+    def active_alerts(self):
+        return self.alerts.active()
+
+    def overhead_report(self) -> dict:
+        return self.scheduler.overhead_report()
+
+
+def default_collectors(
+    machine: Machine,
+    metric_interval_s: float = 60.0,
+    probe_interval_s: float = 60.0,
+    bench_interval_s: float = 600.0,
+    health_interval_s: float = 600.0,
+    seed: int = 0,
+) -> list[Collector]:
+    """The full collector complement the sites describe."""
+    return [
+        NodeCounterCollector(metric_interval_s),
+        InjectionCollector(metric_interval_s),
+        NetLinkCollector(metric_interval_s),
+        SedcCollector(metric_interval_s),
+        PowerCollector(machine, metric_interval_s),
+        FsProbeCollector(probe_interval_s),
+        OstCounterCollector(probe_interval_s),
+        QueueStatsCollector(metric_interval_s),
+        EnvironmentCollector(max(probe_interval_s, 300.0)),
+        BenchmarkSuite(interval_s=bench_interval_s, seed=seed),
+        NodeHealthSuite(interval_s=health_interval_s),
+    ]
+
+
+def default_pipeline(
+    machine: Machine,
+    metric_interval_s: float = 60.0,
+    with_health_gate: bool = True,
+    seed: int = 0,
+    **kw,
+) -> MonitoringPipeline:
+    """Assemble the full stack against ``machine`` (CSCS gate included)."""
+    pipeline = MonitoringPipeline(
+        machine,
+        collectors=default_collectors(
+            machine, metric_interval_s=metric_interval_s, seed=seed
+        ),
+        **kw,
+    )
+    if with_health_gate and machine.scheduler.health_gate is None:
+        gate = HealthGate(machine)
+        machine.scheduler.health_gate = gate.gate
+        pipeline.health_gate = gate
+    return pipeline

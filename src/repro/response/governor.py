@@ -1,0 +1,211 @@
+"""Envisioned responses: power-aware and congestion-aware scheduling.
+
+Section III-C lists the responses sites *envision* beyond alerts and
+node-downs: "Power-aware scheduling seems likely to become important
+with increasing scale ... sites envision the redirection of power
+between platforms ... based on both current and anticipated needs" and
+"Scheduling and allocation based on application and resource state is
+an active area of interest."  Both are implemented here on top of the
+monitoring data the stack already produces:
+
+* :class:`PowerGovernor` — keeps system power under a budget by (a)
+  admission control (jobs whose estimated draw would bust the budget
+  wait) and (b) optional frequency capping of running work to *make
+  room* rather than wait (the power-redirection behaviour);
+* :class:`CongestionAwarePlacement` — a placement policy that reads the
+  live per-link stall counters and fills the least-congested topology
+  groups first, keeping new jobs away from hot regions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..cluster.power import PowerModel
+from ..cluster.scheduler import TopoAwarePlacement
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.machine import Machine
+    from ..cluster.network import NetworkState
+    from ..cluster.topology import Topology
+    from ..cluster.workload import Job
+
+__all__ = ["PowerGovernor", "CongestionAwarePlacement"]
+
+
+class PowerGovernor:
+    """Admission control + frequency capping against a power budget.
+
+    Wire :meth:`admit` as the scheduler's ``admission_control``.  With
+    ``downclock_to_fit=True`` the governor lowers the whole machine's
+    p-state cap when the budget is tight (power redirection: trade
+    frequency for the ability to start more work) and restores it when
+    headroom returns.
+    """
+
+    def __init__(
+        self,
+        machine: "Machine",
+        budget_w: float,
+        downclock_to_fit: bool = False,
+        min_pstate: float = 0.7,
+        settle_s: float = 60.0,
+    ) -> None:
+        self.machine = machine
+        self.budget_w = float(budget_w)
+        self.downclock_to_fit = downclock_to_fit
+        self.min_pstate = float(min_pstate)
+        # power meters lag job starts (thermal/electrical settling); an
+        # admitted job's estimated draw is held as a *commitment* until
+        # the meter has had time to reflect it, so a burst of arrivals
+        # cannot slip past the budget in the blind window
+        self.settle_s = float(settle_s)
+        self._commits: list[tuple[float, float]] = []
+        self._pm = PowerModel(machine.topo, machine.nodes)
+        self.deferred = 0
+        self.downclocks = 0
+
+    def _pending_commit_w(self) -> float:
+        now = self.machine.now
+        self._commits = [
+            (t, w) for (t, w) in self._commits if now - t < self.settle_s
+        ]
+        return sum(w for _, w in self._commits)
+
+    def headroom_w(self) -> float:
+        return (
+            self.budget_w
+            - self._pm.system_power_w()
+            - self._pending_commit_w()
+        )
+
+    def _estimate(self, job: "Job") -> float:
+        # estimate at the *current* machine-wide p-state cap: capped
+        # frequency lowers the marginal draw of new work
+        p = float(self.machine.nodes.pstate_frac.mean())
+        nodes = self.machine.nodes
+        dyn = (nodes.max_power_w - nodes.idle_power_w) * p * p
+        # idle draw is already being paid; the job adds the dynamic part
+        return job.n_nodes * dyn
+
+    def _projected_w(self, p: float, extra_nodes: int = 0) -> float:
+        """Conservative projection of system draw at p-state cap ``p``:
+        every allocated node (plus ``extra_nodes`` about to start) runs
+        flat out, and blowers spin at the corresponding load."""
+        nodes = self.machine.nodes
+        n_alloc = len(self.machine.scheduler.allocated) + extra_nodes
+        dyn = nodes.max_power_w - nodes.idle_power_w
+        node_w = (
+            float(nodes.idle_power_w * nodes.up.sum())
+            + dyn * p * p * n_alloc
+        )
+        n_cab = len(self._pm.cabinets)
+        load_frac = min(
+            1.0, node_w / (nodes.n * nodes.max_power_w)
+        )
+        blowers = n_cab * (
+            self._pm.blower_base_w + self._pm.blower_dyn_w * load_frac
+        )
+        return node_w + blowers
+
+    def admit(self, job: "Job") -> bool:
+        """Scheduler admission hook: may this job start right now?"""
+        estimate = self._estimate(job)
+        if estimate <= self.headroom_w():
+            self._commits.append((self.machine.now, estimate))
+            return True
+        if self.downclock_to_fit and self._make_room(job):
+            self._commits.append(
+                (self.machine.now, self._estimate(job))
+            )
+            return True
+        self.deferred += 1
+        return False
+
+    def _make_room(self, job: "Job") -> bool:
+        """Cap frequency machine-wide until the job fits (or give up)."""
+        nodes = self.machine.nodes
+        current = float(nodes.pstate_frac.mean())
+        for p in (0.9, 0.8, self.min_pstate):
+            if p >= current:
+                continue
+            if self._projected_w(p, extra_nodes=job.n_nodes) <= self.budget_w:
+                nodes.pstate_frac[:] = p
+                self.downclocks += 1
+                return True
+        return False
+
+    def relax(self) -> None:
+        """Restore full frequency when comfortably under budget.
+
+        Call periodically (e.g. each scheduler tick); the conservative
+        full-frequency projection plus a 5% margin avoids cap/uncap
+        flapping and overshoot.
+        """
+        if not self.downclock_to_fit:
+            return
+        nodes = self.machine.nodes
+        if float(nodes.pstate_frac.mean()) >= 1.0:
+            return
+        if self._projected_w(1.0) < 0.95 * self.budget_w:
+            nodes.pstate_frac[:] = 1.0
+
+
+class CongestionAwarePlacement(TopoAwarePlacement):
+    """TAS that also avoids currently congested topology groups.
+
+    Groups are ordered by a congestion score — the mean stall ratio of
+    links whose endpoints sit in the group — *then* by free-node count;
+    a new job therefore lands in the coolest region that can hold it.
+    Falls back to plain TAS ordering when the network is quiet.
+    """
+
+    name = "congestion_aware"
+
+    def __init__(self, network: "NetworkState",
+                 stall_floor: float = 0.02) -> None:
+        self.network = network
+        self.stall_floor = float(stall_floor)
+
+    def _group_scores(self, topo: "Topology") -> dict[int, float]:
+        router_group: dict[str, int] = {}
+        for node, router in topo.node_router.items():
+            router_group.setdefault(router, topo.node_group[node])
+        sums: dict[int, float] = {}
+        counts: dict[int, int] = {}
+        stall = self.network.link_stall_ratio
+        for link in topo.links:
+            for end in (link.a, link.b):
+                g = router_group.get(end)
+                if g is None:
+                    continue
+                sums[g] = sums.get(g, 0.0) + float(stall[link.index])
+                counts[g] = counts.get(g, 0) + 1
+        return {
+            g: (sums[g] / counts[g] if counts[g] else 0.0) for g in sums
+        }
+
+    def place(self, topo, free, n_nodes, rng):
+        if len(free) < n_nodes:
+            return None
+        scores = self._group_scores(topo)
+        by_group: dict[int, list[str]] = {}
+        for n in free:
+            by_group.setdefault(topo.node_group[n], []).append(n)
+        # coolest groups first; fullest first among equally cool ones
+        groups = sorted(
+            by_group.items(),
+            key=lambda kv: (
+                round(max(scores.get(kv[0], 0.0) - self.stall_floor, 0.0), 3),
+                -len(kv[1]),
+                kv[0],
+            ),
+        )
+        chosen: list[str] = []
+        for _, nodes in groups:
+            nodes.sort()
+            take = min(len(nodes), n_nodes - len(chosen))
+            chosen.extend(nodes[:take])
+            if len(chosen) == n_nodes:
+                return chosen
+        return None

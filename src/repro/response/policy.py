@@ -1,0 +1,159 @@
+"""Response policy: wiring detections and rules to actions.
+
+The glue Table I asks for — "Data and analysis results should be able to
+be exposed to applications and system software" — expressed as a default
+rule set covering every fault the substrate can inject, plus an adapter
+that turns :class:`~repro.analysis.anomaly.Detection` records from the
+statistical detectors into the same :class:`ActionRequest` currency the
+SEC rules use, so one action engine serves both pathways.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.anomaly import Detection
+from ..core.events import Severity
+from .sec import ActionRequest, PairRule, SecEngine, SingleRule, ThresholdRule
+
+__all__ = ["default_rules", "default_sec_engine", "detections_to_requests"]
+
+
+def default_rules() -> list[SingleRule | PairRule | ThresholdRule]:
+    """Rules covering the well-known log lines of every injected fault."""
+    return [
+        # hung node: alert, and keep new work off it
+        SingleRule(
+            name="soft_lockup",
+            pattern=r"soft lockup",
+            action="alert",
+            severity=Severity.ERROR,
+        ),
+        SingleRule(
+            name="soft_lockup_drain",
+            pattern=r"soft lockup",
+            action="drain_node",
+            severity=Severity.ERROR,
+        ),
+        # GPU falls off the bus: the node must not take another job (CSCS)
+        SingleRule(
+            name="gpu_falloff_drain",
+            pattern=r"fallen off the bus",
+            action="drain_node",
+            severity=Severity.CRITICAL,
+        ),
+        SingleRule(
+            name="gpu_falloff",
+            pattern=r"fallen off the bus",
+            action="alert",
+            severity=Severity.CRITICAL,
+        ),
+        # service/mount failures: alert (repair is human)
+        SingleRule(
+            name="service_exit",
+            pattern=r"main process exited",
+            action="alert",
+            severity=Severity.ERROR,
+        ),
+        SingleRule(
+            name="mount_stale",
+            pattern=r"mount stale|connection to MDS lost",
+            action="alert",
+            severity=Severity.ERROR,
+        ),
+        # link failed and did NOT come back within 10 minutes: page
+        PairRule(
+            name="link_recovery_watch",
+            pattern_a=r"HSN link .* failed:",
+            pattern_b=r"HSN link .* restored",
+            window_s=600.0,
+            timeout_action="alert",
+            severity=Severity.ALERT,
+        ),
+        # event storms: many hardware errors in a short window
+        ThresholdRule(
+            name="hwerr_storm",
+            pattern=r"machine check|fallen off the bus|LCB lanes down",
+            count=5,
+            window_s=3600.0,
+            action="alert",
+            severity=Severity.ALERT,
+        ),
+        # flapping node health: repeated failures on one component
+        ThresholdRule(
+            name="health_flap",
+            pattern=r"health check .* FAILED",
+            count=3,
+            window_s=1800.0,
+            action="drain_node",
+            severity=Severity.WARNING,
+            per_component=True,
+        ),
+        # environment: ASHRAE excursion
+        SingleRule(
+            name="ashrae",
+            pattern=r"ASHRAE (excursion|G1 severity)",
+            action="alert",
+            severity=Severity.ALERT,
+        ),
+        # queue blockage
+        SingleRule(
+            name="queue_blocked",
+            pattern=r"job launches suspended",
+            action="alert",
+            severity=Severity.ERROR,
+        ),
+        # degraded benchmark: the NERSC "investigate" trigger
+        SingleRule(
+            name="bench_degraded",
+            pattern=r"benchmark \w+ DEGRADED",
+            action="alert",
+            severity=Severity.WARNING,
+        ),
+        # filesystem slow-io noise
+        ThresholdRule(
+            name="slow_io_persistent",
+            pattern=r"slow_io",
+            count=3,
+            window_s=1800.0,
+            action="alert",
+            severity=Severity.WARNING,
+        ),
+    ]
+
+
+def default_sec_engine() -> SecEngine:
+    return SecEngine(default_rules())
+
+
+_DETECTION_ACTIONS: dict[str, tuple[str, Severity]] = {
+    # statistical-detector kind -> (action, severity)
+    "outlier": ("alert", Severity.WARNING),
+    "threshold": ("alert", Severity.WARNING),
+    "shift": ("alert", Severity.WARNING),
+    "changepoint": ("alert", Severity.WARNING),
+}
+
+
+def detections_to_requests(
+    detections: Sequence[Detection],
+    rule_prefix: str = "stat",
+) -> list[ActionRequest]:
+    """Adapt statistical detections onto the action-request currency."""
+    out = []
+    for d in detections:
+        action, severity = _DETECTION_ACTIONS.get(
+            d.kind, ("alert", Severity.WARNING)
+        )
+        out.append(
+            ActionRequest(
+                time=d.time,
+                rule=f"{rule_prefix}.{d.metric}.{d.kind}",
+                action=action,
+                component=d.component,
+                severity=severity,
+                message=f"{d.metric} {d.kind} on {d.component}: {d.detail}",
+                fields={"score": d.score},
+            )
+        )
+    return out

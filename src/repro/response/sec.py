@@ -1,0 +1,231 @@
+"""Simple Event Correlator: rule-driven detection and response.
+
+Section III-C: "vendor-provided or widely available tools such as Cray's
+Simple Event Correlator (SEC), Splunk and Nagios enable response when
+well-known conditions are met, typically via regular-expression
+matching.  Responses are typically simple - such as issuing an alert or
+marking a node as down."
+
+The engine reproduces SEC's working vocabulary:
+
+* :class:`SingleRule` — regex match → action (optionally gated on a
+  context, optionally setting/clearing contexts);
+* :class:`PairRule` — match A arms a watch; match B on the same
+  component within the window is the *completion* (e.g. failure then
+  recovery); if the window expires unanswered the timeout action fires
+  (failure with *no* recovery — the interesting case);
+* :class:`ThresholdRule` — N matches within a sliding window → action
+  (event-storm and flapping detection).
+
+Actions are :class:`ActionRequest` records handed to the action engine
+(:mod:`repro.response.actions`); rules never touch the machine
+directly.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.events import Event, Severity
+
+__all__ = [
+    "ActionRequest",
+    "SingleRule",
+    "PairRule",
+    "ThresholdRule",
+    "SecEngine",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ActionRequest:
+    """What a rule wants done."""
+
+    time: float
+    rule: str
+    action: str              # "alert" | "drain_node" | "return_node" | ...
+    component: str
+    severity: Severity
+    message: str
+    fields: dict = field(default_factory=dict)
+
+
+@dataclass
+class SingleRule:
+    """regex match -> action."""
+
+    name: str
+    pattern: str
+    action: str
+    severity: Severity = Severity.WARNING
+    requires_context: str | None = None
+    sets_context: str | None = None
+    clears_context: str | None = None
+
+    def __post_init__(self) -> None:
+        self._rx = re.compile(self.pattern)
+
+
+@dataclass
+class PairRule:
+    """match A arms; B within window completes; expiry -> timeout action.
+
+    Keyed per component so concurrent episodes on different components
+    track independently (the paper's cross-component association need).
+    """
+
+    name: str
+    pattern_a: str
+    pattern_b: str
+    window_s: float
+    timeout_action: str
+    completion_action: str | None = None
+    severity: Severity = Severity.ERROR
+
+    def __post_init__(self) -> None:
+        self._rx_a = re.compile(self.pattern_a)
+        self._rx_b = re.compile(self.pattern_b)
+
+
+@dataclass
+class ThresholdRule:
+    """N matching events within a sliding window -> action."""
+
+    name: str
+    pattern: str
+    count: int
+    window_s: float
+    action: str
+    severity: Severity = Severity.WARNING
+    per_component: bool = False
+
+    def __post_init__(self) -> None:
+        self._rx = re.compile(self.pattern)
+
+
+class SecEngine:
+    """Feeds events through the rule set; collects action requests."""
+
+    def __init__(
+        self,
+        rules: Sequence[SingleRule | PairRule | ThresholdRule] = (),
+    ) -> None:
+        self.singles: list[SingleRule] = []
+        self.pairs: list[PairRule] = []
+        self.thresholds: list[ThresholdRule] = []
+        for r in rules:
+            self.add(r)
+        self.contexts: set[str] = set()
+        # pair rule name -> component -> armed-at time
+        self._armed: dict[str, dict[str, float]] = defaultdict(dict)
+        # threshold rule name -> key -> deque of match times
+        self._windows: dict[str, dict[str, deque]] = defaultdict(
+            lambda: defaultdict(deque)
+        )
+        self.requests: list[ActionRequest] = []
+        self.events_seen = 0
+
+    def add(self, rule) -> None:
+        if isinstance(rule, SingleRule):
+            self.singles.append(rule)
+        elif isinstance(rule, PairRule):
+            self.pairs.append(rule)
+        elif isinstance(rule, ThresholdRule):
+            self.thresholds.append(rule)
+        else:
+            raise TypeError(f"unknown rule type {type(rule)!r}")
+
+    # -- feeding ------------------------------------------------------------------
+
+    def feed(self, events: Iterable[Event]) -> list[ActionRequest]:
+        """Process events (time order assumed); returns new requests."""
+        start = len(self.requests)
+        for ev in events:
+            self.events_seen += 1
+            self._expire_pairs(ev.time)
+            self._feed_singles(ev)
+            self._feed_pairs(ev)
+            self._feed_thresholds(ev)
+        return self.requests[start:]
+
+    def tick(self, now: float) -> list[ActionRequest]:
+        """Advance time with no events (lets pair timeouts fire)."""
+        start = len(self.requests)
+        self._expire_pairs(now)
+        return self.requests[start:]
+
+    # -- rule mechanics ------------------------------------------------------------
+
+    def _emit(self, time, rule, action, component, severity, message,
+              **fields) -> None:
+        self.requests.append(
+            ActionRequest(time, rule, action, component, severity,
+                          message, fields)
+        )
+
+    def _feed_singles(self, ev: Event) -> None:
+        for r in self.singles:
+            if r.requires_context and r.requires_context not in self.contexts:
+                continue
+            if not r._rx.search(ev.message):
+                continue
+            if r.sets_context:
+                self.contexts.add(r.sets_context)
+            if r.clears_context:
+                self.contexts.discard(r.clears_context)
+            self._emit(
+                ev.time, r.name, r.action, ev.component, r.severity,
+                f"{r.name}: {ev.message}",
+            )
+
+    def _feed_pairs(self, ev: Event) -> None:
+        for r in self.pairs:
+            armed = self._armed[r.name]
+            if r._rx_b.search(ev.message) and ev.component in armed:
+                armed.pop(ev.component)
+                if r.completion_action:
+                    self._emit(
+                        ev.time, r.name, r.completion_action,
+                        ev.component, Severity.NOTICE,
+                        f"{r.name}: completed by '{ev.message}'",
+                    )
+                continue
+            if r._rx_a.search(ev.message) and ev.component not in armed:
+                armed[ev.component] = ev.time
+
+    def _expire_pairs(self, now: float) -> None:
+        for r in self.pairs:
+            armed = self._armed[r.name]
+            expired = [
+                comp
+                for comp, t0 in armed.items()
+                if now - t0 > r.window_s
+            ]
+            for comp in expired:
+                t0 = armed.pop(comp)
+                self._emit(
+                    t0 + r.window_s, r.name, r.timeout_action, comp,
+                    r.severity,
+                    f"{r.name}: no completion within {r.window_s:g}s",
+                )
+
+    def _feed_thresholds(self, ev: Event) -> None:
+        for r in self.thresholds:
+            if not r._rx.search(ev.message):
+                continue
+            key = ev.component if r.per_component else "*"
+            window = self._windows[r.name][key]
+            window.append(ev.time)
+            while window and ev.time - window[0] > r.window_s:
+                window.popleft()
+            if len(window) >= r.count:
+                self._emit(
+                    ev.time, r.name, r.action, ev.component, r.severity,
+                    f"{r.name}: {len(window)} matches within "
+                    f"{r.window_s:g}s",
+                    count=len(window),
+                )
+                window.clear()   # re-arm

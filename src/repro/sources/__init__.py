@@ -1,0 +1,82 @@
+"""Data sources: collectors over every subsystem of the machine."""
+
+from .base import CollectionScheduler, Collector, CollectorOutput
+from .benchmarks import (
+    Benchmark,
+    BenchmarkSuite,
+    ComputeBenchmark,
+    IoBenchmark,
+    MemoryBenchmark,
+    MetadataBenchmark,
+    NetworkBenchmark,
+    default_suite,
+)
+from .counters import InjectionCollector, NetLinkCollector, NodeCounterCollector
+from .environment import ASHRAE_G1_CORROSION_LIMIT, EnvironmentCollector
+from .erd import DelugeTap, EventRouter
+from .fsprobes import FsProbeCollector, OstCounterCollector
+from .health import (
+    CheckResult,
+    ClockSyncCheck,
+    ConfigCheck,
+    FreeMemoryCheck,
+    GpuCheck,
+    HealthCheck,
+    HealthGate,
+    MountCheck,
+    NodeHealthSuite,
+    ResponsivenessCheck,
+    ServiceCheck,
+    default_checks,
+)
+from .logsource import (
+    CrayLogSplitter,
+    ParsedLine,
+    UnifiedLogForwarder,
+    parse_split_logs,
+)
+from .powermon import PowerCollector
+from .queuestats import QueueStatsCollector
+from .sedc import SedcCollector
+
+__all__ = [
+    "CollectionScheduler",
+    "Collector",
+    "CollectorOutput",
+    "Benchmark",
+    "BenchmarkSuite",
+    "ComputeBenchmark",
+    "IoBenchmark",
+    "MemoryBenchmark",
+    "MetadataBenchmark",
+    "NetworkBenchmark",
+    "default_suite",
+    "InjectionCollector",
+    "NetLinkCollector",
+    "NodeCounterCollector",
+    "ASHRAE_G1_CORROSION_LIMIT",
+    "EnvironmentCollector",
+    "DelugeTap",
+    "EventRouter",
+    "FsProbeCollector",
+    "OstCounterCollector",
+    "CheckResult",
+    "ClockSyncCheck",
+    "ConfigCheck",
+    "FreeMemoryCheck",
+    "GpuCheck",
+    "HealthCheck",
+    "HealthGate",
+    "MountCheck",
+    "NodeHealthSuite",
+    "ResponsivenessCheck",
+    "ServiceCheck",
+    "default_checks",
+    "CrayLogSplitter",
+    "ParsedLine",
+    "UnifiedLogForwarder",
+    "parse_split_logs",
+    "PowerCollector",
+    "QueueStatsCollector",
+    "SedcCollector",
+]

@@ -1,0 +1,187 @@
+"""Log formatting paths: Cray-style split files vs unified forwarding.
+
+Section IV-A: "By default, Cray separates log events into at least 20
+different per-day log files, addressing different sources and/or types
+of events ... placed into a multi-level directory hierarchy.  Time and
+date formatting vary between files, some log events are multi-line ...
+It is possible to forward the log stream off the system and thus bypass
+some of the formatting and separation."
+
+Both paths are implemented so the gap is demonstrable:
+
+* :class:`CrayLogSplitter` — the vendor default: events scattered into
+  per-kind/per-day "files" under a directory hierarchy, each file family
+  using a *different* timestamp format, some multi-line;
+  :func:`parse_split_logs` is the site-side parser that has to undo all
+  of it (and documents what that costs);
+* :class:`UnifiedLogForwarder` — the bypass: every event as one
+  well-formed line with a uniform timestamp, trivially parseable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..core.events import Event, EventKind
+
+__all__ = [
+    "CrayLogSplitter",
+    "UnifiedLogForwarder",
+    "parse_split_logs",
+    "ParsedLine",
+]
+
+# per-kind formatting quirks, mimicking the heterogeneity the paper laments
+_FMT_EPOCH = "epoch"          # "1234.567 msg"
+_FMT_BRACKET = "bracket"      # "[000123.456000] msg"
+_FMT_TAGGED = "tagged"        # "T=123.456|sev=warning|msg"
+_FMT_MULTILINE = "multiline"  # header line + indented detail lines
+
+_KIND_FORMAT: dict[EventKind, str] = {
+    EventKind.CONSOLE: _FMT_BRACKET,
+    EventKind.HWERR: _FMT_MULTILINE,
+    EventKind.ENV: _FMT_TAGGED,
+    EventKind.NETWORK: _FMT_EPOCH,
+    EventKind.FILESYSTEM: _FMT_EPOCH,
+    EventKind.SCHEDULER: _FMT_TAGGED,
+    EventKind.HEALTH: _FMT_EPOCH,
+    EventKind.POWER: _FMT_TAGGED,
+    EventKind.ALERT: _FMT_EPOCH,
+    EventKind.ACTION: _FMT_EPOCH,
+    EventKind.TEST: _FMT_EPOCH,
+}
+
+_DAY_S = 86400.0
+
+
+class CrayLogSplitter:
+    """The vendor-default path: many per-day, per-kind files."""
+
+    def __init__(self) -> None:
+        # path -> list of text lines; path mimics the directory hierarchy
+        self.files: dict[str, list[str]] = {}
+
+    def write(self, events: Iterable[Event]) -> int:
+        n = 0
+        for ev in events:
+            day = int(ev.time // _DAY_S)
+            path = f"p0/logs/day{day}/{ev.kind.value}/{ev.kind.value}-{day}.log"
+            lines = self.files.setdefault(path, [])
+            lines.extend(self._format(ev))
+            n += 1
+        return n
+
+    @staticmethod
+    def _format(ev: Event) -> list[str]:
+        fmt = _KIND_FORMAT[ev.kind]
+        if fmt == _FMT_EPOCH:
+            return [f"{ev.time:.3f} {ev.component} {ev.message}"]
+        if fmt == _FMT_BRACKET:
+            return [f"[{ev.time:013.6f}] {ev.component}: {ev.message}"]
+        if fmt == _FMT_TAGGED:
+            return [
+                f"T={ev.time:.3f}|sev={ev.severity.name.lower()}"
+                f"|src={ev.component}|{ev.message}"
+            ]
+        # multiline: hwerr records carry indented detail lines
+        detail = [
+            f"    {k}: {v}" for k, v in sorted(ev.fields.items())
+        ] or ["    (no detail)"]
+        return [
+            f"*** HWERR at {ev.time:.3f} on {ev.component}",
+            f"    {ev.message}",
+            *detail,
+        ]
+
+    def n_files(self) -> int:
+        return len(self.files)
+
+
+@dataclass(frozen=True, slots=True)
+class ParsedLine:
+    """What the site-side parser recovers from one split-log record."""
+
+    time: float
+    component: str
+    message: str
+    kind: str
+
+
+_BRACKET_RE = re.compile(r"^\[(?P<t>[\d.]+)\] (?P<c>\S+): (?P<m>.*)$")
+_EPOCH_RE = re.compile(r"^(?P<t>[\d.]+) (?P<c>\S+) (?P<m>.*)$")
+_TAGGED_RE = re.compile(
+    r"^T=(?P<t>[\d.]+)\|sev=\w+\|src=(?P<c>[^|]+)\|(?P<m>.*)$"
+)
+_HWERR_HEAD_RE = re.compile(
+    r"^\*\*\* HWERR at (?P<t>[\d.]+) on (?P<c>\S+)$"
+)
+
+
+def parse_split_logs(files: Mapping[str, list[str]]) -> list[ParsedLine]:
+    """Undo the splitter: parse every format family back to records.
+
+    This is the "significant parsing to identify and combine the
+    underlying data" the paper describes sites paying for.  Multi-line
+    hwerr records are reassembled; unknown lines are skipped (and really
+    do get silently lost at sites — which is the point).
+    """
+    out: list[ParsedLine] = []
+    for path, lines in files.items():
+        kind = path.rsplit("/", 1)[-1].split("-")[0]
+        i = 0
+        while i < len(lines):
+            line = lines[i]
+            m = _HWERR_HEAD_RE.match(line)
+            if m:
+                # reassemble: message is the first indented line
+                msg = ""
+                j = i + 1
+                if j < len(lines) and lines[j].startswith("    "):
+                    msg = lines[j].strip()
+                    j += 1
+                    while j < len(lines) and lines[j].startswith("    "):
+                        j += 1
+                out.append(
+                    ParsedLine(float(m["t"]), m["c"], msg, kind)
+                )
+                i = j
+                continue
+            for rx in (_BRACKET_RE, _TAGGED_RE, _EPOCH_RE):
+                m = rx.match(line)
+                if m:
+                    out.append(
+                        ParsedLine(
+                            float(m["t"]), m["c"].strip(), m["m"], kind
+                        )
+                    )
+                    break
+            i += 1
+    out.sort(key=lambda p: p.time)
+    return out
+
+
+class UnifiedLogForwarder:
+    """The bypass path: one stream, one format, nothing lost."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self._events: list[Event] = []
+
+    def write(self, events: Iterable[Event]) -> int:
+        n = 0
+        for ev in events:
+            self.lines.append(ev.syslog_line())
+            self._events.append(ev)
+            n += 1
+        return n
+
+    def parse(self) -> list[ParsedLine]:
+        """Uniform parsing: one regex, no reassembly, no loss."""
+        out = [
+            ParsedLine(ev.time, ev.component, ev.message, ev.kind.value)
+            for ev in self._events
+        ]
+        out.sort(key=lambda p: p.time)
+        return out

@@ -1,0 +1,23 @@
+"""Storage backends: TSDB, relational, log index, tiering, job index."""
+
+from .hierarchy import ArchiveEntry, TieredStore
+from .jobstore import Allocation, JobIndex
+from .logstore import LogStore, tokenize
+from .sqlstore import JobRow, SqlStore, TestResultRow
+from .tsdb import StoreStats, TimeSeriesStore, compress_chunk, decompress_chunk
+
+__all__ = [
+    "ArchiveEntry",
+    "TieredStore",
+    "Allocation",
+    "JobIndex",
+    "LogStore",
+    "tokenize",
+    "JobRow",
+    "SqlStore",
+    "TestResultRow",
+    "StoreStats",
+    "TimeSeriesStore",
+    "compress_chunk",
+    "decompress_chunk",
+]

@@ -1,0 +1,200 @@
+"""Indexed log/event store (the Elasticsearch/Splunk class of Section IV-C).
+
+Sites index logs so that "detection of well-known log lines" (Section
+III-B) is a query, not a scan.  This store keeps events in arrival order
+and maintains an inverted index from lowercased message/component/kind
+tokens to event ids, supporting:
+
+* boolean AND term queries with time-range restriction,
+* regex post-filtering (the Splunk/SEC idiom),
+* severity floors,
+* occurrence counting by component / kind / time bucket — the "variation
+  in occurrences of log lines" analyses.
+
+The index is the storage cost Splunk's pricing model charges for; the
+storage-comparison bench measures it directly.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter, defaultdict
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.events import Event, EventKind, Severity
+
+__all__ = ["LogStore", "tokenize"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9_.\-/]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokens; punctuation splits, cnames survive intact."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+class LogStore:
+    """Append-only event store with an inverted token index."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+        self._times: list[float] = []
+        self._index: dict[str, list[int]] = defaultdict(list)
+
+    # -- ingest -----------------------------------------------------------------
+
+    def append(self, event: Event) -> int:
+        """Store one event; returns its id."""
+        eid = len(self._events)
+        self._events.append(event)
+        self._times.append(event.time)
+        seen: set[str] = set()
+        for tok in tokenize(event.message):
+            if tok not in seen:
+                self._index[tok].append(eid)
+                seen.add(tok)
+        for extra in (event.component.lower(), event.kind.value,
+                      event.severity.name.lower()):
+            if extra not in seen:
+                self._index[extra].append(eid)
+                seen.add(extra)
+        return eid
+
+    def append_many(self, events: Iterable[Event]) -> int:
+        n = 0
+        for e in events:
+            self.append(e)
+            n += 1
+        return n
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def get(self, eid: int) -> Event:
+        return self._events[eid]
+
+    # -- query -----------------------------------------------------------------
+
+    def search(
+        self,
+        terms: Sequence[str] = (),
+        t0: float = -np.inf,
+        t1: float = np.inf,
+        kind: EventKind | None = None,
+        min_severity: Severity | None = None,
+        component: str | None = None,
+        regex: str | None = None,
+        limit: int | None = None,
+    ) -> list[Event]:
+        """Boolean-AND term search with filters, in time order.
+
+        ``terms`` are matched against the token index (cheap); ``regex``
+        is applied to surviving messages (expensive, applied last).
+        """
+        ids = self._candidate_ids(terms, kind, component, min_severity)
+        pattern = re.compile(regex) if regex else None
+        out: list[Event] = []
+        for eid in ids:
+            ev = self._events[eid]
+            if not (t0 <= ev.time < t1):
+                continue
+            if pattern is not None and not pattern.search(ev.message):
+                continue
+            out.append(ev)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def _candidate_ids(
+        self,
+        terms: Sequence[str],
+        kind: EventKind | None,
+        component: str | None,
+        min_severity: Severity | None,
+    ) -> Iterable[int]:
+        postings: list[list[int]] = []
+        for term in terms:
+            toks = tokenize(term)
+            for tok in toks:
+                lst = self._index.get(tok)
+                if lst is None:
+                    return []  # a missing term kills the AND
+                postings.append(lst)
+        if kind is not None:
+            lst = self._index.get(kind.value)
+            if lst is None:
+                return []
+            postings.append(lst)
+        if component is not None:
+            lst = self._index.get(component.lower())
+            if lst is None:
+                return []
+            postings.append(lst)
+        if not postings:
+            candidates: Iterable[int] = range(len(self._events))
+        else:
+            postings.sort(key=len)
+            acc = set(postings[0])
+            for lst in postings[1:]:
+                acc &= set(lst)
+                if not acc:
+                    return []
+            candidates = sorted(acc)
+        if min_severity is not None:
+            candidates = (
+                i
+                for i in candidates
+                if self._events[i].severity >= min_severity
+            )
+        return candidates
+
+    def scan(self, regex: str, t0: float = -np.inf,
+             t1: float = np.inf) -> list[Event]:
+        """Full scan with regex only — the naive baseline the index beats
+        (also the correctness oracle for property tests)."""
+        pattern = re.compile(regex)
+        return [
+            e
+            for e in self._events
+            if t0 <= e.time < t1 and pattern.search(e.message)
+        ]
+
+    # -- occurrence analytics ----------------------------------------------------
+
+    def count_by_component(self, **kw) -> Counter:
+        return Counter(e.component for e in self.search(**kw))
+
+    def count_by_kind(self, **kw) -> Counter:
+        return Counter(e.kind.value for e in self.search(**kw))
+
+    def occurrence_series(
+        self,
+        terms: Sequence[str],
+        t0: float,
+        t1: float,
+        bucket_s: float = 300.0,
+        **kw,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Occurrences per time bucket — the 'variation in occurrences of
+        log lines' primitive.  Returns (bucket_starts, counts) including
+        empty buckets."""
+        events = self.search(terms, t0=t0, t1=t1, **kw)
+        n_buckets = max(1, int(np.ceil((t1 - t0) / bucket_s)))
+        counts = np.zeros(n_buckets, dtype=np.int64)
+        for e in events:
+            counts[min(int((e.time - t0) // bucket_s), n_buckets - 1)] += 1
+        starts = t0 + np.arange(n_buckets) * bucket_s
+        return starts, counts
+
+    # -- footprint -----------------------------------------------------------------
+
+    def index_bytes(self) -> int:
+        """Approximate index footprint (Splunk's pricing axis)."""
+        return sum(
+            len(tok) + 8 * len(ids) for tok, ids in self._index.items()
+        )
+
+    def raw_bytes(self) -> int:
+        return sum(len(e.syslog_line()) for e in self._events)

@@ -1,0 +1,460 @@
+"""Numpy-backed time-series store with Gorilla-style chunk compression.
+
+The InfluxDB-class store of Section IV-C: ALCF "chose InfluxDB for its
+superior data compression and query performance for high-volume time
+series data compared to Cray's PMDB".  This store provides the behaviours
+that comparison turns on:
+
+* append-optimized ingest of :class:`~repro.core.metric.SeriesBatch`es,
+* per-series columnar chunks sealed at a fixed size and compressed with
+  delta-of-delta timestamps + XOR float packing (the Facebook Gorilla
+  scheme, the same family InfluxDB's TSM files use),
+* range queries and server-side downsampling,
+* footprint/compression statistics for the storage-comparison bench.
+
+Chunks are transparently decompressed on query; the open (mutable) head
+chunk is queried in place.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..core.metric import MetricKey, SeriesBatch
+
+__all__ = [
+    "compress_chunk",
+    "decompress_chunk",
+    "TimeSeriesStore",
+    "StoreStats",
+]
+
+
+# --------------------------------------------------------------------------
+# chunk codec: delta-of-delta timestamps (varint) + XOR-packed float values
+# --------------------------------------------------------------------------
+
+def _zigzag(n: int) -> int:
+    return (n << 1) ^ (n >> 63)
+
+
+def _unzigzag(z: int) -> int:
+    return (z >> 1) ^ -(z & 1)
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    v = _zigzag(value)
+    while True:
+        b = v & 0x7F
+        v >>= 7
+        if v:
+            out.append(b | 0x80)
+        else:
+            out.append(b)
+            return
+
+
+def _read_varint(buf: bytes, pos: int) -> tuple[int, int]:
+    shift = 0
+    result = 0
+    while True:
+        b = buf[pos]
+        pos += 1
+        result |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return _unzigzag(result), pos
+        shift += 7
+
+
+def compress_chunk(times: np.ndarray, values: np.ndarray) -> bytes:
+    """Compress one sealed chunk.
+
+    Timestamps are stored at millisecond resolution as zig-zag varint
+    delta-of-deltas — regular collection intervals (the common case:
+    synchronized sweeps every 60 s) collapse to one byte per sample.
+    Values are stored XOR-ed against the previous value with a
+    byte-aligned (leading-zero-bytes, significant-bytes) header; runs of
+    identical values (idle gauges) cost two bytes each.
+    """
+    n = len(times)
+    if n == 0:
+        return struct.pack("<I", 0)
+    ts_ms = np.round(np.asarray(times, dtype=np.float64) * 1000.0).astype(
+        np.int64
+    )
+    out = bytearray(struct.pack("<I", n))
+    # first timestamp raw, first delta, then delta-of-deltas
+    out += struct.pack("<q", int(ts_ms[0]))
+    prev_delta = 0
+    prev_ts = int(ts_ms[0])
+    for i in range(1, n):
+        t = int(ts_ms[i])
+        delta = t - prev_ts
+        _write_varint(out, delta - prev_delta)
+        prev_delta = delta
+        prev_ts = t
+
+    bits = np.asarray(values, dtype=np.float64).view(np.uint64)
+    out += struct.pack("<Q", int(bits[0]))
+    prev = int(bits[0])
+    for i in range(1, n):
+        cur = int(bits[i])
+        x = cur ^ prev
+        prev = cur
+        if x == 0:
+            out.append(0x00)
+            continue
+        raw = x.to_bytes(8, "big")
+        lead = 0
+        while raw[lead] == 0:
+            lead += 1
+        sig = raw[lead:]
+        # header byte: high nibble = leading zero bytes, low = sig length
+        out.append((lead << 4) | len(sig))
+        out += sig
+    return bytes(out)
+
+
+def decompress_chunk(blob: bytes) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`compress_chunk`."""
+    (n,) = struct.unpack_from("<I", blob, 0)
+    pos = 4
+    if n == 0:
+        return np.empty(0), np.empty(0)
+    ts_ms = np.empty(n, dtype=np.int64)
+    (ts_ms[0],) = struct.unpack_from("<q", blob, pos)
+    pos += 8
+    prev_delta = 0
+    prev_ts = int(ts_ms[0])
+    for i in range(1, n):
+        dod, pos = _read_varint(blob, pos)
+        prev_delta += dod
+        prev_ts += prev_delta
+        ts_ms[i] = prev_ts
+
+    vals = np.empty(n, dtype=np.uint64)
+    (first,) = struct.unpack_from("<Q", blob, pos)
+    pos += 8
+    vals[0] = first
+    prev = int(first)
+    for i in range(1, n):
+        header = blob[pos]
+        pos += 1
+        if header == 0:
+            vals[i] = prev
+            continue
+        lead = header >> 4
+        sig_len = header & 0x0F
+        sig = blob[pos : pos + sig_len]
+        pos += sig_len
+        x = int.from_bytes(
+            b"\x00" * lead + sig + b"\x00" * (8 - lead - sig_len), "big"
+        )
+        prev ^= x
+        vals[i] = prev
+    return ts_ms.astype(np.float64) / 1000.0, vals.view(np.float64).copy()
+
+
+# --------------------------------------------------------------------------
+# the store
+# --------------------------------------------------------------------------
+
+_AGGS: dict[str, Callable[[np.ndarray], float]] = {
+    "mean": lambda a: float(a.mean()),
+    "sum": lambda a: float(a.sum()),
+    "min": lambda a: float(a.min()),
+    "max": lambda a: float(a.max()),
+    "last": lambda a: float(a[-1]),
+    "count": lambda a: float(len(a)),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class StoreStats:
+    series: int
+    samples: int
+    sealed_chunks: int
+    compressed_bytes: int
+    raw_bytes: int
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.compressed_bytes == 0:
+            return float("nan")
+        return self.raw_bytes / self.compressed_bytes
+
+
+class _Series:
+    """One (metric, component) series: sealed chunks + open head."""
+
+    __slots__ = ("chunks", "chunk_spans", "head_t", "head_v", "n_sealed_samples")
+
+    def __init__(self) -> None:
+        self.chunks: list[bytes] = []
+        self.chunk_spans: list[tuple[float, float]] = []  # (t_min, t_max)
+        self.head_t: list[float] = []
+        self.head_v: list[float] = []
+        self.n_sealed_samples = 0
+
+    def append(self, t: float, v: float, chunk_size: int) -> None:
+        self.head_t.append(t)
+        self.head_v.append(v)
+        if len(self.head_t) >= chunk_size:
+            self.seal()
+
+    def seal(self) -> None:
+        if not self.head_t:
+            return
+        t = np.asarray(self.head_t)
+        v = np.asarray(self.head_v)
+        order = np.argsort(t, kind="stable")
+        t, v = t[order], v[order]
+        self.chunks.append(compress_chunk(t, v))
+        self.chunk_spans.append((float(t[0]), float(t[-1])))
+        self.n_sealed_samples += len(t)
+        self.head_t = []
+        self.head_v = []
+
+    def read(self, t0: float, t1: float) -> tuple[np.ndarray, np.ndarray]:
+        """All samples with ``t0 <= t < t1``, time-sorted."""
+        ts: list[np.ndarray] = []
+        vs: list[np.ndarray] = []
+        for blob, (lo, hi) in zip(self.chunks, self.chunk_spans):
+            if hi < t0 or lo >= t1:
+                continue
+            ct, cv = decompress_chunk(blob)
+            mask = (ct >= t0) & (ct < t1)
+            ts.append(ct[mask])
+            vs.append(cv[mask])
+        if self.head_t:
+            ht = np.asarray(self.head_t)
+            hv = np.asarray(self.head_v)
+            mask = (ht >= t0) & (ht < t1)
+            ts.append(ht[mask])
+            vs.append(hv[mask])
+        if not ts:
+            return np.empty(0), np.empty(0)
+        t = np.concatenate(ts)
+        v = np.concatenate(vs)
+        order = np.argsort(t, kind="stable")
+        return t[order], v[order]
+
+    @property
+    def n_samples(self) -> int:
+        return self.n_sealed_samples + len(self.head_t)
+
+    def compressed_bytes(self) -> int:
+        return sum(len(c) for c in self.chunks) + 16 * len(self.head_t)
+
+
+class TimeSeriesStore:
+    """In-memory TSDB over (metric, component)-keyed series."""
+
+    def __init__(self, chunk_size: int = 512) -> None:
+        if chunk_size < 2:
+            raise ValueError("chunk_size must be >= 2")
+        self.chunk_size = int(chunk_size)
+        self._series: dict[MetricKey, _Series] = {}
+
+    # -- ingest ---------------------------------------------------------------
+
+    def append(self, batch: SeriesBatch) -> int:
+        """Ingest a batch; returns the number of samples stored."""
+        n = 0
+        cs = self.chunk_size
+        for c, t, v in zip(batch.components, batch.times, batch.values):
+            key = MetricKey(batch.metric, str(c))
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _Series()
+            series.append(float(t), float(v), cs)
+            n += 1
+        return n
+
+    def append_many(self, batches: Iterable[SeriesBatch]) -> int:
+        return sum(self.append(b) for b in batches)
+
+    def flush(self) -> None:
+        """Seal every open head chunk (checkpoint before archiving)."""
+        for s in self._series.values():
+            s.seal()
+
+    # -- query ---------------------------------------------------------------
+
+    def keys(self, metric: str | None = None) -> list[MetricKey]:
+        if metric is None:
+            return sorted(self._series, key=str)
+        return sorted(
+            (k for k in self._series if k.metric == metric), key=str
+        )
+
+    def components(self, metric: str) -> list[str]:
+        return [k.component for k in self.keys(metric)]
+
+    def query(
+        self,
+        metric: str,
+        component: str,
+        t0: float = -np.inf,
+        t1: float = np.inf,
+    ) -> SeriesBatch:
+        """Range query one series -> time-sorted batch."""
+        series = self._series.get(MetricKey(metric, component))
+        if series is None:
+            return SeriesBatch.empty(metric)
+        t, v = series.read(t0, t1)
+        return SeriesBatch.for_component(metric, component, t, v)
+
+    def query_components(
+        self,
+        metric: str,
+        components: Sequence[str] | None = None,
+        t0: float = -np.inf,
+        t1: float = np.inf,
+    ) -> dict[str, SeriesBatch]:
+        """Range query many series at once (drill-down working set)."""
+        comps = (
+            list(components)
+            if components is not None
+            else self.components(metric)
+        )
+        return {c: self.query(metric, c, t0, t1) for c in comps}
+
+    def downsample(
+        self,
+        metric: str,
+        component: str,
+        t0: float,
+        t1: float,
+        step: float,
+        agg: str = "mean",
+    ) -> SeriesBatch:
+        """Server-side downsampling into fixed buckets of ``step`` seconds.
+
+        Empty buckets are omitted (not NaN-filled); bucket timestamps are
+        the bucket start.
+        """
+        if agg not in _AGGS:
+            raise ValueError(f"unknown agg {agg!r}; choose from {sorted(_AGGS)}")
+        if step <= 0:
+            raise ValueError("step must be positive")
+        raw = self.query(metric, component, t0, t1)
+        if not len(raw):
+            return SeriesBatch.empty(metric)
+        fn = _AGGS[agg]
+        buckets = np.floor((raw.times - t0) / step).astype(np.int64)
+        out_t: list[float] = []
+        out_v: list[float] = []
+        # buckets are non-decreasing because raw is time-sorted
+        start = 0
+        for i in range(1, len(buckets) + 1):
+            if i == len(buckets) or buckets[i] != buckets[start]:
+                out_t.append(t0 + buckets[start] * step)
+                out_v.append(fn(raw.values[start:i]))
+                start = i
+        return SeriesBatch.for_component(metric, component, out_t, out_v)
+
+    def aggregate_across(
+        self,
+        metric: str,
+        components: Sequence[str] | None = None,
+        t0: float = -np.inf,
+        t1: float = np.inf,
+        step: float = 60.0,
+        agg: str = "sum",
+    ) -> SeriesBatch:
+        """Aggregate a metric across components into one series.
+
+        This is the Figure 4 "system aggregate" view: e.g. ``fs.read_bps``
+        summed over all OSTs per time bucket.
+        """
+        if agg not in _AGGS:
+            raise ValueError(f"unknown agg {agg!r}")
+        per_comp = self.query_components(metric, components, t0, t1)
+        ts: list[np.ndarray] = []
+        vs: list[np.ndarray] = []
+        for b in per_comp.values():
+            if len(b):
+                ts.append(b.times)
+                vs.append(b.values)
+        if not ts:
+            return SeriesBatch.empty(metric)
+        t = np.concatenate(ts)
+        v = np.concatenate(vs)
+        lo = float(t.min()) if t0 == -np.inf else t0
+        buckets = np.floor((t - lo) / step).astype(np.int64)
+        fn = _AGGS[agg]
+        out_t: list[float] = []
+        out_v: list[float] = []
+        for b_id in np.unique(buckets):
+            mask = buckets == b_id
+            out_t.append(lo + b_id * step)
+            out_v.append(fn(v[mask]))
+        return SeriesBatch.for_component(metric, f"agg({agg})", out_t, out_v)
+
+    # -- maintenance / stats ---------------------------------------------------
+
+    def drop_series(self, metric: str, component: str) -> bool:
+        return self._series.pop(MetricKey(metric, component), None) is not None
+
+    def stats(self) -> StoreStats:
+        n_samples = sum(s.n_samples for s in self._series.values())
+        sealed = sum(len(s.chunks) for s in self._series.values())
+        comp_bytes = sum(s.compressed_bytes() for s in self._series.values())
+        return StoreStats(
+            series=len(self._series),
+            samples=n_samples,
+            sealed_chunks=sealed,
+            compressed_bytes=comp_bytes,
+            raw_bytes=n_samples * 16,  # float64 time + float64 value
+        )
+
+    # hooks used by the hierarchical tier manager -------------------------------
+
+    def export_series(self, key: MetricKey) -> tuple[list[bytes], list[tuple[float, float]]]:
+        """Sealed chunks + spans for archiving (head is sealed first)."""
+        s = self._series[key]
+        s.seal()
+        return list(s.chunks), list(s.chunk_spans)
+
+    def evict_chunks_before(self, key: MetricKey, t_cut: float) -> int:
+        """Drop sealed chunks wholly before ``t_cut``; returns count evicted."""
+        s = self._series.get(key)
+        if s is None:
+            return 0
+        keep_c, keep_s = [], []
+        evicted = 0
+        for blob, span in zip(s.chunks, s.chunk_spans):
+            if span[1] < t_cut:
+                evicted += 1
+                n_in, = struct.unpack_from("<I", blob, 0)
+                s.n_sealed_samples -= n_in
+            else:
+                keep_c.append(blob)
+                keep_s.append(span)
+        s.chunks, s.chunk_spans = keep_c, keep_s
+        return evicted
+
+    def import_chunks(
+        self,
+        key: MetricKey,
+        chunks: list[bytes],
+        spans: list[tuple[float, float]],
+    ) -> None:
+        """Reload archived chunks (hierarchical storage reload path)."""
+        s = self._series.get(key)
+        if s is None:
+            s = self._series[key] = _Series()
+        merged = sorted(
+            zip(chunks + s.chunks, spans + s.chunk_spans),
+            key=lambda cs: cs[1][0],
+        )
+        s.chunks = [c for c, _ in merged]
+        s.chunk_spans = [sp for _, sp in merged]
+        s.n_sealed_samples += sum(
+            struct.unpack_from("<I", c, 0)[0] for c in chunks
+        )

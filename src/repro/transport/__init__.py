@@ -1,0 +1,29 @@
+"""Data transport: pub/sub bus, LDMS-style pull tree, syslog forwarding."""
+
+from .bus import BusStats, MessageBus, Subscription
+from .ldms import Aggregator, Sampler, TreeStats, build_tree
+from .message import (
+    Envelope,
+    decode_binary,
+    decode_json,
+    encode_binary,
+    encode_json,
+)
+from .syslogfwd import ForwarderStats, SyslogForwarder
+
+__all__ = [
+    "BusStats",
+    "MessageBus",
+    "Subscription",
+    "Aggregator",
+    "Sampler",
+    "TreeStats",
+    "build_tree",
+    "Envelope",
+    "decode_binary",
+    "decode_json",
+    "encode_binary",
+    "encode_json",
+    "ForwarderStats",
+    "SyslogForwarder",
+]

@@ -1,0 +1,133 @@
+"""In-process pub/sub message bus (the AMQP/RabbitMQ class).
+
+NERSC's infrastructure "includes a message queuing system (RabbitMQ)"
+fanning data from many producers to many consumers.  Table I
+(*Architecture*): "We will need to direct the data and analysis results
+to multiple consumers" with "multiple flexible data paths ... easily
+configured and changed".
+
+This bus provides topic-based routing with ``*`` wildcards, per-consumer
+bounded queues with a drop-oldest overflow policy (backpressure during
+event storms is exactly the Splunk-cost scenario the paper mentions),
+and delivery statistics the transport-comparison bench reads.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from .message import Envelope
+
+__all__ = ["Subscription", "MessageBus", "BusStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class BusStats:
+    published: int
+    delivered: int
+    dropped: int
+    subscriptions: int
+
+
+class Subscription:
+    """One consumer's bounded queue over a topic pattern."""
+
+    def __init__(
+        self,
+        pattern: str,
+        maxlen: int,
+        callback: Callable[[Envelope], None] | None = None,
+        name: str = "",
+    ) -> None:
+        self.pattern = pattern
+        self.name = name or pattern
+        self.callback = callback
+        self._queue: deque[Envelope] = deque()
+        self.maxlen = maxlen
+        self.received = 0
+        self.dropped = 0
+
+    def matches(self, topic: str) -> bool:
+        return fnmatch.fnmatchcase(topic, self.pattern)
+
+    def offer(self, env: Envelope) -> None:
+        if self.callback is not None:
+            self.callback(env)
+            self.received += 1
+            return
+        if len(self._queue) >= self.maxlen:
+            self._queue.popleft()      # drop-oldest under storm
+            self.dropped += 1
+        self._queue.append(env)
+        self.received += 1
+
+    def drain(self, max_items: int | None = None) -> list[Envelope]:
+        """Pull queued messages (consumer-paced pull path)."""
+        out: list[Envelope] = []
+        while self._queue and (max_items is None or len(out) < max_items):
+            out.append(self._queue.popleft())
+        return out
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class MessageBus:
+    """Topic router with wildcard subscriptions."""
+
+    def __init__(self, default_queue_len: int = 10_000) -> None:
+        self.default_queue_len = int(default_queue_len)
+        self._subs: list[Subscription] = []
+        self._published = 0
+        self._delivered = 0
+        self._seq = 0
+
+    def subscribe(
+        self,
+        pattern: str,
+        callback: Callable[[Envelope], None] | None = None,
+        maxlen: int | None = None,
+        name: str = "",
+    ) -> Subscription:
+        """Register a consumer; ``pattern`` supports ``*`` wildcards
+        (``metrics.*``, ``events.hwerr``).  With a callback, delivery is
+        synchronous; without, messages land in the subscription queue."""
+        sub = Subscription(
+            pattern,
+            maxlen if maxlen is not None else self.default_queue_len,
+            callback,
+            name,
+        )
+        self._subs.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        self._subs.remove(sub)
+
+    def publish(self, topic: str, payload, source: str = "") -> int:
+        """Publish one payload; returns the number of consumers reached."""
+        self._seq += 1
+        env = Envelope(topic=topic, payload=payload, source=source,
+                       seq=self._seq)
+        self._published += 1
+        hits = 0
+        for sub in self._subs:
+            if sub.matches(topic):
+                sub.offer(env)
+                hits += 1
+        self._delivered += hits
+        return hits
+
+    def publish_many(self, topic: str, payloads: Iterable, source: str = "") -> int:
+        return sum(self.publish(topic, p, source) for p in payloads)
+
+    def stats(self) -> BusStats:
+        return BusStats(
+            published=self._published,
+            delivered=self._delivered,
+            dropped=sum(s.dropped for s in self._subs),
+            subscriptions=len(self._subs),
+        )

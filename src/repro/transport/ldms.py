@@ -1,0 +1,126 @@
+"""LDMS-style pull aggregation tree.
+
+SNL's Lightweight Distributed Metric Service [18] is the custom-built
+transport the paper lists: samplers on every node expose metric sets;
+aggregator daemons *pull* from a fan-in tree of children at a fixed
+interval, so collection is synchronized and overhead is bounded and
+predictable rather than bursty.
+
+We model samplers as callables producing
+:class:`~repro.core.metric.SeriesBatch` lists, first-level aggregators
+pulling from a configurable fan-in of samplers, and higher levels
+pulling from child aggregators, with per-pull accounting (batches,
+samples, simulated wire bytes) so the transport-comparison bench can
+contrast tree fan-in choices against the pub/sub bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.metric import SeriesBatch
+
+__all__ = ["Sampler", "Aggregator", "build_tree", "TreeStats"]
+
+SamplerFn = Callable[[float], list[SeriesBatch]]
+
+
+class Sampler:
+    """A leaf metric producer (one per node/daemon in real LDMS)."""
+
+    def __init__(self, name: str, fn: SamplerFn) -> None:
+        self.name = name
+        self.fn = fn
+        self.pulls = 0
+
+    def pull(self, now: float) -> list[SeriesBatch]:
+        self.pulls += 1
+        return self.fn(now)
+
+
+@dataclass(frozen=True, slots=True)
+class TreeStats:
+    pulls: int
+    batches: int
+    samples: int
+    wire_bytes: int
+
+
+class Aggregator:
+    """Pulls from children (samplers or other aggregators) and fans in."""
+
+    def __init__(
+        self,
+        name: str,
+        children: Sequence["Aggregator | Sampler"],
+    ) -> None:
+        if not children:
+            raise ValueError("aggregator needs at least one child")
+        self.name = name
+        self.children = list(children)
+        self.pulls = 0
+        self.batches_moved = 0
+        self.samples_moved = 0
+        self.wire_bytes = 0
+
+    def pull(self, now: float) -> list[SeriesBatch]:
+        """One synchronized collection sweep over the subtree."""
+        self.pulls += 1
+        out: list[SeriesBatch] = []
+        for child in self.children:
+            got = child.pull(now)
+            out.extend(got)
+        self.batches_moved += len(out)
+        n_samples = sum(len(b) for b in out)
+        self.samples_moved += n_samples
+        # wire cost model: 16 B per sample + 64 B per batch header
+        self.wire_bytes += n_samples * 16 + len(out) * 64
+        return out
+
+    def stats(self) -> TreeStats:
+        return TreeStats(
+            pulls=self.pulls,
+            batches=self.batches_moved,
+            samples=self.samples_moved,
+            wire_bytes=self.wire_bytes,
+        )
+
+    def depth(self) -> int:
+        kid_depths = [
+            c.depth() if isinstance(c, Aggregator) else 0
+            for c in self.children
+        ]
+        return 1 + max(kid_depths)
+
+
+def build_tree(
+    samplers: Sequence[Sampler],
+    fan_in: int = 16,
+    name_prefix: str = "agg",
+) -> Aggregator:
+    """Build a balanced pull tree over ``samplers`` with the given fan-in.
+
+    Returns the root aggregator.  With ``fan_in >= len(samplers)`` the
+    tree is a single level (the small-site configuration); large systems
+    get ``ceil(log_fan_in(n))`` levels, the way production LDMS deploys
+    scale to 20k+ nodes.
+    """
+    if fan_in < 2:
+        raise ValueError("fan_in must be >= 2")
+    level: list[Aggregator | Sampler] = list(samplers)
+    tier = 0
+    while len(level) > 1 or tier == 0:
+        nxt: list[Aggregator | Sampler] = []
+        for i in range(0, len(level), fan_in):
+            group = level[i : i + fan_in]
+            nxt.append(
+                Aggregator(f"{name_prefix}-L{tier}-{i // fan_in}", group)
+            )
+        level = nxt
+        tier += 1
+        if len(level) == 1:
+            break
+    root = level[0]
+    assert isinstance(root, Aggregator)
+    return root

@@ -1,0 +1,163 @@
+"""Message envelopes and wire formats.
+
+Section IV-B observes that sites juggle a "plethora of available data
+transport and related storage mechanisms", and Table I asks for "tools
+to transport and store the data in native format".  We define one
+envelope with two wire encodings:
+
+* JSON lines — the interoperable, debuggable format sites forward
+  between tools;
+* a compact binary frame — the "proprietary binary format" class
+  (Cray ERD-style), which the Deluge-like decoder in
+  :mod:`repro.sources.erd` turns back into native events.
+
+Both encodings round-trip :class:`~repro.core.metric.SeriesBatch` and
+:class:`~repro.core.events.Event` payloads without loss.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.events import Event, EventKind, Severity
+from ..core.metric import SeriesBatch
+
+__all__ = [
+    "Envelope",
+    "encode_json",
+    "decode_json",
+    "encode_binary",
+    "decode_binary",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Envelope:
+    """One transported message: a topic plus a typed payload."""
+
+    topic: str
+    payload: SeriesBatch | Event | dict
+    source: str = ""
+    seq: int = 0
+
+
+def _payload_to_obj(payload: SeriesBatch | Event | dict) -> dict:
+    if isinstance(payload, SeriesBatch):
+        return {
+            "type": "batch",
+            "metric": payload.metric,
+            "components": [str(c) for c in payload.components],
+            "times": payload.times.tolist(),
+            "values": [
+                None if not np.isfinite(v) else float(v)
+                for v in payload.values
+            ],
+        }
+    if isinstance(payload, Event):
+        return {
+            "type": "event",
+            "time": payload.time,
+            "component": payload.component,
+            "kind": payload.kind.value,
+            "severity": int(payload.severity),
+            "message": payload.message,
+            "fields": dict(payload.fields),
+        }
+    return {"type": "dict", "data": payload}
+
+
+def _obj_to_payload(obj: dict) -> SeriesBatch | Event | dict:
+    t = obj["type"]
+    if t == "batch":
+        values = [
+            float("nan") if v is None else v for v in obj["values"]
+        ]
+        return SeriesBatch(
+            obj["metric"], obj["components"], obj["times"], values
+        )
+    if t == "event":
+        return Event(
+            time=obj["time"],
+            component=obj["component"],
+            kind=EventKind(obj["kind"]),
+            severity=Severity(obj["severity"]),
+            message=obj["message"],
+            fields=obj["fields"],
+        )
+    if t == "dict":
+        return obj["data"]
+    raise ValueError(f"unknown payload type {t!r}")
+
+
+def encode_json(env: Envelope) -> str:
+    """Envelope -> one JSON line."""
+    return json.dumps(
+        {
+            "topic": env.topic,
+            "source": env.source,
+            "seq": env.seq,
+            "payload": _payload_to_obj(env.payload),
+        },
+        separators=(",", ":"),
+    )
+
+
+def decode_json(line: str) -> Envelope:
+    obj = json.loads(line)
+    return Envelope(
+        topic=obj["topic"],
+        payload=_obj_to_payload(obj["payload"]),
+        source=obj.get("source", ""),
+        seq=obj.get("seq", 0),
+    )
+
+
+_MAGIC = b"ERD1"
+
+
+def encode_binary(env: Envelope) -> bytes:
+    """Envelope -> length-prefixed binary frame (ERD-style opaque wire).
+
+    Layout: magic, u32 total length, u16 topic length, topic bytes,
+    u16 source length, source bytes, u32 seq, JSON-encoded payload.
+    Opaque to anyone without the decoder — which is the paper's point
+    about vendor binary formats.
+    """
+    topic = env.topic.encode()
+    source = env.source.encode()
+    body = json.dumps(_payload_to_obj(env.payload),
+                      separators=(",", ":")).encode()
+    frame = (
+        struct.pack("<H", len(topic))
+        + topic
+        + struct.pack("<H", len(source))
+        + source
+        + struct.pack("<I", env.seq)
+        + body
+    )
+    return _MAGIC + struct.pack("<I", len(frame)) + frame
+
+
+def decode_binary(blob: bytes) -> tuple[Envelope, bytes]:
+    """Decode one frame; returns (envelope, remaining bytes)."""
+    if blob[:4] != _MAGIC:
+        raise ValueError("bad magic: not an ERD frame")
+    (total,) = struct.unpack_from("<I", blob, 4)
+    frame = blob[8 : 8 + total]
+    rest = blob[8 + total :]
+    (tlen,) = struct.unpack_from("<H", frame, 0)
+    pos = 2
+    topic = frame[pos : pos + tlen].decode()
+    pos += tlen
+    (slen,) = struct.unpack_from("<H", frame, pos)
+    pos += 2
+    source = frame[pos : pos + slen].decode()
+    pos += slen
+    (seq,) = struct.unpack_from("<I", frame, pos)
+    pos += 4
+    payload = _obj_to_payload(json.loads(frame[pos:].decode()))
+    return Envelope(topic, payload, source, seq), rest

@@ -1,0 +1,106 @@
+"""Syslog-style push forwarding with loss under bursts.
+
+Section IV-B: "the only standard is use of some version of syslog for
+transport of log (e.g., error and event) messages."  Syslog is
+fire-and-forget over a rate-limited path; during event storms (the same
+storms that blow up Splunk indexing costs) messages are dropped.  The
+forwarder models a token-bucket rate limit with a bounded retry buffer
+so the transport-comparison bench can quantify loss versus the bus and
+the LDMS tree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.events import Event
+
+__all__ = ["SyslogForwarder", "ForwarderStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class ForwarderStats:
+    offered: int
+    forwarded: int
+    dropped: int
+    retried: int
+
+    @property
+    def loss_rate(self) -> float:
+        return self.dropped / self.offered if self.offered else 0.0
+
+
+class SyslogForwarder:
+    """Token-bucket rate-limited event forwarding with bounded retries."""
+
+    def __init__(
+        self,
+        sink: Callable[[Event], None],
+        rate_per_s: float = 1000.0,
+        burst: int = 200,
+        retry_buffer: int = 500,
+    ) -> None:
+        self.sink = sink
+        self.rate_per_s = float(rate_per_s)
+        self.burst = int(burst)
+        self._tokens = float(burst)
+        self._retry: deque[Event] = deque(maxlen=retry_buffer)
+        self._offered = 0
+        self._forwarded = 0
+        self._dropped = 0
+        self._retried = 0
+        self._last_time: float | None = None
+
+    def _refill(self, now: float) -> None:
+        if self._last_time is not None:
+            self._tokens = min(
+                self.burst,
+                self._tokens + (now - self._last_time) * self.rate_per_s,
+            )
+        self._last_time = now
+
+    def forward(self, now: float, events: Sequence[Event]) -> int:
+        """Offer events at time ``now``; returns how many got through.
+
+        Retry-buffered events from previous bursts go first (oldest
+        first); whatever exceeds both the rate and the retry buffer is
+        dropped, counted, and gone — like real UDP syslog.
+        """
+        self._refill(now)
+        sent = 0
+
+        # drain retries first
+        while self._retry and self._tokens >= 1.0:
+            ev = self._retry.popleft()
+            self.sink(ev)
+            self._tokens -= 1.0
+            self._forwarded += 1
+            self._retried += 1
+            sent += 1
+
+        for ev in events:
+            self._offered += 1
+            if self._tokens >= 1.0:
+                self.sink(ev)
+                self._tokens -= 1.0
+                self._forwarded += 1
+                sent += 1
+            else:
+                if len(self._retry) == self._retry.maxlen:
+                    self._dropped += 1      # buffer full: message lost
+                else:
+                    self._retry.append(ev)
+        return sent
+
+    def pending(self) -> int:
+        return len(self._retry)
+
+    def stats(self) -> ForwarderStats:
+        return ForwarderStats(
+            offered=self._offered,
+            forwarded=self._forwarded,
+            dropped=self._dropped,
+            retried=self._retried,
+        )

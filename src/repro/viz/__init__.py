@@ -1,0 +1,60 @@
+"""Visualization: condensation, dashboards, drill-down, paper figures."""
+
+from .dashboard import (
+    Dashboard,
+    DrillDownResult,
+    Tile,
+    drill_down,
+    percent_in_state,
+)
+from .figures import (
+    FigureData,
+    figure1_tas,
+    figure2_benchmarks,
+    figure3_power,
+    figure4_drilldown,
+    figure5_perjob,
+)
+from .render import ascii_chart, bar_row, from_csv, sparkline, to_csv
+from .series import condense, percent_of, resample, series_matrix
+from .topoview import (
+    by_link_class,
+    cabinet_rollup,
+    group_pair_matrix,
+    render_group_matrix,
+)
+from .dashspec import DashboardSpec, PanelSpec, operations_dashboard
+from .userreport import AccessPolicy, JobReport, job_report
+
+__all__ = [
+    "Dashboard",
+    "DrillDownResult",
+    "Tile",
+    "drill_down",
+    "percent_in_state",
+    "FigureData",
+    "figure1_tas",
+    "figure2_benchmarks",
+    "figure3_power",
+    "figure4_drilldown",
+    "figure5_perjob",
+    "ascii_chart",
+    "bar_row",
+    "from_csv",
+    "sparkline",
+    "to_csv",
+    "condense",
+    "percent_of",
+    "resample",
+    "series_matrix",
+    "by_link_class",
+    "cabinet_rollup",
+    "group_pair_matrix",
+    "render_group_matrix",
+    "AccessPolicy",
+    "JobReport",
+    "job_report",
+    "DashboardSpec",
+    "PanelSpec",
+    "operations_dashboard",
+]

@@ -1,0 +1,205 @@
+"""Status dashboard: aggregate tiles with drill-down (Figure 4 workflow).
+
+Section III-B: "individual component graphs may decrease in value and
+performance as the number of components plotted increases ... Reduced
+dimensionality through higher-level aggregations (e.g., percentage of
+components in a state, regardless of location) coupled with drill-down
+capabilities can enable better at-a-glance understanding."
+
+* :func:`percent_in_state` — the roll-up primitive;
+* :class:`Dashboard` — tiles computed from the stores, rendered as text;
+* :func:`drill_down` — the Figure 4 investigation: aggregate series →
+  peak time → per-component ranking at that time → owning job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.metric import SeriesBatch
+from ..storage.jobstore import JobIndex
+from ..storage.tsdb import TimeSeriesStore
+from .render import bar_row, sparkline
+
+__all__ = ["percent_in_state", "Tile", "Dashboard", "DrillDownResult",
+           "drill_down"]
+
+
+def percent_in_state(
+    sweep: SeriesBatch, predicate: Callable[[float], bool]
+) -> float:
+    """Percent of components whose latest value satisfies ``predicate``."""
+    if not len(sweep):
+        return float("nan")
+    vals = sweep.values
+    ok = np.fromiter((predicate(float(v)) for v in vals), dtype=bool,
+                     count=len(vals))
+    return 100.0 * ok.mean()
+
+
+@dataclass(frozen=True, slots=True)
+class Tile:
+    name: str
+    value: float
+    unit: str
+    maximum: float          # for the bar scale
+    status: str             # "ok" | "warn" | "crit"
+    trend: str = ""         # sparkline of recent history
+
+
+class Dashboard:
+    """Builds at-a-glance tiles from a time-series store."""
+
+    def __init__(self, tsdb: TimeSeriesStore) -> None:
+        self.tsdb = tsdb
+
+    def _latest_sweep(self, metric: str, window_s: float,
+                      now: float) -> SeriesBatch:
+        comps = self.tsdb.components(metric)
+        times, values, keep = [], [], []
+        for c in comps:
+            b = self.tsdb.query(metric, c, now - window_s, now + 1e-9)
+            if len(b):
+                keep.append(c)
+                times.append(b.times[-1])
+                values.append(b.values[-1])
+        return SeriesBatch(metric, keep, times, values)
+
+    def _trend(self, metric: str, component: str, now: float,
+               window_s: float = 3600.0, points: int = 24) -> str:
+        b = self.tsdb.query(metric, component, now - window_s, now + 1e-9)
+        if not len(b):
+            return ""
+        step = max(1, len(b) // points)
+        return sparkline(b.values[::step][-points:])
+
+    def tiles(self, now: float, window_s: float = 600.0) -> list[Tile]:
+        out: list[Tile] = []
+        health = self._latest_sweep("health.pass_frac", window_s, now)
+        if len(health):
+            pct = percent_in_state(health, lambda v: v >= 1.0)
+            out.append(
+                Tile("nodes fully healthy", pct, "%", 100.0,
+                     "ok" if pct >= 99 else "warn" if pct >= 95 else "crit")
+            )
+        stall = self._latest_sweep("link.stall_ratio", window_s, now)
+        if len(stall):
+            pct = percent_in_state(stall, lambda v: v >= 0.12)
+            out.append(
+                Tile("links congested", pct, "%", 100.0,
+                     "ok" if pct < 1 else "warn" if pct < 10 else "crit")
+            )
+        sysp = self._latest_sweep("system.power_w", window_s, now)
+        if len(sysp):
+            val = float(sysp.values[-1]) / 1e3
+            out.append(
+                Tile("system power", val, "kW", max(val * 1.5, 1.0), "ok",
+                     trend=self._trend("system.power_w", "system", now))
+            )
+        depth = self._latest_sweep("queue.depth", window_s, now)
+        if len(depth):
+            val = float(depth.values[-1])
+            out.append(
+                Tile("queue depth", val, " jobs", max(val * 2, 10.0),
+                     "ok" if val < 50 else "warn",
+                     trend=self._trend("queue.depth", "scheduler", now))
+            )
+        fsr = self._latest_sweep("fs.read_bps", window_s, now)
+        if len(fsr):
+            val = float(fsr.values.sum()) / 1e9
+            out.append(
+                Tile("filesystem read", val, " GB/s",
+                     max(val * 1.5, 1.0), "ok")
+            )
+        return out
+
+    def render(self, now: float, window_s: float = 600.0) -> str:
+        lines = [f"=== system status @ t={now:.0f}s ==="]
+        for tile in self.tiles(now, window_s):
+            mark = {"ok": " ", "warn": "!", "crit": "X"}[tile.status]
+            lines.append(
+                f"{mark} " + bar_row(tile.name, tile.value, tile.maximum,
+                                     unit=tile.unit)
+                + (f"  {tile.trend}" if tile.trend else "")
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True, slots=True)
+class DrillDownResult:
+    """Outcome of the aggregate -> component -> job investigation."""
+
+    metric: str
+    peak_time: float
+    peak_value: float
+    ranked_components: tuple[tuple[str, float], ...]
+    job_id: int | None
+    job_app: str | None
+
+
+def drill_down(
+    tsdb: TimeSeriesStore,
+    aggregate_metric: str,
+    component_metric: str,
+    t0: float,
+    t1: float,
+    index: JobIndex | None = None,
+    component_to_nodes: Callable[[str], Sequence[str]] | None = None,
+    top_k: int = 5,
+) -> DrillDownResult:
+    """The Figure 4 workflow as one call.
+
+    1. find the peak of the aggregate series in [t0, t1);
+    2. rank components of ``component_metric`` at the peak time;
+    3. attribute the peak to the job owning the top contributor
+       (via ``index``; ``component_to_nodes`` maps a non-node component
+       such as an OST to candidate nodes — for filesystem metrics the
+       attribution goes through whichever job was doing the most I/O,
+       which the caller encodes in that mapping).
+    """
+    agg = tsdb.aggregate_across(aggregate_metric, None, t0, t1, step=60.0)
+    if not len(agg):
+        return DrillDownResult(aggregate_metric, float("nan"),
+                               float("nan"), (), None, None)
+    peak_i = int(np.nanargmax(agg.values))
+    peak_t = float(agg.times[peak_i])
+    peak_v = float(agg.values[peak_i])
+
+    per_comp = tsdb.query_components(
+        component_metric, None, peak_t - 30.0, peak_t + 90.0
+    )
+    ranked = sorted(
+        (
+            (c, float(b.values.mean()))
+            for c, b in per_comp.items()
+            if len(b)
+        ),
+        key=lambda cv: -cv[1],
+    )[:top_k]
+
+    job_id = None
+    job_app = None
+    if index is not None and ranked:
+        top_comp = ranked[0][0]
+        candidates = (
+            list(component_to_nodes(top_comp))
+            if component_to_nodes is not None
+            else [top_comp]
+        )
+        for node in candidates:
+            alloc = index.job_on_node_at(node, peak_t)
+            if alloc is not None:
+                job_id = alloc.job_id
+                job_app = alloc.app
+                break
+    return DrillDownResult(
+        metric=aggregate_metric,
+        peak_time=peak_t,
+        peak_value=peak_v,
+        ranked_components=tuple(ranked),
+        job_id=job_id,
+        job_app=job_app,
+    )

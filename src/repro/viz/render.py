@@ -1,0 +1,158 @@
+"""Terminal rendering and controlled data release: ASCII charts + CSV.
+
+NCSA "provides the ability to download both plot images and the
+associated Comma Separated Value (CSV) formatted data ... to enable
+controlled release of data to users" (Section III-B).  Every chart here
+can round-trip its data through :func:`to_csv`/:func:`from_csv`, so the
+examples and benches emit exactly the artifact the paper describes.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.metric import SeriesBatch
+
+__all__ = ["ascii_chart", "sparkline", "to_csv", "from_csv", "bar_row"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline; NaNs render as spaces."""
+    v = np.asarray(values, dtype=float)
+    finite = v[np.isfinite(v)]
+    if len(finite) == 0:
+        return " " * len(v)
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo or 1.0
+    out = []
+    for x in v:
+        if not np.isfinite(x):
+            out.append(" ")
+        else:
+            idx = int((x - lo) / span * (len(_SPARK) - 1))
+            out.append(_SPARK[idx])
+    return "".join(out)
+
+
+def ascii_chart(
+    series: Mapping[str, SeriesBatch],
+    width: int = 72,
+    height: int = 14,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series ASCII line chart with axes.
+
+    Each series gets a marker character; values are resampled by column
+    (mean within column).  Good enough for dashboards in a terminal,
+    and — more to the point — for examples whose output a reader can
+    eyeball against the paper's figures.
+    """
+    if not series or all(len(b) == 0 for b in series.values()):
+        return "(no data)"
+    markers = "*o+x#@%&"
+    # gather global extents
+    t_min = min(b.times.min() for b in series.values() if len(b))
+    t_max = max(b.times.max() for b in series.values() if len(b))
+    if t_max <= t_min:
+        t_max = t_min + 1.0
+    all_vals = np.concatenate(
+        [b.values[np.isfinite(b.values)] for b in series.values() if len(b)]
+    )
+    if len(all_vals) == 0:
+        return "(no finite data)"
+    v_min, v_max = float(all_vals.min()), float(all_vals.max())
+    if v_max <= v_min:
+        v_max = v_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, batch) in enumerate(series.items()):
+        marker = markers[si % len(markers)]
+        if not len(batch):
+            continue
+        cols = ((batch.times - t_min) / (t_max - t_min) * (width - 1))
+        cols = np.clip(cols.astype(int), 0, width - 1)
+        # mean per column
+        col_vals: dict[int, list[float]] = {}
+        for c, v in zip(cols, batch.values):
+            if np.isfinite(v):
+                col_vals.setdefault(int(c), []).append(float(v))
+        for c, vals in col_vals.items():
+            v = float(np.mean(vals))
+            row = int((v - v_min) / (v_max - v_min) * (height - 1))
+            grid[height - 1 - row][c] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_w = 10
+    for r, row in enumerate(grid):
+        if r == 0:
+            lab = f"{v_max:.3g}"
+        elif r == height - 1:
+            lab = f"{v_min:.3g}"
+        elif r == height // 2:
+            lab = y_label[: label_w - 1]
+        else:
+            lab = ""
+        lines.append(f"{lab:>{label_w}} |" + "".join(row))
+    lines.append(" " * label_w + "-" * (width + 2))
+    lines.append(
+        f"{'':{label_w}}  t={t_min:.0f}s"
+        + " " * max(1, width - 24)
+        + f"t={t_max:.0f}s"
+    )
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * label_w + "  " + legend)
+    return "\n".join(lines)
+
+
+def bar_row(label: str, value: float, maximum: float, width: int = 40,
+            unit: str = "") -> str:
+    """One horizontal bar (dashboard tile row); NaN renders as n/a."""
+    if not np.isfinite(value):
+        return f"{label:>24} [{'.' * width}] n/a"
+    frac = 0.0 if maximum <= 0 else min(max(value / maximum, 0.0), 1.0)
+    filled = int(frac * width)
+    return (
+        f"{label:>24} [{'#' * filled}{'.' * (width - filled)}] "
+        f"{value:.3g}{unit}"
+    )
+
+
+def to_csv(series: Mapping[str, SeriesBatch]) -> str:
+    """Long-format CSV: metric,component,time,value — the NCSA download."""
+    buf = io.StringIO()
+    buf.write("metric,component,time,value\n")
+    for name, batch in series.items():
+        for c, t, v in zip(batch.components, batch.times, batch.values):
+            val = "" if not np.isfinite(v) else repr(float(v))
+            buf.write(f"{batch.metric},{c},{float(t)!r},{val}\n")
+    return buf.getvalue()
+
+
+def from_csv(text: str) -> dict[str, SeriesBatch]:
+    """Inverse of :func:`to_csv`; key is ``metric@component``."""
+    rows: dict[str, tuple[str, list, list, list]] = {}
+    lines = text.strip().splitlines()
+    if lines and lines[0].startswith("metric,"):
+        lines = lines[1:]
+    for line in lines:
+        metric, comp, t, v = line.split(",")
+        key = f"{metric}@{comp}"
+        entry = rows.setdefault(key, (metric, [], [], []))
+        entry[1].append(comp)
+        entry[2].append(float(t))
+        entry[3].append(float(v) if v else float("nan"))
+    return {
+        key: SeriesBatch(metric, comps, times, vals)
+        for key, (metric, comps, times, vals) in rows.items()
+    }

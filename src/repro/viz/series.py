@@ -1,0 +1,124 @@
+"""Series shaping for visualization: alignment, condensation, normalizing.
+
+Figure 5's caption is the spec: "Summing and averaging over nodes
+enables condensation of high dimensional data enabling at-a-glance
+understanding."  These helpers take the per-component series a store
+returns and produce the few lines a human can actually read.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+import numpy as np
+
+from ..core.metric import SeriesBatch
+
+__all__ = ["resample", "condense", "percent_of", "series_matrix"]
+
+
+def resample(
+    batch: SeriesBatch, t0: float, t1: float, step: float,
+    agg: str = "mean",
+) -> SeriesBatch:
+    """Bucket one series onto a fixed grid; empty buckets become NaN.
+
+    Unlike the store's ``downsample`` (which omits empty buckets), plots
+    need a regular axis with explicit gaps.
+    """
+    if step <= 0:
+        raise ValueError("step must be positive")
+    n_buckets = max(1, int(np.ceil((t1 - t0) / step)))
+    grid = t0 + np.arange(n_buckets) * step
+    out = np.full(n_buckets, np.nan)
+    counts = np.zeros(n_buckets)
+    w = batch.in_window(t0, t1)
+    if len(w):
+        idx = np.floor((w.times - t0) / step).astype(np.int64)
+        idx = np.clip(idx, 0, n_buckets - 1)
+        if agg == "mean":
+            sums = np.bincount(idx, weights=w.values, minlength=n_buckets)
+            counts = np.bincount(idx, minlength=n_buckets)
+            np.divide(sums, counts, out=out, where=counts > 0)
+        elif agg == "sum":
+            sums = np.bincount(idx, weights=w.values, minlength=n_buckets)
+            counts = np.bincount(idx, minlength=n_buckets)
+            out = np.where(counts > 0, sums, np.nan)
+        elif agg == "max":
+            for i, v in zip(idx, w.values):
+                out[i] = v if np.isnan(out[i]) else max(out[i], v)
+        else:
+            raise ValueError(f"unknown agg {agg!r}")
+    comp = str(w.components[0]) if len(w) else "resampled"
+    return SeriesBatch.for_component(batch.metric, comp, grid, out)
+
+
+def condense(
+    per_component: Mapping[str, SeriesBatch],
+    t0: float,
+    t1: float,
+    step: float,
+    agg: str = "sum",
+) -> SeriesBatch:
+    """Collapse many per-component series into one (Figure 5).
+
+    Each component is first resampled (mean within bucket), then the
+    components are combined per bucket with ``agg`` (sum or mean);
+    components missing a bucket are simply absent from it.
+    """
+    if not per_component:
+        return SeriesBatch.empty("condensed")
+    metric = next(iter(per_component.values())).metric
+    grids = []
+    for batch in per_component.values():
+        r = resample(batch, t0, t1, step, agg="mean")
+        grids.append(r.values)
+    stack = np.vstack(grids)
+    all_nan = np.isnan(stack).all(axis=0)
+    with np.errstate(invalid="ignore"):
+        if agg == "sum":
+            vals = np.nansum(stack, axis=0)
+            vals[all_nan] = np.nan
+        elif agg == "mean":
+            # avoid the all-NaN-slice RuntimeWarning: compute only where
+            # at least one component contributed
+            sums = np.nansum(stack, axis=0)
+            counts = (~np.isnan(stack)).sum(axis=0)
+            vals = np.divide(
+                sums, counts,
+                out=np.full(stack.shape[1], np.nan),
+                where=counts > 0,
+            )
+        else:
+            raise ValueError(f"unknown agg {agg!r}")
+    n_buckets = stack.shape[1]
+    grid = t0 + np.arange(n_buckets) * step
+    return SeriesBatch.for_component(metric, f"condensed({agg})", grid, vals)
+
+
+def percent_of(batch: SeriesBatch, maximum: float) -> SeriesBatch:
+    """Express a series as percent of a capacity (Figure 1's y-axis:
+    'mean bandwidth utilization as a percent of maximum')."""
+    if maximum <= 0:
+        raise ValueError("maximum must be positive")
+    return SeriesBatch.for_component(
+        batch.metric + ".pct",
+        str(batch.components[0]) if len(batch) else "pct",
+        batch.times,
+        100.0 * batch.values / maximum,
+    )
+
+
+def series_matrix(
+    per_component: Mapping[str, SeriesBatch],
+    t0: float,
+    t1: float,
+    step: float,
+) -> tuple[list[str], np.ndarray, np.ndarray]:
+    """(components, grid, value matrix) for heatmap-style rendering."""
+    comps = sorted(per_component)
+    n_buckets = max(1, int(np.ceil((t1 - t0) / step)))
+    grid = t0 + np.arange(n_buckets) * step
+    mat = np.full((len(comps), n_buckets), np.nan)
+    for i, c in enumerate(comps):
+        mat[i] = resample(per_component[c], t0, t1, step).values
+    return comps, grid, mat

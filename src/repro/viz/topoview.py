@@ -1,0 +1,110 @@
+"""Topology-contextual aggregation ("network-topology representations").
+
+Section III-B: "Representations in the context of the architecture,
+such as network-topology representations, are being developed by sites
+... however visualization of complex connectivities is a challenge."
+We take the aggregation route the paper endorses: roll per-link metrics
+up to structural units (link class, group pair, cabinet) that stay
+readable at any machine size, with a text heatmap renderer.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Mapping
+
+import numpy as np
+
+from ..cluster.topology import Topology
+
+__all__ = [
+    "by_link_class",
+    "group_pair_matrix",
+    "cabinet_rollup",
+    "render_group_matrix",
+]
+
+
+def by_link_class(
+    topo: Topology, link_values: np.ndarray
+) -> dict[str, dict[str, float]]:
+    """Aggregate a per-link metric by link class (green/black/blue/...).
+
+    Returns {class: {mean, max, count}} — the first question an operator
+    asks is "is the congestion local or on the global links?"
+    """
+    buckets: dict[str, list[float]] = defaultdict(list)
+    for link in topo.links:
+        buckets[link.klass].append(float(link_values[link.index]))
+    return {
+        klass: {
+            "mean": float(np.mean(vals)),
+            "max": float(np.max(vals)),
+            "count": float(len(vals)),
+        }
+        for klass, vals in sorted(buckets.items())
+    }
+
+
+def _router_groups(topo: Topology) -> dict[str, int]:
+    rg: dict[str, int] = {}
+    for node, router in topo.node_router.items():
+        rg.setdefault(router, topo.node_group[node])
+    return rg
+
+
+def group_pair_matrix(
+    topo: Topology, link_values: np.ndarray, agg: str = "max"
+) -> np.ndarray:
+    """Matrix M[g1][g2] of a per-link metric between/within groups.
+
+    Diagonal entries aggregate intra-group links; off-diagonal entries
+    aggregate the global links between the two groups.
+    """
+    rg = _router_groups(topo)
+    n_groups = max(rg.values()) + 1 if rg else 0
+    cells: dict[tuple[int, int], list[float]] = defaultdict(list)
+    for link in topo.links:
+        ga = rg.get(link.a)
+        gb = rg.get(link.b)
+        if ga is None or gb is None:
+            continue
+        key = (min(ga, gb), max(ga, gb))
+        cells[key].append(float(link_values[link.index]))
+    mat = np.zeros((n_groups, n_groups))
+    fn = np.max if agg == "max" else np.mean
+    for (ga, gb), vals in cells.items():
+        mat[ga, gb] = mat[gb, ga] = float(fn(vals))
+    return mat
+
+
+def cabinet_rollup(
+    topo: Topology, node_values: Mapping[str, float], agg: str = "mean"
+) -> dict[str, float]:
+    """Aggregate a per-node metric to cabinets (Figure 3's bottom axis)."""
+    buckets: dict[str, list[float]] = defaultdict(list)
+    for node, value in node_values.items():
+        cab = topo.node_cabinet.get(node)
+        if cab is not None:
+            buckets[cab].append(float(value))
+    fn = np.max if agg == "max" else np.mean
+    return {cab: float(fn(vals)) for cab, vals in sorted(buckets.items())}
+
+
+_HEAT = " .:-=+*#%@"
+
+
+def render_group_matrix(mat: np.ndarray, label: str = "group") -> str:
+    """Text heatmap of a group-pair matrix."""
+    n = mat.shape[0]
+    vmax = float(mat.max()) or 1.0
+    lines = [f"{label}-pair heatmap (max={vmax:.3g})"]
+    header = "     " + "".join(f"{g:>4}" for g in range(n))
+    lines.append(header)
+    for i in range(n):
+        cells = []
+        for j in range(n):
+            lvl = int(mat[i, j] / vmax * (len(_HEAT) - 1))
+            cells.append(f"   {_HEAT[lvl]}")
+        lines.append(f"{i:>4} " + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""User-scoped job reports: the "users' burning question" answered.
+
+Two paper threads meet here.  Section III-C: "Notification to users of
+assessments of system conditions is of interest but relies on the
+proper analysis."  And the Conclusions: "Tools are often developed
+by/for administrators with root access ... information that might be of
+tremendous benefit in answering users' burning question(s) cannot be
+shared with them" — the burning question being Section III-B's
+highest-priority one: *why did my run's performance vary?*
+
+:func:`job_report` assembles, **scoped to one job a user owns**, the
+system-condition assessment an administrator would build by hand:
+
+* the job's own condensed telemetry (what the user may always see);
+* shared-resource conditions overlapping the run — filesystem probe
+  degradation, congested links its traffic crossed, health events on
+  its nodes — *summarized without exposing other users' jobs or
+  unrelated components* (the access-control line the paper says sites
+  can't draw today);
+* a plain-language verdict.
+
+:class:`AccessPolicy` enforces the scoping: a user may query only jobs
+they own; everything else raises :class:`PermissionError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+import numpy as np
+
+from ..analysis.congestion import congestion_regions, jobs_touching_region
+from ..core.events import EventKind
+from ..storage.jobstore import Allocation, JobIndex
+from ..storage.logstore import LogStore
+from ..storage.tsdb import TimeSeriesStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.topology import Topology
+
+__all__ = ["AccessPolicy", "JobReport", "job_report"]
+
+
+class AccessPolicy:
+    """Per-user scoping over the job index (the missing infrastructure
+    the Conclusions lament)."""
+
+    def __init__(self, index: JobIndex) -> None:
+        self.index = index
+
+    def authorize(self, user: str, job_id: int) -> Allocation:
+        alloc = self.index.get(job_id)
+        if alloc.user != user:
+            raise PermissionError(
+                f"user {user!r} does not own job {job_id}"
+            )
+        return alloc
+
+    def visible_jobs(self, user: str) -> list[Allocation]:
+        return self.index.jobs_of_user(user)
+
+
+@dataclass
+class JobReport:
+    """One user-visible assessment of a job's run conditions."""
+
+    job_id: int
+    user: str
+    app: str
+    n_nodes: int
+    runtime_s: float | None
+    findings: list[str] = field(default_factory=list)
+    verdict: str = ""
+
+    def render(self) -> str:
+        lines = [
+            f"=== run report: job {self.job_id} ({self.app}, "
+            f"{self.n_nodes} nodes) for {self.user} ===",
+        ]
+        if self.runtime_s is not None:
+            lines.append(f"runtime: {self.runtime_s:.0f}s")
+        if self.findings:
+            lines.append("system conditions during your run:")
+            lines.extend(f"  - {f}" for f in self.findings)
+        else:
+            lines.append("no adverse system conditions overlapped "
+                         "your run.")
+        lines.append(f"assessment: {self.verdict}")
+        return "\n".join(lines)
+
+
+def _fs_degradation_finding(
+    tsdb: TimeSeriesStore, t0: float, t1: float
+) -> str | None:
+    """Was a shared filesystem component degraded during [t0, t1)?
+
+    Each component's probe latency is compared against its healthy
+    siblings over the same window — the one-slow-OST-among-many
+    signature — so no pre-run baseline is needed.
+    """
+    comps = tsdb.components("probe.io_latency_s")
+    medians: dict[str, float] = {}
+    for c in comps:
+        during = tsdb.query("probe.io_latency_s", c, t0, t1)
+        if len(during) >= 2:
+            medians[c] = float(np.median(during.values))
+    if len(medians) < 3:
+        return None
+    fleet = float(np.median(list(medians.values())))
+    worst_comp, worst_lat = max(medians.items(), key=lambda kv: kv[1])
+    if fleet > 0 and worst_lat / fleet > 3.0:
+        return (
+            f"shared filesystem component degraded: probe latency "
+            f"{worst_lat / fleet:.0f}x its peers during your run"
+        )
+    return None
+
+
+def _congestion_finding(
+    topo: "Topology",
+    tsdb: TimeSeriesStore,
+    alloc: Allocation,
+    t1: float,
+) -> str | None:
+    """Did this job's traffic cross a congested network region?"""
+    comps = tsdb.components("link.stall_ratio")
+    if not comps:
+        return None
+    # peak stall per link over the job's window
+    stall = np.zeros(len(topo.links))
+    name_to_idx = {l.name: l.index for l in topo.links}
+    for c in comps:
+        series = tsdb.query("link.stall_ratio", c, alloc.start, t1)
+        if len(series):
+            idx = name_to_idx.get(c)
+            if idx is not None:
+                stall[idx] = float(series.values.max())
+    regions = congestion_regions(topo, stall, min_level=2)
+    for region in regions:
+        if alloc.job_id in jobs_touching_region(topo, region, [alloc]):
+            return (
+                f"your job's traffic crossed a congested network region "
+                f"({region.size} links, peak stall "
+                f"{region.max_stall:.0%}) — shared-network contention "
+                f"likely slowed communication"
+            )
+    return None
+
+
+def _node_event_findings(
+    logs: LogStore, alloc: Allocation, t1: float
+) -> list[str]:
+    """Hardware/health events on the job's own nodes (scoped)."""
+    findings = []
+    for node in alloc.nodes:
+        events = logs.search(
+            component=node, t0=alloc.start, t1=t1,
+        )
+        bad = [e for e in events
+               if e.kind in (EventKind.HWERR, EventKind.HEALTH,
+                             EventKind.CONSOLE)
+               and e.severity >= 4]    # ERROR and up
+        for e in bad[:2]:
+            findings.append(
+                f"node {node} reported: {e.message[:70]}"
+            )
+    return findings
+
+
+def job_report(
+    user: str,
+    job_id: int,
+    *,
+    index: JobIndex,
+    tsdb: TimeSeriesStore,
+    logs: LogStore,
+    topo: "Topology",
+) -> JobReport:
+    """Build the scoped run report (raises for jobs the user doesn't own)."""
+    alloc = AccessPolicy(index).authorize(user, job_id)
+    t1 = alloc.end if alloc.end is not None else np.inf
+    report = JobReport(
+        job_id=job_id,
+        user=user,
+        app=alloc.app,
+        n_nodes=len(alloc.nodes),
+        runtime_s=(alloc.end - alloc.start
+                   if alloc.end is not None else None),
+    )
+    f = _fs_degradation_finding(tsdb, alloc.start, t1)
+    if f:
+        report.findings.append(f)
+    f = _congestion_finding(topo, tsdb, alloc, t1)
+    if f:
+        report.findings.append(f)
+    report.findings.extend(_node_event_findings(logs, alloc, t1))
+
+    if report.findings:
+        report.verdict = (
+            "system conditions overlapped your run and plausibly "
+            "affected performance; rerun comparison is advised"
+        )
+    else:
+        report.verdict = (
+            "the system looked healthy during your run; performance "
+            "variation is likely intrinsic to the application"
+        )
+    return report

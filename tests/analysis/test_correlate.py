@@ -1,0 +1,113 @@
+"""Unit tests for event correlation and clock-drift sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlate import (
+    cluster_events,
+    link_failure_cascades,
+    order_accuracy,
+)
+from repro.core.clock import DriftingClock
+from repro.core.events import Event, EventKind, Severity
+
+
+def ev(t, comp="n0", kind=EventKind.CONSOLE, msg="x", fields=None):
+    return Event(t, comp, kind, Severity.INFO, msg, fields or {})
+
+
+class TestClusterEvents:
+    def test_empty(self):
+        assert cluster_events([]) == []
+
+    def test_two_incidents(self):
+        events = [ev(0.0), ev(5.0), ev(500.0, comp="n1")]
+        incidents = cluster_events(events, gap_s=30.0)
+        assert len(incidents) == 2
+        assert incidents[0].size == 2
+        assert incidents[1].components == ("n1",)
+
+    def test_chain_links_into_one(self):
+        # each consecutive pair within gap even though ends are far apart
+        events = [ev(i * 10.0) for i in range(10)]
+        incidents = cluster_events(events, gap_s=15.0)
+        assert len(incidents) == 1
+        assert incidents[0].t_end - incidents[0].t_start == 90.0
+
+    def test_unsorted_input_handled(self):
+        events = [ev(100.0), ev(0.0), ev(103.0)]
+        incidents = cluster_events(events, gap_s=10.0)
+        assert [i.size for i in incidents] == [1, 2]
+
+
+class TestOrderAccuracy:
+    def make_pair(self, drift_rates, spacing_s=0.05, n=40):
+        """True events on n components, restamped by drifting clocks."""
+        clocks = [DriftingClock(rate_ppm=r, offset=o)
+                  for r, o in drift_rates]
+        true, stamped = [], []
+        for i in range(n):
+            comp = i % len(clocks)
+            t = 1000.0 + i * spacing_s
+            e = ev(t, comp=f"n{comp}")
+            true.append(e)
+            stamped.append(e.with_time(clocks[comp].local_time(t)))
+        return true, stamped
+
+    def test_perfect_clocks_perfect_order(self):
+        true, stamped = self.make_pair([(0.0, 0.0), (0.0, 0.0)])
+        assert order_accuracy(true, stamped) == 1.0
+
+    def test_drift_corrupts_close_events(self):
+        # 80 ms offsets vs 50 ms spacing: misordering guaranteed
+        true, stamped = self.make_pair([(0.0, 0.08), (0.0, -0.08)])
+        acc = order_accuracy(true, stamped)
+        assert acc < 1.0
+
+    def test_min_separation_masks_ambiguous_pairs(self):
+        true, stamped = self.make_pair([(0.0, 0.08), (0.0, -0.08)])
+        acc = order_accuracy(true, stamped, min_separation_s=1.0)
+        # only well-separated pairs remain, which big offsets can't flip
+        assert acc == 1.0
+
+    def test_parallel_list_validation(self):
+        with pytest.raises(ValueError):
+            order_accuracy([ev(0.0)], [])
+
+
+class TestCascades:
+    def trail(self):
+        return [
+            ev(100.0, "r0", EventKind.NETWORK,
+               "HSN link r0<->r1 (blue) failed: LCB lanes down",
+               {"link_index": 7}),
+            ev(101.0, "r1", EventKind.NETWORK,
+               "routing around failed link", {"link_index": 7}),
+            ev(130.0, "n5", EventKind.CONSOLE, "app stalled on retry"),
+            ev(220.0, "r0", EventKind.NETWORK,
+               "HSN link r0<->r1 restored after maintenance",
+               {"link_index": 7}),
+            ev(500.0, "n9", EventKind.CONSOLE, "unrelated much later"),
+        ]
+
+    def test_cascade_collects_followers_until_restore(self):
+        (cascade,) = link_failure_cascades(self.trail(), window_s=1000.0)
+        assert cascade.root.fields["link_index"] == 7
+        msgs = [e.message for e in cascade.followers]
+        assert any("routing around" in m for m in msgs)
+        assert any("stalled" in m for m in msgs)
+        # restore bounded the window: the t=500 event excluded
+        assert not any("unrelated" in m for m in msgs)
+
+    def test_window_caps_without_restore(self):
+        events = [e for e in self.trail() if "restored" not in e.message]
+        (cascade,) = link_failure_cascades(events, window_s=50.0)
+        assert all(e.time <= 150.0 for e in cascade.followers)
+
+    def test_no_failures_no_cascades(self):
+        assert link_failure_cascades([ev(0.0)]) == []
+
+    def test_affected_components(self):
+        (cascade,) = link_failure_cascades(self.trail(), window_s=1000.0)
+        assert "n5" in cascade.affected_components
+        assert cascade.span_s > 0

@@ -1,0 +1,307 @@
+"""Unit tests for aggressor/victim, power signatures, queueing, logs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggressor import classify
+from repro.analysis.logpatterns import (
+    KnownPatternScanner,
+    TemplateTracker,
+    template_of,
+)
+from repro.analysis.powersig import (
+    SignatureLibrary,
+    detect_hung_nodes,
+    detect_load_imbalance,
+    match,
+)
+from repro.analysis.queueing import characterize, estimate_wait
+from repro.analysis.variability import (
+    attribute_window,
+    detect_degradations,
+)
+from repro.core.events import Event, EventKind, Severity
+from repro.core.metric import SeriesBatch
+from repro.storage.jobstore import JobIndex
+
+
+class TestAggressorVictim:
+    def build_index(self):
+        """Victim app with wild runtimes, overlapped by a stable app."""
+        idx = JobIndex()
+        jid = 0
+        rng = np.random.default_rng(0)
+        t = 0.0
+        for i in range(6):
+            jid += 1
+            start = t
+            # victim runtime varies hugely depending on contention
+            runtime = 1000.0 * (1.0 + (0.8 if i % 2 else 0.0))
+            idx.record_start(jid, "victim_app", [f"v{jid}"], start)
+            idx.record_end(jid, start + runtime)
+            # aggressor runs concurrently, always the same runtime
+            jid += 1
+            idx.record_start(jid, "aggressor_app", [f"a{jid}"], start)
+            idx.record_end(jid, start + 900.0)
+            t += 2000.0
+        # a stable app that never overlaps the victim
+        jid += 1
+        idx.record_start(jid, "loner_app", ["l1"], 1e6)
+        idx.record_end(jid, 1e6 + 500.0)
+        jid += 1
+        idx.record_start(jid, "loner_app", ["l2"], 2e6)
+        idx.record_end(jid, 2e6 + 505.0)
+        jid += 1
+        idx.record_start(jid, "loner_app", ["l3"], 3e6)
+        idx.record_end(jid, 3e6 + 495.0)
+        return idx
+
+    def test_victim_classified(self):
+        report = classify(self.build_index())
+        assert [v.app for v in report.victims] == ["victim_app"]
+        assert report.victims[0].cov > 0.1
+
+    def test_aggressor_is_the_concurrent_stable_app(self):
+        report = classify(self.build_index())
+        assert report.aggressors == ("aggressor_app",)
+        assert report.suspects_by_victim["victim_app"] == (
+            "aggressor_app",
+        )
+
+    def test_non_overlapping_stable_app_not_suspect(self):
+        report = classify(self.build_index())
+        assert "loner_app" not in report.aggressors
+        assert any(v.app == "loner_app" for v in report.stable)
+
+    def test_min_runs_filter(self):
+        idx = JobIndex()
+        idx.record_start(1, "once", ["n1"], 0.0)
+        idx.record_end(1, 100.0)
+        report = classify(idx)
+        assert not report.victims and not report.stable
+
+
+def power_series(values, dt=60.0):
+    t = np.arange(len(values)) * dt
+    return SeriesBatch.for_component("node.power_w", "job.1", t, values)
+
+
+class TestPowerSignatures:
+    def profile_values(self, scale=1.0, n=60):
+        """A two-phase profile: ramp then plateau."""
+        ramp = np.linspace(100, 300, n // 3)
+        plateau = np.full(n - n // 3, 300.0)
+        return np.concatenate([ramp, plateau]) * scale
+
+    def library(self):
+        lib = SignatureLibrary()
+        for i in range(3):
+            vals = self.profile_values() * (1 + 0.01 * i)
+            lib.record_run("qmc", power_series(vals * 8), n_nodes=8)
+        return lib
+
+    def test_good_run_matches(self):
+        lib = self.library()
+        good = power_series(self.profile_values() * 8)
+        r = match(lib, "qmc", good, n_nodes=8)
+        assert r.matches and r.deviation < 0.05
+
+    def test_degraded_run_flagged(self):
+        lib = self.library()
+        # imbalance scenario: power collapses mid-run
+        vals = self.profile_values()
+        vals[30:] *= 0.5
+        r = match(lib, "qmc", power_series(vals * 8), n_nodes=8)
+        assert not r.matches
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError, match="no known-good"):
+            match(SignatureLibrary(), "mystery",
+                  power_series(np.ones(10)), 1)
+
+    def test_signature_is_median_of_runs(self):
+        lib = self.library()
+        sig = lib.signature("qmc")
+        assert sig.n_runs == 3
+        assert sig.mean_level == pytest.approx(
+            self.profile_values().mean() * 1.01, rel=0.05
+        )
+
+
+class TestLoadImbalance:
+    def cab_sweep(self, values):
+        comps = [f"c{i}-0" for i in range(len(values))]
+        return SeriesBatch.sweep("cabinet.power_w", 0.0, comps, values)
+
+    def test_balanced_not_detected(self):
+        f = detect_load_imbalance(self.cab_sweep([50e3, 52e3, 49e3, 51e3]))
+        assert not f.detected
+        assert f.spread_ratio < 1.1
+
+    def test_figure3_spread_detected(self):
+        # KAUST saw up to 3x cabinet variation
+        f = detect_load_imbalance(self.cab_sweep([60e3, 20e3, 58e3, 21e3]))
+        assert f.detected
+        assert f.spread_ratio == pytest.approx(3.0, rel=0.05)
+        assert set(f.hot_cabinets) == {"c0-0", "c2-0"}
+        assert set(f.cold_cabinets) == {"c1-0", "c3-0"}
+
+    def test_single_cabinet_undetectable(self):
+        f = detect_load_imbalance(self.cab_sweep([50e3]))
+        assert not f.detected
+
+
+class TestHungNodes:
+    def test_unallocated_hot_node_flagged(self):
+        sweep = SeriesBatch.sweep(
+            "node.power_w", 0.0, ["n0", "n1", "n2"], [320.0, 95.0, 310.0]
+        )
+        hung = detect_hung_nodes(sweep, allocated_nodes=["n2"])
+        assert hung == ["n0"]
+
+    def test_allocated_hot_nodes_fine(self):
+        sweep = SeriesBatch.sweep(
+            "node.power_w", 0.0, ["n0", "n1"], [320.0, 330.0]
+        )
+        assert detect_hung_nodes(sweep, allocated_nodes=["n0", "n1"]) == []
+
+
+class TestQueueing:
+    def backlog(self, values, dt=60.0):
+        t = np.arange(len(values)) * dt
+        return SeriesBatch.for_component(
+            "queue.backlog_nodeh", "scheduler", t, values
+        )
+
+    def test_steady_queue_normal(self):
+        rng = np.random.default_rng(1)
+        eps = characterize(self.backlog(100 + rng.normal(0, 0.5, 50)))
+        assert eps
+        assert all(e.label == "normal" for e in eps)
+
+    def test_blockage_fills_fast(self):
+        flat = np.full(30, 100.0)
+        filling = 100.0 + np.arange(30) * 50.0   # queue racing upward
+        eps = characterize(self.backlog(np.concatenate([flat, filling])))
+        labels = {e.label for e in eps}
+        assert "blockage" in labels or "filling" in labels
+
+    def test_drain_detected(self):
+        flat = np.full(30, 1000.0)
+        draining = 1000.0 - np.arange(30) * 30.0
+        eps = characterize(self.backlog(np.concatenate([flat, draining])))
+        assert any(e.label == "draining" for e in eps)
+
+    def test_wait_estimate(self):
+        # 900 node-hours through 900 effective nodes ~ 1 hour
+        assert estimate_wait(900.0, machine_nodes=1000,
+                             utilization=0.9) == pytest.approx(3600.0)
+
+    def test_wait_estimate_validation(self):
+        with pytest.raises(ValueError):
+            estimate_wait(10.0, machine_nodes=0)
+
+
+class TestVariabilityDetection:
+    def fom(self, values, dt=600.0):
+        t = np.arange(len(values)) * dt
+        return SeriesBatch.for_component("bench.fom", "ior_read", t, values)
+
+    def test_degradation_window_found(self):
+        rng = np.random.default_rng(2)
+        healthy = rng.normal(100, 1, 20)
+        degraded = rng.normal(60, 1, 10)
+        recovered = rng.normal(100, 1, 10)
+        series = self.fom(np.concatenate([healthy, degraded, recovered]))
+        (win,) = detect_degradations(series)
+        assert win.benchmark == "ior_read"
+        assert 19 * 600 <= win.t_onset <= 21 * 600
+        assert win.t_recovery == pytest.approx(30 * 600)
+        assert win.depth == pytest.approx(0.4, abs=0.05)
+
+    def test_unrecovered_window_open_ended(self):
+        rng = np.random.default_rng(3)
+        series = self.fom(
+            np.concatenate([rng.normal(100, 1, 20), rng.normal(50, 1, 10)])
+        )
+        (win,) = detect_degradations(series)
+        assert win.t_recovery is None
+
+    def test_healthy_series_no_windows(self):
+        rng = np.random.default_rng(4)
+        assert detect_degradations(self.fom(rng.normal(100, 1, 40))) == []
+
+    def test_attribution_pulls_overlapping_fault(self):
+        rng = np.random.default_rng(5)
+        series = self.fom(
+            np.concatenate([rng.normal(100, 1, 20), rng.normal(50, 1, 10),
+                            rng.normal(100, 1, 5)])
+        )
+        (win,) = detect_degradations(series)
+        events = [
+            Event(win.t_onset + 60, "scratch-ost0", EventKind.FILESYSTEM,
+                  Severity.WARNING, "slow_io"),
+            Event(0.0, "n0", EventKind.CONSOLE, Severity.INFO, "boot"),
+        ]
+        truth = [
+            {"name": "slow_ost", "start": win.t_onset - 30,
+             "end": win.t_recovery, "target": "scratch-ost0"},
+            {"name": "old_fault", "start": 0.0, "end": 10.0,
+             "target": "x"},
+        ]
+        result = attribute_window(win, events, truth)
+        assert len(result["events"]) == 1
+        assert [f["name"] for f in result["faults"]] == ["slow_ost"]
+
+
+class TestLogPatterns:
+    def ev(self, t, msg, comp="n0"):
+        return Event(t, comp, EventKind.CONSOLE, Severity.INFO, msg)
+
+    def test_known_scanner_hits(self):
+        scanner = KnownPatternScanner()
+        hits = scanner.scan(
+            [
+                self.ev(0, "kernel: watchdog: soft lockup on CPU#3"),
+                self.ev(1, "all quiet"),
+                self.ev(2, "GPU has fallen off the bus"),
+            ]
+        )
+        assert set(hits) == {"soft_lockup", "gpu_falloff"}
+
+    def test_template_masks_volatile_tokens(self):
+        a = template_of("job 4312 started on 64 nodes")
+        b = template_of("job 99 started on 8 nodes")
+        assert a == b
+
+    def test_template_masks_hex_and_cnames(self):
+        t = template_of("MCE at 0xdeadbeef on c0-0c1s4n2")
+        assert "<hex>" in t and "<cname>" in t
+
+    def test_novel_template_surfaced(self):
+        tr = TemplateTracker()
+        tr.observe([self.ev(0, "routine message 1")])
+        novel = tr.observe(
+            [self.ev(10, "routine message 2"),
+             self.ev(20, "NEW subsystem wedged")]
+        )
+        assert novel == [template_of("NEW subsystem wedged")]
+
+    def test_rate_anomaly_on_known_template(self):
+        tr = TemplateTracker(bucket_s=100.0)
+        # 1/bucket background for 10 buckets, then a storm
+        for b in range(10):
+            tr.observe([self.ev(b * 100.0, "link retry count 5")])
+        tr.observe(
+            [self.ev(1050.0, f"link retry count {i}") for i in range(50)]
+        )
+        anomalies = tr.rate_anomalies(0.0, 1100.0)
+        assert anomalies
+        assert anomalies[0].count == 50
+        assert anomalies[0].bucket_t == 1000.0
+
+    def test_counts_include_empty_buckets(self):
+        tr = TemplateTracker(bucket_s=10.0)
+        tr.observe([self.ev(5.0, "x"), self.ev(35.0, "x")])
+        counts = tr.counts(template_of("x"), 0.0, 40.0)
+        assert list(counts) == [1, 0, 0, 1]

@@ -1,0 +1,173 @@
+"""Unit tests for trend analysis and congestion-region detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.congestion import (
+    congestion_levels,
+    congestion_regions,
+    jobs_touching_region,
+)
+from repro.analysis.trend import (
+    FailureRateTracker,
+    fit_trend,
+    time_to_threshold,
+)
+from repro.cluster.network import Flow, NetworkState
+from repro.cluster.topology import build_dragonfly
+from repro.core.metric import SeriesBatch
+from repro.storage.jobstore import JobIndex
+
+
+class TestTrendFit:
+    def test_linear_fit_recovers_slope(self):
+        t = np.arange(0, 100, 10, dtype=float)
+        v = 5.0 + 0.25 * t
+        fit = fit_trend(SeriesBatch.for_component("m", "c", t, v))
+        assert fit.slope == pytest.approx(0.25)
+        assert fit.r2 == pytest.approx(1.0)
+        assert fit.predict(200.0) == pytest.approx(55.0)
+
+    def test_log_fit_for_exponential_growth(self):
+        t = np.arange(0, 5 * 86400, 86400, dtype=float)
+        v = 1e-15 * 10 ** (t / 86400.0)  # one decade per day
+        fit = fit_trend(SeriesBatch.for_component("link.ber", "l", t, v),
+                        log_space=True)
+        assert fit.slope * 86400 == pytest.approx(1.0, rel=1e-6)
+        assert fit.predict(t[-1]) == pytest.approx(v[-1], rel=1e-6)
+
+    def test_log_fit_rejects_nonpositive(self):
+        b = SeriesBatch.for_component("m", "c", [0.0, 1.0], [0.0, 1.0])
+        with pytest.raises(ValueError, match="positive"):
+            fit_trend(b, log_space=True)
+
+    def test_needs_two_points(self):
+        b = SeriesBatch.for_component("m", "c", [0.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_trend(b)
+
+
+class TestTimeToThreshold:
+    def make_fit(self, t, v, log=False):
+        return fit_trend(SeriesBatch.for_component("m", "c", t, v), log)
+
+    def test_projection(self):
+        t = np.arange(0, 100, 10, dtype=float)
+        fit = self.make_fit(t, 1.0 + 0.1 * t)
+        # value hits 21 at t=200; from now=100 that's 100s out
+        assert time_to_threshold(fit, 21.0, now=100.0) == pytest.approx(100.0)
+
+    def test_already_past_threshold(self):
+        t = np.arange(0, 100, 10, dtype=float)
+        fit = self.make_fit(t, 1.0 + 0.1 * t)
+        assert time_to_threshold(fit, 2.0, now=100.0) == 0.0
+
+    def test_trending_away_returns_none(self):
+        t = np.arange(0, 100, 10, dtype=float)
+        fit = self.make_fit(t, 100.0 - 0.1 * t)
+        assert time_to_threshold(fit, 200.0, now=100.0) is None
+
+    def test_flat_returns_none(self):
+        t = np.arange(0, 100, 10, dtype=float)
+        fit = self.make_fit(t, np.full_like(t, 5.0))
+        assert time_to_threshold(fit, 10.0, now=100.0) is None
+
+
+class TestFailureRateTracker:
+    DAY = 86400.0
+
+    def test_background_rate_not_elevated(self):
+        tr = FailureRateTracker(window_s=30 * self.DAY)
+        # one failure a month for a year
+        for m in range(12):
+            tr.record(m * 30 * self.DAY)
+        assert not tr.elevated(now=360 * self.DAY)
+
+    def test_wave_detected(self):
+        tr = FailureRateTracker(window_s=30 * self.DAY)
+        for m in range(24):
+            tr.record(m * 30 * self.DAY)        # 1/month baseline
+        base_end = 24 * 30 * self.DAY
+        for d in range(12):                      # then 12 in one month
+            tr.record(base_end + d * 2 * self.DAY)
+        now = base_end + 29 * self.DAY
+        assert tr.rate_ratio(now) > 5
+        assert tr.elevated(now)
+
+    def test_single_failure_insufficient(self):
+        tr = FailureRateTracker(window_s=30 * self.DAY)
+        tr.record(100 * self.DAY)
+        assert not tr.elevated(now=101 * self.DAY)
+
+    def test_no_baseline_infinite_ratio(self):
+        tr = FailureRateTracker(window_s=30 * self.DAY)
+        for d in range(6):
+            tr.record(d * self.DAY)
+        assert tr.rate_ratio(now=10 * self.DAY) == float("inf")
+
+
+class TestCongestionLevels:
+    def test_binning(self):
+        r = np.array([0.0, 0.06, 0.15, 0.5])
+        assert list(congestion_levels(r)) == [0, 1, 2, 3]
+
+
+@pytest.fixture()
+def hot_network():
+    """A dragonfly with one genuinely congested corner."""
+    topo = build_dragonfly(groups=3, chassis_per_group=3,
+                           blades_per_chassis=4)
+    net = NetworkState(topo, seed=0)
+    # hammer one destination from many sources -> a hot neighborhood
+    dst = topo.nodes[-1]
+    flows = [Flow(topo.nodes[i], dst, 30e9) for i in range(40)]
+    net.step(1.0, flows)
+    return topo, net
+
+
+class TestCongestionRegions:
+    def test_idle_network_no_regions(self):
+        topo = build_dragonfly(groups=2, chassis_per_group=3,
+                               blades_per_chassis=4)
+        net = NetworkState(topo)
+        net.step(1.0, [])
+        assert congestion_regions(topo, net.link_stall_ratio) == []
+
+    def test_hotspot_found_as_one_region(self, hot_network):
+        topo, net = hot_network
+        regions = congestion_regions(topo, net.link_stall_ratio)
+        assert regions
+        top = regions[0]
+        assert top.max_stall > 0.2
+        # the destination's router must sit inside the hot region
+        dst_router = topo.node_router[topo.nodes[-1]]
+        assert dst_router in regions[0].routers or any(
+            dst_router in r.routers for r in regions
+        )
+
+    def test_regions_are_connected(self, hot_network):
+        topo, net = hot_network
+        for region in congestion_regions(topo, net.link_stall_ratio):
+            # every link in the region shares a router with another
+            routers = set(region.routers)
+            for idx in region.link_indices:
+                link = topo.links[idx]
+                assert link.a in routers and link.b in routers
+
+    def test_jobs_touching_region(self, hot_network):
+        topo, net = hot_network
+        regions = congestion_regions(topo, net.link_stall_ratio)
+        idx = JobIndex()
+        # the traffic job: sources + destination
+        idx.record_start(1, "cfd_fft",
+                         [topo.nodes[i] for i in range(40)]
+                         + [topo.nodes[-1]], 0.0)
+        # an unrelated small job on nodes sharing one router
+        quiet = [n for n in topo.nodes
+                 if topo.node_router[n] == topo.node_router[topo.nodes[4]]]
+        idx.record_start(2, "qmc", quiet[:2], 0.0)
+        touched = jobs_touching_region(
+            topo, regions[0], idx.jobs_active_at(0.5)
+        )
+        assert 1 in touched
+        assert 2 not in touched

@@ -1,0 +1,76 @@
+"""Tests for adaptive (Valiant) routing under congestion."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.network import Flow, NetworkState
+from repro.cluster.topology import build_dragonfly
+
+
+def hotspot_flows(topo, n_senders=24, bytes_each=20e9):
+    dst = topo.nodes[-1]
+    return [Flow(topo.nodes[i], dst, bytes_each) for i in range(n_senders)]
+
+
+@pytest.fixture()
+def topo():
+    return build_dragonfly(groups=3, chassis_per_group=3,
+                           blades_per_chassis=4)
+
+
+class TestAdaptiveRouting:
+    def test_no_detours_on_quiet_network(self, topo):
+        net = NetworkState(topo, adaptive=True, seed=1)
+        net.step(1.0, [Flow(topo.nodes[0], topo.nodes[-1], 1e6)])
+        net.step(1.0, [Flow(topo.nodes[0], topo.nodes[-1], 1e6)])
+        assert net.detours == 0
+
+    def test_detours_engage_under_congestion(self, topo):
+        net = NetworkState(topo, adaptive=True, seed=1)
+        flows = hotspot_flows(topo)
+        net.step(1.0, flows)       # first sweep measures the hotspot
+        net.step(1.0, flows)       # second sweep routes around it
+        assert net.detours > 0
+
+    def test_adaptive_spreads_load_wider(self, topo):
+        """Valiant detours put traffic on links the minimal routes never
+        touch — the hotspot's neighborhood stops being the whole story."""
+        minimal = NetworkState(topo, adaptive=False, seed=1)
+        adaptive = NetworkState(topo, adaptive=True, seed=1)
+        flows = hotspot_flows(topo)
+        for _ in range(5):
+            minimal.step(1.0, flows)
+            adaptive.step(1.0, flows)
+        used_min = int((minimal.cum_traffic_flits > 0).sum())
+        used_ada = int((adaptive.cum_traffic_flits > 0).sum())
+        assert used_ada > used_min
+
+    def test_adaptive_improves_aggregate_throughput(self, topo):
+        """Spreading a hotspot must not make things worse overall."""
+        minimal = NetworkState(topo, adaptive=False, seed=1)
+        adaptive = NetworkState(topo, adaptive=True, seed=1)
+        # many-to-many congestion (not a single-destination funnel, whose
+        # terminal links no detour can widen)
+        rng = np.random.default_rng(3)
+        nodes = topo.nodes
+        flows = [
+            Flow(nodes[i], nodes[j], 8e9)
+            for i, j in rng.integers(0, len(nodes), size=(80, 2))
+            if topo.node_router[nodes[i]] != topo.node_router[nodes[j]]
+        ]
+        tot_min = tot_ada = 0.0
+        for _ in range(5):
+            minimal.step(1.0, flows)
+            adaptive.step(1.0, flows)
+            tot_min += minimal.inject_achieved_Bps.sum()
+            tot_ada += adaptive.inject_achieved_Bps.sum()
+        assert tot_ada >= 0.9 * tot_min
+
+    def test_detoured_flows_still_delivered(self, topo):
+        net = NetworkState(topo, adaptive=True, seed=1)
+        flows = hotspot_flows(topo)
+        net.step(1.0, flows)
+        before = net.cum_traffic_flits.sum()
+        net.step(1.0, flows)
+        assert net.cum_traffic_flits.sum() > before
+        assert net.inject_achieved_Bps.sum() > 0

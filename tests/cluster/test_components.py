@@ -1,0 +1,112 @@
+"""Unit tests for the GPU population model (ORNL corrosion scenario)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.components import GpuStore
+
+
+@pytest.fixture()
+def gpus():
+    return GpuStore([f"n{i}" for i in range(50)], seed=3)
+
+
+DAY = 86400.0
+
+
+class TestAgeing:
+    def test_clean_room_is_nearly_harmless(self, gpus):
+        h0 = gpus.health.copy()
+        for _ in range(30):
+            gpus.step(DAY, corrosion_rate=150.0)
+        assert not gpus.failed.any()
+        # only background wear
+        assert (h0 - gpus.health).max() < 0.01
+
+    def test_corrosive_room_degrades(self, gpus):
+        h0 = gpus.health.copy()
+        for _ in range(30):
+            gpus.step(DAY, corrosion_rate=1400.0)
+        assert (h0 - gpus.health).min() > 0.05
+
+    def test_sustained_corrosion_fails_gpus(self, gpus):
+        failures = []
+        for day in range(400):
+            newly = gpus.step(DAY, corrosion_rate=1400.0)
+            failures.extend(newly)
+            if gpus.failed.all():
+                break
+        assert len(failures) > 10
+
+    def test_failed_gpu_stops_ageing(self, gpus):
+        gpus.health[:] = 0.001
+        gpus.step(DAY, corrosion_rate=1400.0)
+        assert gpus.failed.all()
+        h = gpus.health.copy()
+        gpus.step(DAY, corrosion_rate=1400.0)
+        assert np.array_equal(h, gpus.health)
+
+    def test_ecc_errors_precede_failure(self, gpus):
+        gpus.health[:] = 0.15   # stressed but alive
+        total = 0
+        for _ in range(30):
+            gpus.step(DAY, corrosion_rate=150.0)
+            total = gpus.ecc_dbe.sum()
+            if total > 0:
+                break
+        assert total > 0
+
+    def test_healthy_gpus_emit_no_ecc(self, gpus):
+        for _ in range(30):
+            gpus.step(DAY, corrosion_rate=150.0)
+        assert gpus.ecc_dbe.sum() == 0
+
+
+class TestReplacement:
+    def test_replacement_restores_health(self, gpus):
+        gpus.health[0] = -0.1
+        gpus.step(1.0, 150.0)
+        assert gpus.failed[0]
+        gpus.replace("n0", sulfur_resistant=True)
+        assert not gpus.failed[0]
+        assert gpus.health[0] > 0.85
+
+    def test_sulfur_resistant_part_immune(self, gpus):
+        gpus.replace("n0", sulfur_resistant=True)
+        h0 = gpus.health[0]
+        for _ in range(200):
+            gpus.step(DAY, corrosion_rate=2000.0)
+        # only background wear on the replaced part
+        assert h0 - gpus.health[0] < 0.05
+        # vulnerable neighbors rotted
+        assert gpus.failed[1:].sum() > 0
+
+    def test_vulnerable_replacement_still_ages(self, gpus):
+        gpus.replace("n1", sulfur_resistant=False)
+        h0 = gpus.health[1]
+        for _ in range(50):
+            gpus.step(DAY, corrosion_rate=1400.0)
+        assert h0 - gpus.health[1] > 0.05
+
+
+class TestViews:
+    def test_names(self, gpus):
+        assert gpus.names[0] == "n0g0"
+
+    def test_failed_hosts(self, gpus):
+        gpus.health[3] = -1
+        gpus.step(1.0, 150.0)
+        assert gpus.failed_hosts() == ["n3"]
+
+    def test_ok_mask_complements_failed(self, gpus):
+        gpus.health[5] = -1
+        gpus.step(1.0, 150.0)
+        assert not gpus.ok_mask()[5]
+        assert gpus.ok_mask().sum() == gpus.n - 1
+
+    def test_temperature_tracks_utilization(self, gpus):
+        util = np.zeros(gpus.n)
+        util[0] = 1.0
+        for _ in range(100):
+            gpus.step(10.0, 150.0, util)
+        assert gpus.temp_c[0] > gpus.temp_c[1] + 20

@@ -1,0 +1,236 @@
+"""Integration tests: faults applied to a stepping machine."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    CorrosionExcursion,
+    HungNode,
+    LinkFailure,
+    LoadImbalance,
+    Machine,
+    MemoryLeak,
+    MountLoss,
+    PackedPlacement,
+    PowerModel,
+    QueueBlockage,
+    ServiceDeath,
+    SlowOst,
+    ThermalExcursion,
+)
+from repro.cluster.topology import build_dragonfly
+from repro.cluster.workload import APP_LIBRARY, Job, JobGenerator, JobState
+from repro.core.events import EventKind
+
+
+def small_machine(**kw):
+    topo = build_dragonfly(groups=2, chassis_per_group=3, blades_per_chassis=4)
+    return Machine(topo, seed=11, **kw)
+
+
+def submit(machine, app="qmc", n=8, seed=0):
+    j = Job(APP_LIBRARY[app], n, submit_time=0.0, seed=seed)
+    machine.scheduler.submit(j, machine.now)
+    return j
+
+
+class TestMachineBasics:
+    def test_time_advances(self):
+        m = small_machine()
+        m.run(60.0, dt=5.0)
+        assert m.now == pytest.approx(60.0)
+        assert m.steps_taken == 12
+
+    def test_jobs_flow_through(self):
+        m = small_machine(
+            job_generator=JobGenerator(
+                mean_interarrival_s=60, max_nodes=16, seed=4
+            )
+        )
+        m.run(3600.0, dt=10.0)
+        assert m.scheduler.completed or m.scheduler.running
+
+    def test_job_completion_emits_event(self):
+        m = small_machine()
+        app = APP_LIBRARY["qmc"]
+        quick = Job(app, 4, 0.0, seed=1)
+        quick.work_seconds = 50.0
+        m.scheduler.submit(quick, 0.0)
+        m.run(120.0, dt=5.0)
+        evs = m.drain_events()
+        msgs = [e.message for e in evs if e.kind is EventKind.SCHEDULER]
+        assert any("completed" in s for s in msgs)
+
+    def test_walltime_enforcement(self):
+        m = small_machine()
+        j = Job(APP_LIBRARY["qmc"], 4, 0.0, seed=1, walltime_req=30.0)
+        m.scheduler.submit(j, 0.0)
+        m.run(120.0, dt=5.0)
+        assert j.state is JobState.FAILED
+
+    def test_deterministic_given_seed(self):
+        def build():
+            m = small_machine(
+                job_generator=JobGenerator(
+                    mean_interarrival_s=120, max_nodes=16, seed=9
+                )
+            )
+            m.run(600.0, dt=5.0)
+            return m.nodes.power_w.copy()
+
+        assert np.array_equal(build(), build())
+
+
+class TestHungNodeFault:
+    def test_hung_node_stalls_job_but_burns_power(self):
+        m = small_machine()
+        j = submit(m, "qmc", n=8)
+        m.run(60.0, dt=5.0)
+        assert j.state is JobState.RUNNING
+        victim = j.nodes[0]
+        m.faults.add(HungNode(start=m.now, node=victim))
+        p0 = j.progress
+        m.run(120.0, dt=5.0)
+        assert j.progress == p0  # no forward progress
+        # but the hung node still draws busy power
+        assert m.nodes.power_w[m.nodes.idx(victim)] > 200
+
+
+class TestLoadImbalanceFault:
+    def test_imbalance_drops_system_power(self):
+        m = small_machine(placement=PackedPlacement())
+        submit(m, "qmc", n=48)
+        m.run(300.0, dt=5.0)   # reach steady busy power
+        pm = PowerModel(m.topo, m.nodes)
+        p_before = pm.system_power_w()
+        m.faults.add(LoadImbalance(start=m.now, frac_busy=0.25))
+        m.run(300.0, dt=5.0)
+        p_during = pm.system_power_w()
+        assert p_during < p_before * 0.85
+
+    def test_imbalance_raises_cabinet_variation(self):
+        m = small_machine(placement=PackedPlacement())
+        submit(m, "qmc", n=96)  # whole machine
+        m.run(300.0, dt=5.0)
+        pm = PowerModel(m.topo, m.nodes)
+        cab_before = pm.cabinet_power_w()
+        spread_before = cab_before.max() / cab_before.min()
+        m.faults.add(LoadImbalance(start=m.now, frac_busy=0.4))
+        m.run(300.0, dt=5.0)
+        cab_during = pm.cabinet_power_w()
+        spread_during = cab_during.max() / cab_during.min()
+        assert spread_during > spread_before * 1.3
+
+    def test_imbalance_reverts(self):
+        m = small_machine(placement=PackedPlacement())
+        j = submit(m, "qmc", n=48)
+        m.run(60.0, dt=5.0)
+        m.faults.add(LoadImbalance(start=m.now, duration=60.0))
+        m.run(180.0, dt=5.0)
+        assert (j.node_util_scale == 1.0).all()
+
+
+class TestLinkFailureFault:
+    def test_link_failure_emits_event_trail(self):
+        m = small_machine()
+        m.faults.add(LinkFailure(start=10.0, duration=60.0, link_index=0))
+        m.run(120.0, dt=5.0)
+        net_events = [
+            e for e in m.drain_events() if e.kind is EventKind.NETWORK
+        ]
+        msgs = " ".join(e.message for e in net_events)
+        assert "failed" in msgs and "restored" in msgs
+
+    def test_traffic_avoids_failed_link(self):
+        m = small_machine()
+        submit(m, "cfd_fft", n=32)
+        m.run(60.0, dt=5.0)
+        m.faults.add(LinkFailure(start=m.now, link_index=0))
+        m.run(60.0, dt=5.0)
+        assert m.network.link_failed[0]
+
+
+class TestFilesystemFaults:
+    def test_slow_ost_inflates_probe_latency(self):
+        m = small_machine()
+        base = np.mean([m.fs.probe_io_latency(0) for _ in range(30)])
+        m.faults.add(SlowOst(start=10.0, ost=0, bw_factor=0.1))
+        m.run(30.0, dt=5.0)
+        degraded = np.mean([m.fs.probe_io_latency(0) for _ in range(30)])
+        assert degraded > 5 * base
+
+
+class TestNodeFaults:
+    def test_service_death_and_recovery(self):
+        m = small_machine()
+        node = m.topo.nodes[0]
+        m.faults.add(
+            ServiceDeath(start=10.0, duration=60.0, node=node,
+                         service="slurmd")
+        )
+        m.run(30.0, dt=5.0)
+        assert not m.nodes.node(node).service_ok("slurmd")
+        m.run(60.0, dt=5.0)
+        assert m.nodes.node(node).service_ok("slurmd")
+
+    def test_mount_loss_fails_health(self):
+        m = small_machine()
+        node = m.topo.nodes[1]
+        m.faults.add(MountLoss(start=0.0, node=node))
+        m.run(10.0, dt=5.0)
+        assert not m.nodes.healthy_mask()[1]
+
+    def test_memory_leak_drains_node(self):
+        m = small_machine()
+        node = m.topo.nodes[2]
+        m.faults.add(MemoryLeak(start=0.0, node=node, gb_per_s=1.0))
+        m.run(300.0, dt=5.0)
+        assert m.nodes.mem_free_gb[2] < 4.0
+
+
+class TestSchedulerAndEnvFaults:
+    def test_queue_blockage_fills_queue(self):
+        m = small_machine(
+            job_generator=JobGenerator(
+                mean_interarrival_s=30, max_nodes=8, seed=5
+            )
+        )
+        m.faults.add(QueueBlockage(start=0.0, duration=600.0))
+        m.run(600.0, dt=10.0)
+        assert m.scheduler.queue_depth > 5
+        assert not m.scheduler.running
+
+    def test_thermal_excursion_raises_ambient(self):
+        m = small_machine()
+        m.faults.add(ThermalExcursion(start=0.0, duration=300.0, delta_c=8.0))
+        m.run(60.0, dt=5.0)
+        assert m.room.ambient_c > 27.0
+        m.run(600.0, dt=5.0)
+        assert m.room.ambient_c < 26.0  # reverted and relaxing back
+
+
+class TestGpuIntegration:
+    def test_corrosion_wave_fails_gpus_and_jobs(self):
+        m = small_machine(gpu_nodes="all")
+        m.faults.add(CorrosionExcursion(start=0.0, rate=2500.0))
+        j = submit(m, "qmc", n=96)
+        # force-age some GPUs so failures happen within the test window
+        m.gpus.health[:5] = 0.0005
+        m.run(7200.0, dt=60.0)
+        assert m.gpus.failed.sum() >= 1
+        hw = [e for e in m.drain_events() if e.kind is EventKind.HWERR]
+        assert hw
+        assert j.state is JobState.FAILED  # gpu failure killed the job
+
+
+class TestGroundTruth:
+    def test_injector_records_windows(self):
+        m = small_machine()
+        m.faults.add(HungNode(start=10.0, duration=20.0,
+                              node=m.topo.nodes[0]))
+        m.run(60.0, dt=5.0)
+        (record,) = m.faults.ground_truth()
+        assert record["name"] == "hung_node"
+        assert record["start"] == 10.0
+        assert record["end"] == 30.0
+        assert record["applied"]

@@ -1,0 +1,122 @@
+"""Unit tests for the Lustre-like filesystem model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.filesystem import IODemand, LustreFS
+
+
+@pytest.fixture()
+def fs():
+    return LustreFS(n_ost=8, ost_bw_Bps=1e9, mds_ops_per_s=1000, seed=0)
+
+
+class TestService:
+    def test_idle_fs_serves_nothing(self, fs):
+        fs.step(1.0, [])
+        assert fs.read_Bps_total() == 0.0
+        assert fs.mds_util == 0.0
+
+    def test_demand_below_capacity_fully_served(self, fs):
+        d = IODemand(1, read_bytes=4e8, write_bytes=0, md_ops=0)
+        fs.step(1.0, [d])
+        assert fs.read_Bps_total() == pytest.approx(4e8)
+        assert fs.job_io_fraction[1] == pytest.approx(1.0)
+
+    def test_oversubscribed_ost_throttles_proportionally(self, fs):
+        # two jobs hammer one OST at 2x capacity combined
+        d1 = IODemand(1, read_bytes=1e9, write_bytes=0, md_ops=0, stripe=(0,))
+        d2 = IODemand(2, read_bytes=1e9, write_bytes=0, md_ops=0, stripe=(0,))
+        fs.step(1.0, [d1, d2])
+        assert fs.ost_read_Bps[0] == pytest.approx(1e9)
+        assert fs.job_io_fraction[1] == pytest.approx(0.5, rel=0.01)
+        assert fs.job_io_fraction[2] == pytest.approx(0.5, rel=0.01)
+
+    def test_wide_striping_spreads_load(self, fs):
+        d = IODemand(1, read_bytes=8e8, write_bytes=0, md_ops=0)  # all OSTs
+        fs.step(1.0, [d])
+        assert np.allclose(fs.ost_read_Bps, 1e8)
+
+    def test_writes_fill_capacity(self, fs):
+        used0 = fs.ost_used_bytes.copy()
+        d = IODemand(1, read_bytes=0, write_bytes=8e8, md_ops=0)
+        fs.step(1.0, [d])
+        assert (fs.ost_used_bytes > used0).all()
+
+    def test_fill_never_exceeds_capacity(self, fs):
+        d = IODemand(1, 0, fs.ost_capacity_bytes * 100, 0, stripe=(0,))
+        for _ in range(5):
+            fs.step(1.0, [d])
+        assert fs.fill_fractions()[0] <= 1.0
+
+    def test_mds_utilization(self, fs):
+        fs.step(1.0, [IODemand(1, 0, 0, md_ops=500)])
+        assert fs.mds_util == pytest.approx(0.5)
+        fs.step(1.0, [IODemand(1, 0, 0, md_ops=5000)])
+        assert fs.mds_util == 1.0
+
+
+class TestProbes:
+    def test_idle_latency_near_base(self, fs):
+        fs.step(1.0, [])
+        lat = np.mean([fs.probe_io_latency(0) for _ in range(50)])
+        assert lat == pytest.approx(fs.base_io_latency_s, rel=0.1)
+
+    def test_loaded_ost_probe_latency_rises(self, fs):
+        d = IODemand(1, read_bytes=9.5e8, write_bytes=0, md_ops=0, stripe=(0,))
+        fs.step(1.0, [d])
+        loaded = np.mean([fs.probe_io_latency(0) for _ in range(50)])
+        quiet = np.mean([fs.probe_io_latency(1) for _ in range(50)])
+        assert loaded > 5 * quiet
+
+    def test_slow_ost_probe_latency_rises_even_idle(self, fs):
+        fs.set_slow_ost(3, 0.1)
+        fs.step(1.0, [])
+        slow = np.mean([fs.probe_io_latency(3) for _ in range(50)])
+        ok = np.mean([fs.probe_io_latency(0) for _ in range(50)])
+        assert slow > 5 * ok
+
+    def test_md_latency_rises_under_mds_degradation(self, fs):
+        fs.step(1.0, [])
+        before = np.mean([fs.probe_md_latency() for _ in range(50)])
+        fs.set_mds_degraded(0.1)
+        fs.step(1.0, [])
+        after = np.mean([fs.probe_md_latency() for _ in range(50)])
+        assert after > 5 * before
+
+
+class TestFaults:
+    def test_slow_ost_reduces_throughput(self, fs):
+        d = IODemand(1, read_bytes=1e9, write_bytes=0, md_ops=0, stripe=(0,))
+        fs.step(1.0, [d])
+        healthy = fs.ost_read_Bps[0]
+        fs.set_slow_ost(0, 0.2)
+        fs.step(1.0, [d])
+        assert fs.ost_read_Bps[0] == pytest.approx(healthy * 0.2, rel=0.01)
+
+    def test_heal_ost(self, fs):
+        fs.set_slow_ost(0, 0.2)
+        fs.heal_ost(0)
+        assert fs.ost_bw_factor[0] == 1.0
+
+    def test_invalid_bw_factor_rejected(self, fs):
+        with pytest.raises(ValueError):
+            fs.set_slow_ost(0, 0.0)
+        with pytest.raises(ValueError):
+            fs.set_slow_ost(0, 1.5)
+
+
+class TestAttribution:
+    def test_per_job_io_attributed(self, fs):
+        d1 = IODemand(7, read_bytes=2e8, write_bytes=1e8, md_ops=0)
+        d2 = IODemand(8, read_bytes=4e8, write_bytes=0, md_ops=0)
+        fs.step(1.0, [d1, d2])
+        r1, w1 = fs.job_io_Bps[7]
+        r2, w2 = fs.job_io_Bps[8]
+        assert r1 == pytest.approx(2e8) and w1 == pytest.approx(1e8)
+        assert r2 == pytest.approx(4e8) and w2 == 0.0
+
+    def test_ost_names(self, fs):
+        names = fs.ost_names()
+        assert names[0] == "scratch-ost0"
+        assert len(names) == 8

@@ -1,0 +1,140 @@
+"""Unit tests for the HSN traffic engine."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.network import FLIT_BYTES, Flow, NetworkState
+from repro.cluster.topology import build_dragonfly, build_torus
+
+
+@pytest.fixture()
+def net():
+    topo = build_dragonfly(groups=2, chassis_per_group=3, blades_per_chassis=4)
+    return NetworkState(topo, seed=0)
+
+
+class TestTrafficAccounting:
+    def test_no_flows_no_counters(self, net):
+        net.step(1.0, [])
+        assert net.cum_traffic_flits.sum() == 0.0
+        assert net.inject_achieved_Bps.sum() == 0.0
+
+    def test_flits_accumulate_along_route(self, net):
+        topo = net.topo
+        src, dst = topo.nodes[0], topo.nodes[-1]
+        route = topo.route(src, dst)
+        net.step(1.0, [Flow(src, dst, 16000.0)])
+        for idx in route:
+            assert net.cum_traffic_flits[idx] == pytest.approx(
+                16000.0 / FLIT_BYTES
+            )
+
+    def test_counters_monotonic(self, net):
+        topo = net.topo
+        f = Flow(topo.nodes[0], topo.nodes[-1], 1e6)
+        net.step(1.0, [f])
+        first = net.cum_traffic_flits.copy()
+        net.step(1.0, [f])
+        assert (net.cum_traffic_flits >= first).all()
+
+    def test_same_router_flow_touches_no_links(self, net):
+        topo = net.topo
+        # nodes 0..3 share a blade/router
+        net.step(1.0, [Flow(topo.nodes[0], topo.nodes[1], 1e9)])
+        assert net.cum_traffic_flits.sum() == 0.0
+        # but injection is still accounted
+        assert net.inject_achieved_Bps.max() > 0
+
+    def test_zero_byte_flow_ignored(self, net):
+        net.step(1.0, [Flow(net.topo.nodes[0], net.topo.nodes[-1], 0.0)])
+        assert net.cum_traffic_flits.sum() == 0.0
+
+
+class TestContention:
+    def _saturate(self, net, n_senders=24, bytes_each=20e9):
+        """Many senders hammer one destination's links."""
+        topo = net.topo
+        dst = topo.nodes[-1]
+        flows = [
+            Flow(topo.nodes[i], dst, bytes_each) for i in range(n_senders)
+        ]
+        net.step(1.0, flows)
+        return flows
+
+    def test_saturation_caps_throughput(self, net):
+        self._saturate(net)
+        # achieved injection must respect per-link and NIC caps
+        assert (net.inject_achieved_Bps <= net.topo.nic_bw_Bps + 1e-6).all()
+        assert net.link_util.max() == pytest.approx(1.0)
+
+    def test_stalls_grow_with_load(self, net):
+        topo = net.topo
+        light = Flow(topo.nodes[0], topo.nodes[-1], 1e8)
+        net.step(1.0, [light])
+        light_stalls = net.cum_stall_flits.sum()
+        self._saturate(net)
+        assert net.cum_stall_flits.sum() > light_stalls * 10
+
+    def test_stall_ratio_bounded(self, net):
+        self._saturate(net)
+        assert (net.link_stall_ratio >= 0).all()
+        assert (net.link_stall_ratio <= 1).all()
+
+    def test_oversubscribed_flow_slowed(self, net):
+        self._saturate(net)
+        total_offered = net.inject_offered_Bps.sum()
+        total_achieved = net.inject_achieved_Bps.sum()
+        assert total_achieved < total_offered
+
+
+class TestFaults:
+    def test_failed_link_reroutes_traffic(self, net):
+        topo = net.topo
+        src, dst = topo.nodes[0], topo.nodes[-1]
+        route = topo.route(src, dst)
+        victim = route[0]
+        net.fail_link(victim)
+        net.step(1.0, [Flow(src, dst, 1e6)])
+        assert net.cum_traffic_flits[victim] == 0.0
+        assert net.cum_traffic_flits.sum() > 0  # went somewhere else
+
+    def test_restore_link(self, net):
+        victim = 0
+        net.fail_link(victim)
+        net.restore_link(victim)
+        assert not net.link_failed[victim]
+
+    def test_ber_degradation_grows_exponentially(self, net):
+        base = net.ber[5]
+        other = net.ber[6]
+        net.start_ber_degradation(5, decades_per_day=2.0)
+        net.step(43200.0, [])  # half a day -> one decade
+        assert net.ber[5] == pytest.approx(base * 10, rel=0.01)
+        # other links untouched
+        assert net.ber[6] == other
+
+    def test_partitioned_flow_dropped_not_crash(self):
+        # tiny torus where removing enough links can isolate a router pair
+        topo = build_torus(2, 1, 1)
+        net = NetworkState(topo)
+        for i in range(len(topo.links)):
+            net.fail_link(i)
+        net.step(1.0, [Flow(topo.nodes[0], topo.nodes[-1], 1e6)])
+        assert net.cum_traffic_flits.sum() == 0.0
+
+
+class TestInjectionFraction:
+    def test_fraction_in_unit_range(self, net):
+        topo = net.topo
+        flows = [Flow(topo.nodes[0], topo.nodes[-1], 5e9)]
+        net.step(1.0, flows)
+        frac = net.inject_bw_frac()
+        assert (frac >= 0).all() and (frac <= 1.0 + 1e-9).all()
+
+    def test_uncontended_fraction_matches_demand(self, net):
+        topo = net.topo
+        net.step(1.0, [Flow(topo.nodes[0], topo.nodes[-1], 1e9)])
+        si = net.node_index[topo.nodes[0]]
+        assert net.inject_bw_frac()[si] == pytest.approx(
+            1e9 / topo.nic_bw_Bps, rel=0.01
+        )

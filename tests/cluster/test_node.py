@@ -1,0 +1,120 @@
+"""Unit tests for the vectorized node store."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import ESSENTIAL_SERVICES, NodeStore
+
+
+@pytest.fixture()
+def store():
+    names = [f"c0-0c0s{s}n{i}" for s in range(4) for i in range(4)]
+    return NodeStore(names, seed=1)
+
+
+def run_steps(store, util, steps=50, dt=1.0, ambient=22.0):
+    u = np.full(store.n, util)
+    for _ in range(steps):
+        store.step(dt, u, ambient)
+
+
+class TestPhysics:
+    def test_idle_power_near_idle_level(self, store):
+        run_steps(store, 0.0)
+        assert np.allclose(store.power_w, store.idle_power_w, atol=2.0)
+
+    def test_busy_power_approaches_max(self, store):
+        run_steps(store, 1.0, steps=120)
+        assert (store.power_w > 0.95 * store.max_power_w).all()
+
+    def test_energy_integrates_power(self, store):
+        run_steps(store, 0.0, steps=10)
+        assert store.energy_j[0] == pytest.approx(
+            store.idle_power_w * 10, rel=0.05
+        )
+
+    def test_temperature_tracks_load(self, store):
+        run_steps(store, 1.0, steps=300)
+        hot = store.temp_c.copy()
+        run_steps(store, 0.0, steps=600)
+        assert (hot > store.temp_c + 5).all()
+
+    def test_down_node_draws_nothing(self, store):
+        store.set_down(store.names[0])
+        run_steps(store, 1.0, steps=100)
+        assert store.power_w[0] == pytest.approx(0.0, abs=1.0)
+        assert store.power_w[1] > 100
+
+    def test_hung_node_keeps_burning(self, store):
+        run_steps(store, 1.0, steps=100)
+        store.set_hung(store.names[0])
+        # demand drops to zero but the hung node keeps its old utilization
+        run_steps(store, 0.0, steps=100)
+        assert store.power_w[0] > 0.9 * store.max_power_w
+        assert store.power_w[1] < store.idle_power_w + 10
+
+    def test_pstate_cap_reduces_power(self, store):
+        store.pstate_frac[:8] = 0.7
+        run_steps(store, 1.0, steps=200)
+        assert store.power_w[:8].mean() < store.power_w[8:].mean() - 30
+
+    def test_util_shape_validated(self, store):
+        with pytest.raises(ValueError):
+            store.step(1.0, np.zeros(3), 22.0)
+
+
+class TestMemoryLeak:
+    def test_leak_drains_and_clamps(self, store):
+        store.start_leak(store.names[0], gb_per_s=10.0)
+        run_steps(store, 0.0, steps=100)
+        assert store.mem_free_gb[0] == 0.0
+        assert store.mem_free_gb[1] > 100
+
+    def test_stop_leak_restores(self, store):
+        store.start_leak(store.names[0], gb_per_s=10.0)
+        run_steps(store, 0.0, steps=10)
+        store.stop_leak(store.names[0])
+        assert store.mem_free_gb[0] > 100
+
+
+class TestHealthMask:
+    def test_all_healthy_initially(self, store):
+        assert store.healthy_mask().all()
+
+    def test_service_death_flags_node(self, store):
+        store.kill_service(store.names[3], "slurmd")
+        mask = store.healthy_mask()
+        assert not mask[3]
+        assert mask.sum() == store.n - 1
+
+    def test_mount_loss_flags_node(self, store):
+        store.drop_mount(store.names[2], "/scratch")
+        assert not store.healthy_mask()[2]
+
+    def test_low_memory_flags_node(self, store):
+        store.mem_free_gb[5] = 1.0
+        assert not store.healthy_mask(min_free_gb=4.0)[5]
+
+    def test_restore_service(self, store):
+        store.kill_service(store.names[0], "ntpd")
+        store.restore_service(store.names[0], "ntpd")
+        assert store.healthy_mask()[0]
+
+
+class TestNodeProxy:
+    def test_proxy_reflects_store(self, store):
+        node = store.node(store.names[4])
+        assert node.name == store.names[4]
+        assert node.up and not node.hung
+        store.set_hung(store.names[4])
+        assert node.hung
+
+    def test_service_ok(self, store):
+        node = store.node(store.names[0])
+        assert node.service_ok("munge")
+        store.kill_service(store.names[0], "munge")
+        assert not node.service_ok("munge")
+
+    def test_mount_ok(self, store):
+        node = store.node(store.names[0])
+        assert node.mount_ok("/home")

@@ -1,0 +1,203 @@
+"""Unit tests for the batch scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.scheduler import (
+    BatchScheduler,
+    PackedPlacement,
+    ScatteredPlacement,
+    TopoAwarePlacement,
+)
+from repro.cluster.topology import build_dragonfly
+from repro.cluster.workload import APP_LIBRARY, Job, JobState
+
+
+@pytest.fixture()
+def topo():
+    return build_dragonfly(groups=3, chassis_per_group=3, blades_per_chassis=4)
+
+
+def make_job(n, seed=0, walltime=None):
+    return Job(APP_LIBRARY["qmc"], n, submit_time=0.0, seed=seed,
+               walltime_req=walltime)
+
+
+class TestBasicScheduling:
+    def test_job_starts_when_space(self, topo):
+        s = BatchScheduler(topo, seed=0)
+        j = make_job(8)
+        s.submit(j, 0.0)
+        started = s.tick(0.0)
+        assert started == [j]
+        assert j.state is JobState.RUNNING
+        assert len(j.nodes) == 8
+
+    def test_no_double_allocation(self, topo):
+        s = BatchScheduler(topo, seed=0)
+        jobs = [make_job(16, seed=i) for i in range(6)]
+        for j in jobs:
+            s.submit(j, 0.0)
+        s.tick(0.0)
+        allocated = [n for j in s.running for n in j.nodes]
+        assert len(allocated) == len(set(allocated))
+
+    def test_oversized_job_waits(self, topo):
+        s = BatchScheduler(topo, seed=0)
+        j = make_job(len(topo.nodes) + 1)
+        s.submit(j, 0.0)
+        assert s.tick(0.0) == []
+        assert s.queue_depth == 1
+
+    def test_complete_releases_nodes(self, topo):
+        s = BatchScheduler(topo, seed=0)
+        j = make_job(8)
+        s.submit(j, 0.0)
+        s.tick(0.0)
+        s.complete(j, 100.0)
+        assert j.state is JobState.COMPLETED
+        assert not s.allocated
+        assert len(s.free_nodes()) == len(topo.nodes)
+
+    def test_fcfs_order_respected(self, topo):
+        s = BatchScheduler(topo, backfill=False, seed=0)
+        big = make_job(len(topo.nodes))      # fills the machine
+        small = make_job(4, seed=1)
+        s.submit(big, 0.0)
+        s.submit(small, 0.0)
+        first = s.tick(0.0)
+        assert first == [big]
+        # small must wait behind nothing? big is running; small fits nothing
+        assert s.queue_depth == 1
+
+
+class TestBackfill:
+    def test_smaller_job_backfills_around_blocked_head(self, topo):
+        s = BatchScheduler(topo, seed=0)
+        filler = make_job(len(topo.nodes) - 8)
+        s.submit(filler, 0.0)
+        s.tick(0.0)
+        head = make_job(32, seed=1)    # cannot fit: only 8 free
+        little = make_job(4, seed=2)   # fits in the hole
+        s.submit(head, 1.0)
+        s.submit(little, 1.0)
+        started = s.tick(1.0)
+        assert little in started and head not in started
+
+    def test_equal_size_does_not_jump_queue(self, topo):
+        s = BatchScheduler(topo, seed=0)
+        filler = make_job(len(topo.nodes) - 8)
+        s.submit(filler, 0.0)
+        s.tick(0.0)
+        head = make_job(32, seed=1)
+        same = make_job(32, seed=2)
+        s.submit(head, 1.0)
+        s.submit(same, 1.0)
+        assert s.tick(1.0) == []
+
+    def test_backfill_disabled(self, topo):
+        s = BatchScheduler(topo, backfill=False, seed=0)
+        filler = make_job(len(topo.nodes) - 8)
+        s.submit(filler, 0.0)
+        s.tick(0.0)
+        s.submit(make_job(32, seed=1), 1.0)
+        s.submit(make_job(4, seed=2), 1.0)
+        assert s.tick(1.0) == []
+
+
+class TestPlacementPolicies:
+    def groups_used(self, topo, nodes):
+        return {topo.node_group[n] for n in nodes}
+
+    def test_tas_minimizes_groups(self, topo):
+        s = BatchScheduler(topo, placement=TopoAwarePlacement(), seed=0)
+        per_group = len(topo.nodes) // 3
+        j = make_job(per_group)  # fits exactly one group
+        s.submit(j, 0.0)
+        s.tick(0.0)
+        assert len(self.groups_used(topo, j.nodes)) == 1
+
+    def test_scattered_spreads_groups(self, topo):
+        s = BatchScheduler(topo, placement=ScatteredPlacement(), seed=0)
+        j = make_job(len(topo.nodes) // 3)
+        s.submit(j, 0.0)
+        s.tick(0.0)
+        assert len(self.groups_used(topo, j.nodes)) == 3
+
+    def test_packed_is_deterministic(self, topo):
+        s = BatchScheduler(topo, placement=PackedPlacement(), seed=0)
+        j = make_job(8)
+        s.submit(j, 0.0)
+        s.tick(0.0)
+        assert j.nodes == sorted(topo.nodes)[:8]
+
+    def test_tas_spills_to_next_group(self, topo):
+        s = BatchScheduler(topo, placement=TopoAwarePlacement(), seed=0)
+        per_group = len(topo.nodes) // 3
+        j = make_job(per_group + 4)
+        s.submit(j, 0.0)
+        s.tick(0.0)
+        assert len(self.groups_used(topo, j.nodes)) == 2
+
+
+class TestHealthGate:
+    def test_gated_nodes_excluded(self, topo):
+        bad = set(list(topo.nodes)[:4])
+        s = BatchScheduler(
+            topo, health_gate=lambda n: n not in bad, seed=0
+        )
+        j = make_job(len(topo.nodes) - 4)
+        s.submit(j, 0.0)
+        s.tick(0.0)
+        assert j.state is JobState.RUNNING
+        assert not (set(j.nodes) & bad)
+
+    def test_gate_can_starve_job(self, topo):
+        s = BatchScheduler(topo, health_gate=lambda n: False, seed=0)
+        j = make_job(1)
+        s.submit(j, 0.0)
+        assert s.tick(0.0) == []
+
+
+class TestOperations:
+    def test_drain_node(self, topo):
+        s = BatchScheduler(topo, seed=0)
+        victim = topo.nodes[0]
+        s.drain_node(victim)
+        j = make_job(len(topo.nodes))
+        s.submit(j, 0.0)
+        assert s.tick(0.0) == []  # one node short
+        s.return_node(victim)
+        assert s.tick(1.0) == [j]
+
+    def test_blocked_queue_launches_nothing(self, topo):
+        s = BatchScheduler(topo, seed=0)
+        s.set_blocked(True)
+        s.submit(make_job(2), 0.0)
+        assert s.tick(0.0) == []
+        s.set_blocked(False)
+        assert len(s.tick(1.0)) == 1
+
+    def test_backlog_node_hours(self, topo):
+        s = BatchScheduler(topo, seed=0)
+        s.submit(make_job(10, walltime=3600), 0.0)
+        s.submit(make_job(20, walltime=7200), 0.0)
+        assert s.backlog_node_hours() == pytest.approx(10 + 40)
+
+    def test_kill_jobs_on_node(self, topo):
+        s = BatchScheduler(topo, seed=0)
+        j = make_job(8)
+        s.submit(j, 0.0)
+        s.tick(0.0)
+        victims = s.kill_jobs_on_node(j.nodes[0], 50.0)
+        assert victims == [j]
+        assert j.state is JobState.FAILED
+
+    def test_events_recorded_and_drained(self, topo):
+        s = BatchScheduler(topo, seed=0)
+        j = make_job(4)
+        s.submit(j, 0.0)
+        s.tick(0.0)
+        evs = s.drain_events()
+        assert [e.action for e in evs] == ["submit", "start"]
+        assert s.drain_events() == []

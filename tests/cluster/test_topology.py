@@ -1,0 +1,157 @@
+"""Unit tests for dragonfly and torus topologies."""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.cluster.topology import build_dragonfly, build_torus
+
+
+@pytest.fixture(scope="module")
+def dfly():
+    return build_dragonfly(groups=3, chassis_per_group=3, blades_per_chassis=4)
+
+
+@pytest.fixture(scope="module")
+def torus():
+    return build_torus(3, 3, 3)
+
+
+class TestDragonflyStructure:
+    def test_node_count(self, dfly):
+        assert len(dfly.nodes) == 3 * 3 * 4 * 4  # g * c * blades * npr
+
+    def test_router_count(self, dfly):
+        assert len(dfly.routers) == 3 * 3 * 4
+
+    def test_cname_scheme(self, dfly):
+        n = dfly.nodes[0]
+        # cabinet prefix of node cname matches node_cabinet map
+        assert n.startswith(dfly.node_cabinet[n])
+
+    def test_cabinets_hold_three_chassis_worth(self, dfly):
+        cab = dfly.cabinets[0]
+        members = dfly.nodes_in_cabinet(cab)
+        assert len(members) == 3 * 4 * 4  # 3 chassis * 4 blades * 4 nodes
+
+    def test_connected(self, dfly):
+        assert nx.is_connected(dfly.graph)
+
+    def test_link_classes_present(self, dfly):
+        classes = {l.klass for l in dfly.links}
+        assert classes == {"green", "black", "blue"}
+
+    def test_intra_chassis_all_to_all(self, dfly):
+        # every pair of routers in chassis 0 of group 0 shares a green link
+        routers = [r for r in dfly.routers if r.startswith("c0-0c0")]
+        assert len(routers) == 4
+        for a, b in itertools.combinations(routers, 2):
+            assert dfly.graph.has_edge(a, b)
+
+    def test_groups_partition_nodes(self, dfly):
+        groups = {dfly.node_group[n] for n in dfly.nodes}
+        assert groups == {0, 1, 2}
+
+
+class TestDragonflyRouting:
+    def test_same_router_route_is_empty(self, dfly):
+        n0, n1 = dfly.nodes[0], dfly.nodes[1]
+        assert dfly.node_router[n0] == dfly.node_router[n1]
+        assert dfly.route(n0, n1) == ()
+
+    def test_intra_group_route_short(self, dfly):
+        src = dfly.nodes[0]
+        dst = next(
+            n for n in dfly.nodes
+            if dfly.node_group[n] == 0
+            and dfly.node_router[n] != dfly.node_router[src]
+        )
+        route = dfly.route(src, dst)
+        assert 1 <= len(route) <= 2
+
+    def test_inter_group_route_crosses_blue(self, dfly):
+        src = dfly.nodes[0]
+        dst = next(n for n in dfly.nodes if dfly.node_group[n] == 2)
+        route = dfly.route(src, dst)
+        classes = [dfly.link_by_index(i).klass for i in route]
+        assert "blue" in classes
+
+    def test_route_cache_consistency(self, dfly):
+        src, dst = dfly.nodes[0], dfly.nodes[-1]
+        assert dfly.route(src, dst) == dfly.route(src, dst)
+
+    def test_route_survives_link_failure(self, dfly):
+        src = dfly.nodes[0]
+        dst = next(n for n in dfly.nodes if dfly.node_group[n] == 1)
+        route = dfly.route(src, dst)
+        victim = route[-1]
+        dfly.remove_link(victim)
+        try:
+            new_route = dfly.route(src, dst)
+            assert victim not in new_route
+        finally:
+            dfly.restore_link(victim)
+
+
+class TestTorusStructure:
+    def test_node_count(self, torus):
+        assert len(torus.nodes) == 27 * 2
+
+    def test_degree_is_six(self, torus):
+        # 3x3x3 torus: every router has exactly 6 neighbors (2 per dim)
+        for r in torus.routers:
+            assert torus.graph.degree(r) == 6
+
+    def test_link_count(self, torus):
+        # 3 links per router, each shared by 2 -> 27 * 3
+        assert len(torus.links) == 27 * 3
+
+    def test_connected(self, torus):
+        assert nx.is_connected(torus.graph)
+
+
+class TestTorusRouting:
+    def test_dimension_order_minimal(self, torus):
+        # hop count must equal the sum of per-dimension shortest wraps
+        src = torus.nodes[0]   # router (0,0,0)
+        dst = next(
+            n for n in torus.nodes if torus.node_router[n].startswith("c1-2")
+        )
+        route = torus.route(src, dst)
+        # (0,0,0) -> (1,2,z): dx=1, dy=1 (wrap), dz depends on dst
+        assert len(route) >= 2
+
+    def test_wraparound_shorter_path_used(self, torus):
+        # from x=0 to x=2 in a size-3 ring: 1 hop via wrap, not 2
+        src = torus.nodes[0]
+        dst = next(
+            n
+            for n in torus.nodes
+            if torus.node_router[n].startswith("c2-0c0s0")
+        )
+        route = torus.route(src, dst)
+        assert len(route) == 1
+
+    def test_route_around_failed_link(self, torus):
+        src = torus.nodes[0]
+        dst = next(
+            n
+            for n in torus.nodes
+            if torus.node_router[n].startswith("c1-0c0s0")
+        )
+        route = torus.route(src, dst)
+        assert len(route) == 1
+        torus.remove_link(route[0])
+        try:
+            detour = torus.route(src, dst)
+            assert len(detour) >= 2
+            assert route[0] not in detour
+        finally:
+            torus.restore_link(route[0])
+
+    def test_degenerate_dimension(self):
+        flat = build_torus(4, 4, 1)
+        assert nx.is_connected(flat.graph)
+        for r in flat.routers:
+            assert flat.graph.degree(r) == 4  # no z links

@@ -1,0 +1,228 @@
+"""Unit tests for application profiles and jobs."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.workload import (
+    APP_LIBRARY,
+    AppProfile,
+    CommPattern,
+    Job,
+    JobGenerator,
+    JobState,
+    Phase,
+)
+
+
+class TestAppProfile:
+    def test_phase_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            AppProfile("bad", phases=(Phase(0.5), Phase(0.3)))
+
+    def test_weights_must_fit(self):
+        with pytest.raises(ValueError, match="<= 1"):
+            AppProfile(
+                "bad",
+                phases=(Phase(1.0),),
+                comm_weight=0.6,
+                io_weight=0.6,
+            )
+
+    def test_phase_at_boundaries(self):
+        app = AppProfile(
+            "p", phases=(Phase(0.5, cpu_util=0.1), Phase(0.5, cpu_util=0.9))
+        )
+        assert app.phase_at(0.0).cpu_util == 0.1
+        assert app.phase_at(0.49).cpu_util == 0.1
+        assert app.phase_at(0.51).cpu_util == 0.9
+        assert app.phase_at(1.0).cpu_util == 0.9  # clamped past the end
+
+    def test_library_profiles_valid(self):
+        assert {"lammps", "qmc", "cfd_fft", "climate", "genomics"} <= set(
+            APP_LIBRARY
+        )
+
+
+def make_job(app_name="qmc", n=4, seed=0, **kw):
+    return Job(APP_LIBRARY[app_name], n, submit_time=0.0, seed=seed, **kw)
+
+
+class TestJobLifecycle:
+    def test_start_assigns_nodes(self):
+        j = make_job()
+        j.start(10.0, ["a", "b", "c", "d"])
+        assert j.state is JobState.RUNNING
+        assert j.start_time == 10.0
+        assert len(j.node_util_scale) == 4
+
+    def test_cannot_start_twice(self):
+        j = make_job()
+        j.start(0.0, ["a"] * 4)
+        with pytest.raises(RuntimeError):
+            j.start(1.0, ["a"] * 4)
+
+    def test_runtime_computed(self):
+        j = make_job()
+        j.start(100.0, ["a"] * 4)
+        j.finish(400.0)
+        assert j.runtime == 300.0
+        assert j.state is JobState.COMPLETED
+
+    def test_progress_to_done(self):
+        j = make_job()
+        j.start(0.0, ["a"] * 4)
+        steps = 0
+        while not j.done and steps < 100000:
+            j.advance(60.0)
+            steps += 1
+        assert j.done
+        # uncontended runtime should be near the app's nominal work
+        assert steps * 60.0 == pytest.approx(j.work_seconds, rel=0.05)
+
+    def test_contention_slows_progress(self):
+        app = APP_LIBRARY["cfd_fft"]  # comm_weight 0.55
+        j1 = Job(app, 4, 0.0, seed=1)
+        j2 = Job(app, 4, 0.0, seed=1)
+        j1.start(0.0, ["a"] * 4)
+        j2.start(0.0, ["a"] * 4)
+        j1.advance(100.0, comm_eff=1.0)
+        j2.advance(100.0, comm_eff=0.2)
+        assert j2.progress < j1.progress
+        # slowdown bounded by comm_weight
+        assert j2.progress >= j1.progress * (1 - app.comm_weight)
+
+    def test_runtime_noise_repeatable_per_seed(self):
+        a = Job(APP_LIBRARY["qmc"], 4, 0.0, seed=5, job_id=77)
+        b = Job(APP_LIBRARY["qmc"], 4, 0.0, seed=5, job_id=77)
+        assert a.work_seconds == b.work_seconds
+
+
+class TestImbalance:
+    def test_imbalance_requires_running(self):
+        j = make_job()
+        with pytest.raises(RuntimeError):
+            j.inject_imbalance(0.3)
+
+    def test_imbalance_shape(self):
+        j = make_job(n=10)
+        j.start(0.0, [f"n{i}" for i in range(10)])
+        j.inject_imbalance(frac_busy=0.3, wait_util=0.2)
+        assert (j.node_util_scale[:3] == 1.0).all()
+        assert (j.node_util_scale[3:] == 0.2).all()
+
+    def test_imbalance_slows_progress(self):
+        j = make_job(n=10)
+        j.start(0.0, [f"n{i}" for i in range(10)])
+        j.advance(100.0)
+        p_before = j.progress
+        j.inject_imbalance(frac_busy=0.3, wait_util=0.1)
+        j.advance(100.0)
+        assert (j.progress - p_before) < p_before * 0.6
+
+    def test_clear_imbalance(self):
+        j = make_job(n=10)
+        j.start(0.0, [f"n{i}" for i in range(10)])
+        j.inject_imbalance(0.3)
+        j.clear_imbalance()
+        assert (j.node_util_scale == 1.0).all()
+
+    def test_demanded_util_reflects_imbalance(self):
+        j = make_job(n=10)
+        j.start(0.0, [f"n{i}" for i in range(10)])
+        j.inject_imbalance(0.3, wait_util=0.1)
+        util = j.demanded_util()
+        assert util[:3].mean() > 5 * util[3:].mean()
+
+
+class TestTrafficPatterns:
+    def nodes(self, n):
+        return [f"n{i}" for i in range(n)]
+
+    def start(self, app_name, n):
+        j = make_job(app_name, n)
+        j.start(0.0, self.nodes(n))
+        # push into the comm-heavy phase
+        j.progress = j.work_seconds * 0.5
+        return j
+
+    def test_ring_flow_count(self):
+        j = self.start("qmc", 8)
+        flows = j.flows(1.0)
+        assert len(flows) == 8
+        # each node sends to its ring successor
+        assert flows[0].src == "n0" and flows[0].dst == "n1"
+
+    def test_halo3d_six_exchanges_per_node(self):
+        j = self.start("lammps", 8)
+        flows = j.flows(1.0)
+        assert len(flows) == 8 * 6
+
+    def test_alltoall_bounded_pairs(self):
+        j = self.start("cfd_fft", 64)
+        flows = j.flows(1.0, max_pairs=32)
+        assert len(flows) <= 32
+        # volume conserved: total bytes equals per-node rate * n * dt
+        phase = j.app.phase_at(0.5)
+        assert sum(f.bytes for f in flows) == pytest.approx(
+            phase.comm_Bps * 64, rel=1e-6
+        )
+
+    def test_no_comm_phase_no_flows(self):
+        j = make_job("genomics", 4)
+        j.start(0.0, self.nodes(4))
+        assert j.flows(1.0) == []
+
+    def test_single_node_no_flows(self):
+        j = self.start("qmc", 1)
+        assert j.flows(1.0) == []
+
+
+class TestIODemand:
+    def test_checkpoint_phase_writes(self):
+        j = make_job("climate", 8)
+        j.start(0.0, [f"n{i}" for i in range(8)])
+        j.progress = j.work_seconds * 0.23  # inside first checkpoint phase
+        d = j.io_demand(1.0, n_ost=16)
+        assert d is not None
+        assert d.write_bytes > 0
+        assert d.job_id == j.id
+
+    def test_compute_phase_no_io(self):
+        j = make_job("qmc", 4)
+        j.start(0.0, ["a"] * 4)
+        j.progress = j.work_seconds * 0.5
+        assert j.io_demand(1.0, n_ost=16) is None
+
+    def test_stripe_within_bounds(self):
+        j = make_job("genomics", 32)
+        j.start(0.0, [f"n{i}" for i in range(32)])
+        d = j.io_demand(1.0, n_ost=8)
+        assert d is not None
+        assert all(0 <= o < 8 for o in d.stripe)
+
+
+class TestJobGenerator:
+    def test_poisson_arrivals_deterministic(self):
+        g1 = JobGenerator(mean_interarrival_s=60, seed=9)
+        g2 = JobGenerator(mean_interarrival_s=60, seed=9)
+        j1 = g1.poll(3600)
+        j2 = g2.poll(3600)
+        assert len(j1) == len(j2)
+        assert [j.app.name for j in j1] == [j.app.name for j in j2]
+
+    def test_arrival_rate_roughly_matches(self):
+        g = JobGenerator(mean_interarrival_s=60, seed=1)
+        jobs = g.poll(36000)
+        assert 400 < len(jobs) < 800  # ~600 expected
+
+    def test_poll_is_incremental(self):
+        g = JobGenerator(mean_interarrival_s=60, seed=2)
+        first = g.poll(1800)
+        second = g.poll(3600)
+        assert all(j.submit_time > 1800 for j in second)
+        assert all(j.submit_time <= 1800 for j in first)
+
+    def test_max_nodes_clamp(self):
+        g = JobGenerator(mean_interarrival_s=10, max_nodes=16, seed=3)
+        jobs = g.poll(3600)
+        assert jobs and all(j.n_nodes <= 16 for j in jobs)

@@ -1,0 +1,62 @@
+"""Unit tests for simulation time and clock drift."""
+
+import pytest
+
+from repro.core.clock import DriftingClock, DriftModel, SimClock
+
+
+class TestSimClock:
+    def test_advance_accumulates(self):
+        c = SimClock()
+        c.advance(5.0)
+        c.advance(2.5)
+        assert c.now == 7.5
+
+    def test_non_positive_advance_rejected(self):
+        c = SimClock()
+        with pytest.raises(ValueError):
+            c.advance(0.0)
+        with pytest.raises(ValueError):
+            c.advance(-1.0)
+
+    def test_custom_start(self):
+        assert SimClock(100.0).now == 100.0
+
+
+class TestDriftingClock:
+    def test_zero_drift_is_identity(self):
+        c = DriftingClock()
+        assert c.local_time(1234.5) == 1234.5
+
+    def test_rate_accumulates_linearly(self):
+        c = DriftingClock(rate_ppm=100.0)  # gains 100 us per second
+        assert c.error_at(10_000.0) == pytest.approx(1.0)
+
+    def test_offset_applies_immediately(self):
+        c = DriftingClock(offset=0.25)
+        assert c.error_at(0.0) == pytest.approx(0.25)
+
+    def test_sync_collapses_offset_not_rate(self):
+        c = DriftingClock(rate_ppm=50.0, offset=1.0)
+        c.sync(1000.0)
+        assert c.error_at(1000.0) == pytest.approx(0.0)
+        # rate keeps accumulating from the sync epoch
+        assert c.error_at(1000.0 + 20_000.0) == pytest.approx(1.0)
+
+
+class TestDriftModel:
+    def test_deterministic_with_seed(self):
+        a = DriftModel(seed=42).make_clock()
+        b = DriftModel(seed=42).make_clock()
+        assert a.rate_ppm == b.rate_ppm
+        assert a.offset == b.offset
+
+    def test_population_spread(self):
+        clocks = DriftModel(rate_sigma_ppm=20, seed=1).make_clocks(200)
+        rates = [c.rate_ppm for c in clocks]
+        assert min(rates) < -5 and max(rates) > 5  # genuine spread
+
+    def test_offsets_bounded(self):
+        model = DriftModel(initial_offset_s=0.05, seed=3)
+        for c in model.make_clocks(100):
+            assert abs(c.offset) <= 0.05

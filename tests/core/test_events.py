@@ -1,0 +1,47 @@
+"""Unit tests for event datatypes."""
+
+from repro.core.events import Event, EventKind, Severity
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.DEBUG < Severity.WARNING < Severity.CRITICAL
+
+    def test_full_syslog_ladder(self):
+        assert [s.value for s in Severity] == list(range(8))
+
+
+class TestEvent:
+    def make(self, **kw):
+        defaults = dict(
+            time=12.5,
+            component="c0-0c0s0n1",
+            kind=EventKind.CONSOLE,
+            severity=Severity.ERROR,
+            message="oops",
+        )
+        defaults.update(kw)
+        return Event(**defaults)
+
+    def test_syslog_line_contains_all_parts(self):
+        line = self.make().syslog_line()
+        assert "12.500" in line
+        assert "c0-0c0s0n1" in line
+        assert "console.error" in line
+        assert "oops" in line
+
+    def test_with_time_preserves_payload(self):
+        ev = self.make(fields={"a": 1})
+        moved = ev.with_time(99.0)
+        assert moved.time == 99.0
+        assert moved.fields == {"a": 1}
+        assert moved.message == ev.message
+        assert ev.time == 12.5  # original untouched
+
+    def test_default_fields_empty(self):
+        assert self.make().fields == {}
+
+    def test_kinds_cover_paper_sources(self):
+        # the ERD multiplexes at least console, hwerr and env streams
+        for kind in ("console", "hwerr", "env", "network", "scheduler"):
+            assert EventKind(kind)

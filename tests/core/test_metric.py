@@ -1,0 +1,107 @@
+"""Unit tests for the core metric datatypes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.metric import (
+    MetricKey,
+    Sample,
+    SeriesBatch,
+    merge_batches,
+    samples_to_batches,
+)
+
+
+class TestSample:
+    def test_key_round_trip(self):
+        s = Sample("node.power_w", "c0-0c0s0n0", 10.0, 250.0)
+        assert s.key == MetricKey("node.power_w", "c0-0c0s0n0")
+
+    def test_finite_detection(self):
+        assert Sample("m", "c", 0.0, 1.0).is_finite()
+        assert not Sample("m", "c", 0.0, float("nan")).is_finite()
+        assert not Sample("m", "c", 0.0, float("inf")).is_finite()
+
+
+class TestSeriesBatch:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            SeriesBatch("m", ["a", "b"], [1.0], [2.0])
+
+    def test_sweep_constructor(self):
+        b = SeriesBatch.sweep("m", 60.0, ["a", "b", "c"], [1, 2, 3])
+        assert len(b) == 3
+        assert (b.times == 60.0).all()
+        assert b.component_values() == {"a": 1.0, "b": 2.0, "c": 3.0}
+
+    def test_for_component_constructor(self):
+        b = SeriesBatch.for_component("m", "n1", [0, 60, 120], [1, 2, 3])
+        assert all(c == "n1" for c in b.components)
+
+    def test_iteration_yields_samples(self):
+        b = SeriesBatch.sweep("m", 5.0, ["x"], [9.0])
+        (s,) = list(b)
+        assert s == Sample("m", "x", 5.0, 9.0)
+
+    def test_window_filter_half_open(self):
+        b = SeriesBatch.for_component("m", "n", [0.0, 10.0, 20.0], [1, 2, 3])
+        w = b.in_window(0.0, 20.0)
+        assert list(w.values) == [1.0, 2.0]
+
+    def test_filter_components(self):
+        b = SeriesBatch.sweep("m", 0.0, ["a", "b", "a"], [1, 2, 3])
+        f = b.filter_components(["a"])
+        assert list(f.values) == [1.0, 3.0]
+
+    def test_finite_drops_nan(self):
+        b = SeriesBatch.sweep("m", 0.0, ["a", "b"], [np.nan, 2.0])
+        assert list(b.finite().values) == [2.0]
+
+    def test_total_ignores_nan(self):
+        b = SeriesBatch.sweep("m", 0.0, ["a", "b"], [np.nan, 2.0])
+        assert b.total() == 2.0
+
+    def test_mean_of_empty_is_nan(self):
+        assert math.isnan(SeriesBatch.empty("m").mean())
+
+    def test_empty_total_is_zero(self):
+        assert SeriesBatch.empty("m").total() == 0.0
+
+
+class TestMergeBatches:
+    def test_merge_sorts_by_time(self):
+        b1 = SeriesBatch.for_component("m", "a", [30.0], [3.0])
+        b2 = SeriesBatch.for_component("m", "b", [10.0], [1.0])
+        merged = merge_batches([b1, b2])
+        assert list(merged.times) == [10.0, 30.0]
+        assert list(merged.values) == [1.0, 3.0]
+
+    def test_merge_rejects_mixed_metrics(self):
+        b1 = SeriesBatch.for_component("m1", "a", [0.0], [1.0])
+        b2 = SeriesBatch.for_component("m2", "a", [0.0], [1.0])
+        with pytest.raises(ValueError, match="cannot merge"):
+            merge_batches([b1, b2])
+
+    def test_merge_skips_empty(self):
+        b1 = SeriesBatch.empty("m")
+        b2 = SeriesBatch.for_component("m", "a", [0.0], [1.0])
+        assert len(merge_batches([b1, b2])) == 1
+
+    def test_merge_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_batches([SeriesBatch.empty("m")])
+
+
+class TestSamplesToBatches:
+    def test_grouping_by_metric(self):
+        samples = [
+            Sample("a", "n1", 0.0, 1.0),
+            Sample("b", "n1", 0.0, 2.0),
+            Sample("a", "n2", 0.0, 3.0),
+        ]
+        batches = {b.metric: b for b in samples_to_batches(samples)}
+        assert set(batches) == {"a", "b"}
+        assert len(batches["a"]) == 2
+        assert len(batches["b"]) == 1

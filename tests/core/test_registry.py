@@ -1,0 +1,99 @@
+"""Unit tests for the metric schema registry."""
+
+import pytest
+
+from repro.core.registry import (
+    MetricClass,
+    MetricRegistry,
+    MetricSpec,
+    default_registry,
+)
+
+
+def spec(name="x.y", **kw):
+    defaults = dict(
+        unit="W",
+        klass=MetricClass.GAUGE,
+        level="node",
+        meaning="test metric",
+    )
+    defaults.update(kw)
+    return MetricSpec(name, **defaults)
+
+
+class TestMetricRegistry:
+    def test_register_and_get(self):
+        reg = MetricRegistry()
+        reg.register(spec())
+        assert reg.get("x.y").unit == "W"
+
+    def test_unknown_metric_raises_with_guidance(self):
+        reg = MetricRegistry()
+        with pytest.raises(KeyError, match="documented meaning"):
+            reg.get("nope")
+
+    def test_idempotent_reregistration(self):
+        reg = MetricRegistry()
+        reg.register(spec())
+        reg.register(spec())  # identical: fine
+        assert len(reg) == 1
+
+    def test_conflicting_reregistration_rejected(self):
+        reg = MetricRegistry()
+        reg.register(spec())
+        with pytest.raises(ValueError, match="different spec"):
+            reg.register(spec(unit="kW"))
+
+    def test_contains_and_names(self):
+        reg = MetricRegistry()
+        reg.register(spec("b.b"))
+        reg.register(spec("a.a"))
+        assert "a.a" in reg and "c.c" not in reg
+        assert reg.names() == ["a.a", "b.b"]
+
+    def test_at_level(self):
+        reg = MetricRegistry()
+        reg.register(spec("n.one", level="node"))
+        reg.register(spec("l.one", level="link"))
+        assert [s.name for s in reg.at_level("link")] == ["l.one"]
+
+    def test_derived_flag(self):
+        s = spec(derivation="sum(x)")
+        assert s.is_derived
+        assert not spec().is_derived
+
+
+class TestDefaultRegistry:
+    def test_every_paper_metric_present(self):
+        reg = default_registry()
+        for name in [
+            "node.power_w",
+            "link.stall_ratio",
+            "link.ber",
+            "node.inject_bw_frac",
+            "fs.read_bps",
+            "probe.io_latency_s",
+            "probe.md_latency_s",
+            "queue.backlog_nodeh",
+            "cabinet.power_w",
+            "system.power_w",
+            "env.corrosion_rate",
+            "bench.fom",
+            "health.pass_frac",
+        ]:
+            assert name in reg, name
+
+    def test_every_metric_has_meaning(self):
+        for s in default_registry():
+            assert s.meaning, s.name
+            assert s.unit, s.name
+
+    def test_derived_metrics_document_their_formula(self):
+        reg = default_registry()
+        assert reg.get("link.stall_ratio").is_derived
+        assert reg.get("system.power_w").is_derived
+
+    def test_document_renders_all_rows(self):
+        reg = default_registry()
+        doc = reg.document()
+        assert len(doc.splitlines()) == len(reg) + 1  # header + one per metric

@@ -1,0 +1,137 @@
+"""Property-based tests: substrate invariants (routing, scheduling)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.scheduler import (
+    BatchScheduler,
+    PackedPlacement,
+    ScatteredPlacement,
+    TopoAwarePlacement,
+)
+from repro.cluster.topology import build_dragonfly, build_torus
+from repro.cluster.workload import APP_LIBRARY, Job
+
+# shared topologies (expensive to build; safe to share read-mostly)
+DFLY = build_dragonfly(groups=3, chassis_per_group=3, blades_per_chassis=4)
+TORUS = build_torus(4, 4, 4)
+
+
+def manhattan_torus_distance(torus, ra, rb):
+    ax, ay, az = torus._coords(ra)
+    bx, by, bz = torus._coords(rb)
+    d = 0
+    for a, b, size in zip((ax, ay, az), (bx, by, bz), torus.dims):
+        fwd = (b - a) % size
+        d += min(fwd, size - fwd)
+    return d
+
+
+class TestRoutingProperties:
+    @given(
+        i=st.integers(0, len(TORUS.nodes) - 1),
+        j=st.integers(0, len(TORUS.nodes) - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_torus_routes_are_minimal(self, i, j):
+        src, dst = TORUS.nodes[i], TORUS.nodes[j]
+        route = TORUS.route(src, dst)
+        ra = TORUS.node_router[src]
+        rb = TORUS.node_router[dst]
+        assert len(route) == manhattan_torus_distance(TORUS, ra, rb)
+
+    @given(
+        i=st.integers(0, len(DFLY.nodes) - 1),
+        j=st.integers(0, len(DFLY.nodes) - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_dragonfly_routes_connect_endpoints(self, i, j):
+        src, dst = DFLY.nodes[i], DFLY.nodes[j]
+        route = DFLY.route(src, dst)
+        ra = DFLY.node_router[src]
+        rb = DFLY.node_router[dst]
+        if ra == rb:
+            assert route == ()
+            return
+        # the link sequence must form a path from ra to rb
+        here = ra
+        for idx in route:
+            link = DFLY.link_by_index(idx)
+            assert here in (link.a, link.b)
+            here = link.b if here == link.a else link.a
+        assert here == rb
+
+    @given(
+        i=st.integers(0, len(DFLY.nodes) - 1),
+        j=st.integers(0, len(DFLY.nodes) - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_dragonfly_routes_short(self, i, j):
+        # minimal dragonfly routing: at most local-global-local-ish hops
+        route = DFLY.route(DFLY.nodes[i], DFLY.nodes[j])
+        assert len(route) <= 5
+
+
+job_sizes = st.lists(st.integers(1, 64), min_size=1, max_size=12)
+placements = st.sampled_from(
+    [ScatteredPlacement, PackedPlacement, TopoAwarePlacement]
+)
+
+
+class TestSchedulerProperties:
+    @given(sizes=job_sizes, placement_cls=placements,
+           seed=st.integers(0, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_no_node_double_allocated(self, sizes, placement_cls, seed):
+        sched = BatchScheduler(DFLY, placement=placement_cls(), seed=seed)
+        for k, n in enumerate(sizes):
+            sched.submit(Job(APP_LIBRARY["qmc"], n, 0.0, seed=k), 0.0)
+        sched.tick(0.0)
+        allocated = [n for j in sched.running for n in j.nodes]
+        assert len(allocated) == len(set(allocated))
+        # accounting table agrees with job node lists
+        assert set(allocated) == set(sched.allocated)
+
+    @given(sizes=job_sizes, placement_cls=placements,
+           seed=st.integers(0, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_started_jobs_get_exactly_requested_nodes(
+        self, sizes, placement_cls, seed
+    ):
+        sched = BatchScheduler(DFLY, placement=placement_cls(), seed=seed)
+        jobs = [Job(APP_LIBRARY["qmc"], n, 0.0, seed=k)
+                for k, n in enumerate(sizes)]
+        for j in jobs:
+            sched.submit(j, 0.0)
+        sched.tick(0.0)
+        for j in sched.running:
+            assert len(j.nodes) == j.n_nodes
+
+    @given(sizes=job_sizes, seed=st.integers(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_conserved_through_completion(self, sizes, seed):
+        sched = BatchScheduler(DFLY, seed=seed)
+        jobs = [Job(APP_LIBRARY["qmc"], n, 0.0, seed=k)
+                for k, n in enumerate(sizes)]
+        for j in jobs:
+            sched.submit(j, 0.0)
+        sched.tick(0.0)
+        for j in list(sched.running):
+            sched.complete(j, 100.0)
+        assert sched.allocated == {}
+        assert len(sched.free_nodes()) == len(DFLY.nodes)
+
+    @given(sizes=job_sizes, seed=st.integers(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_queue_conservation(self, sizes, seed):
+        """Every submitted job is exactly one of queued/running."""
+        sched = BatchScheduler(DFLY, seed=seed)
+        jobs = [Job(APP_LIBRARY["qmc"], n, 0.0, seed=k)
+                for k, n in enumerate(sizes)]
+        for j in jobs:
+            sched.submit(j, 0.0)
+        sched.tick(0.0)
+        assert len(sched.queue) + len(sched.running) == len(jobs)
+        assert set(sched.queue).isdisjoint(set(sched.running))

@@ -1,0 +1,100 @@
+"""Property-based tests: wire codecs round-trip arbitrary payloads."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import Event, EventKind, Severity
+from repro.core.metric import SeriesBatch
+from repro.transport.message import (
+    Envelope,
+    decode_binary,
+    decode_json,
+    encode_binary,
+    encode_json,
+)
+
+# printable-ish text including unicode, excluding surrogates
+texts = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)),
+    min_size=0,
+    max_size=80,
+)
+
+events = st.builds(
+    Event,
+    time=st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=0, max_value=1e9),
+    component=texts.filter(lambda s: "\n" not in s),
+    kind=st.sampled_from(list(EventKind)),
+    severity=st.sampled_from(list(Severity)),
+    message=texts,
+    fields=st.dictionaries(
+        st.text(min_size=1, max_size=20), st.integers(-10**9, 10**9),
+        max_size=4,
+    ),
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e15, max_value=1e15)
+batches = st.builds(
+    lambda comps, times, values: SeriesBatch(
+        "m.x", comps[: min(len(comps), len(times), len(values))],
+        times[: min(len(comps), len(times), len(values))],
+        values[: min(len(comps), len(times), len(values))],
+    ),
+    comps=st.lists(texts.filter(lambda s: "," not in s and "\n" not in s),
+                   min_size=0, max_size=20),
+    times=st.lists(finite, min_size=0, max_size=20),
+    values=st.lists(finite, min_size=0, max_size=20),
+)
+
+
+class TestEventCodecs:
+    @given(ev=events, topic=texts.filter(bool), seq=st.integers(0, 2**31))
+    @settings(max_examples=200, deadline=None)
+    def test_json_round_trip(self, ev, topic, seq):
+        env = Envelope(topic, ev, source="t", seq=seq)
+        out = decode_json(encode_json(env))
+        assert out.topic == topic
+        assert out.seq == seq
+        assert out.payload == ev
+
+    @given(ev=events, topic=texts.filter(bool), seq=st.integers(0, 2**31))
+    @settings(max_examples=200, deadline=None)
+    def test_binary_round_trip(self, ev, topic, seq):
+        env = Envelope(topic, ev, source="erd", seq=seq)
+        out, rest = decode_binary(encode_binary(env))
+        assert rest == b""
+        assert out.topic == topic
+        assert out.payload == ev
+
+    @given(evs=st.lists(events, min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_binary_stream_framing(self, evs):
+        stream = b"".join(
+            encode_binary(Envelope(f"t{i}", e, seq=i))
+            for i, e in enumerate(evs)
+        )
+        decoded = []
+        rest = stream
+        while rest:
+            env, rest = decode_binary(rest)
+            decoded.append(env.payload)
+        assert decoded == evs
+
+
+class TestBatchCodecs:
+    @given(batch=batches)
+    @settings(max_examples=200, deadline=None)
+    def test_json_round_trip(self, batch):
+        env = Envelope("metrics", batch)
+        out = decode_json(encode_json(env))
+        got = out.payload
+        assert isinstance(got, SeriesBatch)
+        assert got.metric == batch.metric
+        assert [str(c) for c in got.components] == [
+            str(c) for c in batch.components
+        ]
+        assert np.allclose(got.times, batch.times)
+        assert np.allclose(got.values, batch.values)

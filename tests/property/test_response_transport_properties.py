@@ -1,0 +1,183 @@
+"""Property-based tests: response and transport conservation laws."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import Event, EventKind, Severity
+from repro.response.sec import PairRule, SecEngine
+from repro.storage.jobstore import JobIndex
+from repro.transport.bus import MessageBus
+from repro.transport.syslogfwd import SyslogForwarder
+
+
+def ev(t, msg, comp="n0"):
+    return Event(float(t), comp, EventKind.CONSOLE, Severity.INFO, msg)
+
+
+# -- pair rule: every armed watch resolves exactly once --------------------------
+
+pair_script = st.lists(
+    st.tuples(
+        st.integers(0, 1000),                   # time
+        st.sampled_from(["fail", "restore", "noise"]),
+        st.sampled_from(["r0", "r1", "r2"]),    # component
+    ),
+    min_size=0,
+    max_size=60,
+).map(lambda evs: sorted(evs, key=lambda e: e[0]))
+
+
+class TestPairRuleProperties:
+    @given(script=pair_script, window=st.integers(1, 200))
+    @settings(max_examples=200, deadline=None)
+    def test_each_failure_resolves_at_most_once(self, script, window):
+        """Per component, consecutive fail..restore/timeout episodes
+        produce exactly one completion or one timeout, never both."""
+        eng = SecEngine([
+            PairRule("watch", r"fail", r"restore", float(window),
+                     timeout_action="timeout",
+                     completion_action="completed"),
+        ])
+        for t, kind, comp in script:
+            eng.feed([ev(t, kind, comp)])
+        eng.tick(2000.0 + window)   # flush any armed watches
+
+        # count episodes per component from the script semantics
+        for comp in ("r0", "r1", "r2"):
+            armed = False
+            episodes = 0
+            for t, kind, c in script:
+                if c != comp:
+                    continue
+                # timeouts that SEC applies lazily: emulate arming rules
+                if kind == "fail" and not armed:
+                    armed = True
+                    episodes += 1
+                elif kind == "restore" and armed:
+                    armed = False
+                # NOTE: SEC also re-arms after its own timeout expiry,
+                # which this simple emulation does not track; so we only
+                # check the weaker invariant below.
+            outcomes = [
+                r for r in eng.requests if r.component == comp
+            ]
+            completions = sum(1 for r in outcomes
+                              if r.action == "completed")
+            timeouts = sum(1 for r in outcomes if r.action == "timeout")
+            fails = sum(1 for t, k, c in script
+                        if c == comp and k == "fail")
+            # resolutions never exceed failures seen
+            assert completions + timeouts <= fails
+
+    @given(window=st.integers(1, 100), gap=st.integers(0, 200))
+    @settings(max_examples=100, deadline=None)
+    def test_single_episode_exact_outcome(self, window, gap):
+        eng = SecEngine([
+            PairRule("watch", r"fail", r"restore", float(window),
+                     timeout_action="timeout",
+                     completion_action="completed"),
+        ])
+        eng.feed([ev(0, "fail")])
+        eng.feed([ev(gap, "restore")])
+        eng.tick(1000.0 + window)
+        actions = [r.action for r in eng.requests]
+        if gap <= window:
+            assert actions == ["completed"]
+        else:
+            assert actions == ["timeout"]
+
+
+# -- syslog forwarder: message conservation ------------------------------------------
+
+burst_script = st.lists(
+    st.tuples(st.integers(0, 100), st.integers(0, 50)),  # (time, n msgs)
+    min_size=1,
+    max_size=20,
+).map(lambda b: sorted(b, key=lambda x: x[0]))
+
+
+class TestForwarderConservation:
+    @given(script=burst_script,
+           rate=st.floats(min_value=1.0, max_value=100.0),
+           burst=st.integers(1, 50),
+           retry=st.integers(1, 50))
+    @settings(max_examples=200, deadline=None)
+    def test_offered_equals_forwarded_plus_dropped_plus_pending(
+        self, script, rate, burst, retry
+    ):
+        sink = []
+        fwd = SyslogForwarder(sink.append, rate_per_s=rate, burst=burst,
+                              retry_buffer=retry)
+        offered = 0
+        for t, n in script:
+            events = [ev(t, f"m{i}") for i in range(n)]
+            offered += n
+            fwd.forward(float(t), events)
+        s = fwd.stats()
+        assert s.offered == offered
+        # conservation: nothing vanishes, nothing is duplicated
+        assert s.offered == (
+            (s.forwarded - s.retried) + s.dropped + fwd.pending()
+        ) + s.retried
+        assert len(sink) == s.forwarded
+
+
+# -- bus: per-subscription accounting ---------------------------------------------------
+
+class TestBusConservation:
+    @given(n=st.integers(0, 500), maxlen=st.integers(1, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_received_equals_drained_plus_dropped(self, n, maxlen):
+        bus = MessageBus()
+        sub = bus.subscribe("t", maxlen=maxlen)
+        for i in range(n):
+            bus.publish("t", i)
+        drained = sub.drain()
+        assert sub.received == n
+        assert len(drained) + sub.dropped == n
+        # drop-oldest: whatever survived is the newest suffix
+        assert [e.payload for e in drained] == list(range(n))[-maxlen:][
+            : len(drained)
+        ]
+
+
+# -- job index: tenancy is consistent ------------------------------------------------------
+
+tenures = st.lists(
+    st.tuples(st.integers(0, 100), st.integers(1, 100)),  # (start, dur)
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestJobIndexProperties:
+    @given(tenures=tenures)
+    @settings(max_examples=100, deadline=None)
+    def test_active_at_matches_interval_semantics(self, tenures):
+        idx = JobIndex()
+        for k, (start, dur) in enumerate(tenures):
+            idx.record_start(k + 1, "app", [f"n{k}"], float(start))
+            idx.record_end(k + 1, float(start + dur))
+        for probe in (0.0, 25.0, 50.0, 99.0, 150.0):
+            active = {a.job_id for a in idx.jobs_active_at(probe)}
+            expected = {
+                k + 1
+                for k, (s, d) in enumerate(tenures)
+                if s <= probe < s + d
+            }
+            assert active == expected
+
+    @given(tenures=tenures)
+    @settings(max_examples=100, deadline=None)
+    def test_node_lookup_agrees_with_active(self, tenures):
+        idx = JobIndex()
+        for k, (start, dur) in enumerate(tenures):
+            idx.record_start(k + 1, "app", [f"n{k}"], float(start))
+            idx.record_end(k + 1, float(start + dur))
+        for k, (s, d) in enumerate(tenures):
+            mid = s + d / 2
+            alloc = idx.job_on_node_at(f"n{k}", mid)
+            assert alloc is not None and alloc.job_id == k + 1
+            after = idx.job_on_node_at(f"n{k}", s + d + 0.5)
+            assert after is None

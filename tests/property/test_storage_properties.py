@@ -1,0 +1,154 @@
+"""Property-based tests: storage-layer invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import Event, EventKind, Severity
+from repro.core.metric import MetricKey, SeriesBatch
+from repro.storage.logstore import LogStore, tokenize
+from repro.storage.tsdb import (
+    TimeSeriesStore,
+    compress_chunk,
+    decompress_chunk,
+)
+
+# -- chunk codec -------------------------------------------------------------
+
+# times at millisecond resolution, strictly representable
+times_strategy = st.lists(
+    st.integers(min_value=0, max_value=10**10),   # milliseconds
+    min_size=0,
+    max_size=200,
+).map(lambda ms: np.asarray(sorted(set(ms)), dtype=np.float64) / 1000.0)
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, width=64,
+    min_value=-1e30, max_value=1e30,
+)
+
+
+class TestChunkCodecProperties:
+    @given(times=times_strategy, data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_lossless(self, times, data):
+        values = np.asarray(
+            data.draw(
+                st.lists(finite_floats, min_size=len(times),
+                         max_size=len(times))
+            ),
+            dtype=np.float64,
+        )
+        t, v = decompress_chunk(compress_chunk(times, values))
+        assert len(t) == len(times)
+        assert np.array_equal(v, values)        # values bit-exact
+        assert np.allclose(t, times, atol=5e-4)  # times to ms resolution
+
+    @given(times=times_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_compressed_never_catastrophically_larger(self, times):
+        values = np.arange(len(times), dtype=np.float64)
+        blob = compress_chunk(times, values)
+        # worst case per sample: varint ts (<=10 B) + header+8 B value
+        assert len(blob) <= 20 + len(times) * 19
+
+
+# -- store query semantics ------------------------------------------------------
+
+samples_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10**7),       # time ms
+        st.floats(allow_nan=False, allow_infinity=False,
+                  min_value=-1e12, max_value=1e12),
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+
+class TestStoreProperties:
+    @given(samples=samples_strategy,
+           chunk_size=st.integers(min_value=2, max_value=64))
+    @settings(max_examples=100, deadline=None)
+    def test_store_returns_everything_time_sorted(self, samples,
+                                                  chunk_size):
+        store = TimeSeriesStore(chunk_size=chunk_size)
+        for t_ms, v in samples:
+            store.append(SeriesBatch.sweep("m", t_ms / 1000.0, ["c"], [v]))
+        out = store.query("m", "c")
+        assert len(out) == len(samples)
+        assert (np.diff(out.times) >= 0).all()
+        # multiset of values preserved
+        assert sorted(out.values) == sorted(v for _, v in samples)
+
+    @given(samples=samples_strategy, data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_window_query_equals_filtered_full_query(self, samples, data):
+        store = TimeSeriesStore(chunk_size=8)
+        for t_ms, v in samples:
+            store.append(SeriesBatch.sweep("m", t_ms / 1000.0, ["c"], [v]))
+        t0 = data.draw(st.integers(0, 10**7)) / 1000.0
+        t1 = data.draw(st.integers(0, 10**7)) / 1000.0
+        windowed = store.query("m", "c", t0, t1)
+        full = store.query("m", "c")
+        mask = (full.times >= t0) & (full.times < t1)
+        assert len(windowed) == mask.sum()
+        assert sorted(windowed.values) == sorted(full.values[mask])
+
+    @given(samples=samples_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_downsample_conserves_sum(self, samples):
+        store = TimeSeriesStore(chunk_size=16)
+        for t_ms, v in samples:
+            store.append(SeriesBatch.sweep("m", t_ms / 1000.0, ["c"], [v]))
+        out = store.downsample("m", "c", 0.0, 10**4 + 1.0, step=100.0,
+                               agg="sum")
+        total_in = sum(v for _, v in samples)
+        assert np.isclose(out.values.sum(), total_in, rtol=1e-9, atol=1e-6)
+
+
+# -- log store: index agrees with the naive scan oracle --------------------------
+
+words = st.sampled_from(
+    "lustre mount failed error recovery slurmd gpu link "
+    "node warning started stopped retry timeout".split()
+)
+messages = st.lists(words, min_size=1, max_size=6).map(" ".join)
+events_strategy = st.lists(
+    st.tuples(st.integers(0, 10**6), messages),
+    min_size=0,
+    max_size=100,
+)
+
+
+class TestLogStoreProperties:
+    @given(events=events_strategy, data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_index_search_equals_scan(self, events, data):
+        store = LogStore()
+        for t, msg in events:
+            store.append(Event(float(t), "n0", EventKind.CONSOLE,
+                               Severity.INFO, msg))
+        term = data.draw(words)
+        via_index = store.search([term])
+        # oracle: regex word-boundary scan
+        via_scan = store.scan(rf"\b{term}\b")
+        assert via_index == via_scan
+
+    @given(events=events_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_occurrence_series_total_matches_search(self, events):
+        store = LogStore()
+        for t, msg in events:
+            store.append(Event(float(t), "n0", EventKind.CONSOLE,
+                               Severity.INFO, msg))
+        starts, counts = store.occurrence_series(
+            ["error"], t0=0.0, t1=10**6 + 1.0, bucket_s=1000.0
+        )
+        assert counts.sum() == len(store.search(["error"]))
+
+    @given(msg=messages)
+    @settings(max_examples=50, deadline=None)
+    def test_tokenize_stable(self, msg):
+        toks = tokenize(msg)
+        assert toks == tokenize(" ".join(toks))

@@ -1,0 +1,134 @@
+"""Unit tests for action execution, alerts, and the default policy."""
+
+import pytest
+
+from repro.analysis.anomaly import Detection
+from repro.cluster import Machine, build_dragonfly
+from repro.cluster.workload import APP_LIBRARY, Job, JobState
+from repro.core.events import EventKind, Severity
+from repro.response.actions import ActionEngine, AlertManager
+from repro.response.policy import (
+    default_sec_engine,
+    detections_to_requests,
+)
+from repro.response.sec import ActionRequest
+
+
+@pytest.fixture()
+def machine():
+    return Machine(build_dragonfly(groups=2, chassis_per_group=3,
+                                   blades_per_chassis=4), seed=1)
+
+
+def req(action, comp, rule="test_rule", t=0.0, fields=None):
+    return ActionRequest(t, rule, action, comp, Severity.WARNING,
+                         "msg", fields or {})
+
+
+class TestAlertManager:
+    def test_dedup_within_renotify(self):
+        am = AlertManager(renotify_s=600.0)
+        assert am.raise_alert(0.0, Severity.ERROR, "n0", "r", "m")
+        assert am.raise_alert(100.0, Severity.ERROR, "n0", "r", "m") is None
+        assert am.suppressed == 1
+
+    def test_renotify_after_interval(self):
+        am = AlertManager(renotify_s=600.0)
+        am.raise_alert(0.0, Severity.ERROR, "n0", "r", "m")
+        assert am.raise_alert(700.0, Severity.ERROR, "n0", "r", "m")
+
+    def test_different_components_independent(self):
+        am = AlertManager()
+        assert am.raise_alert(0.0, Severity.ERROR, "n0", "r", "m")
+        assert am.raise_alert(0.0, Severity.ERROR, "n1", "r", "m")
+
+    def test_active_severity_floor(self):
+        am = AlertManager()
+        am.raise_alert(0.0, Severity.INFO, "n0", "r1", "m")
+        am.raise_alert(0.0, Severity.CRITICAL, "n1", "r2", "m")
+        assert len(am.active(Severity.ERROR)) == 1
+
+
+class TestActionEngine:
+    def test_drain_and_return(self, machine):
+        eng = ActionEngine(machine)
+        node = machine.topo.nodes[0]
+        eng.execute([req("drain_node", node)])
+        assert node in machine.scheduler.unavailable
+        eng.execute([req("return_node", node)])
+        assert node not in machine.scheduler.unavailable
+
+    def test_kill_jobs(self, machine):
+        j = Job(APP_LIBRARY["qmc"], 4, 0.0, seed=1)
+        machine.scheduler.submit(j, 0.0)
+        machine.step(5.0)
+        eng = ActionEngine(machine)
+        eng.execute([req("kill_jobs", j.nodes[0])])
+        assert j.state is JobState.FAILED
+
+    def test_downclock(self, machine):
+        eng = ActionEngine(machine)
+        node = machine.topo.nodes[3]
+        eng.execute([req("downclock", node,
+                         fields={"pstate_frac": 0.5})])
+        assert machine.nodes.pstate_frac[3] == 0.5
+
+    def test_unknown_action_audited_not_crash(self, machine):
+        eng = ActionEngine(machine)
+        (rec,) = eng.execute([req("launch_rockets", "n0")])
+        assert "unknown action" in rec.outcome
+
+    def test_non_node_component_safe(self, machine):
+        eng = ActionEngine(machine)
+        (rec,) = eng.execute([req("drain_node", "scheduler")])
+        assert "not a node" in rec.outcome
+
+    def test_dry_run_skips_mutation(self, machine):
+        eng = ActionEngine(machine, dry_run=True)
+        node = machine.topo.nodes[0]
+        eng.execute([req("drain_node", node)])
+        assert node not in machine.scheduler.unavailable
+        # but alerts still flow in dry-run
+        eng.execute([req("alert", node)])
+        assert eng.alerts.alerts
+
+    def test_actions_become_events(self, machine):
+        eng = ActionEngine(machine)
+        eng.execute([req("drain_node", machine.topo.nodes[0])])
+        evs = machine.drain_events()
+        assert any(e.kind is EventKind.ACTION for e in evs)
+
+    def test_custom_handler_registration(self, machine):
+        eng = ActionEngine(machine)
+        calls = []
+        eng.register("redirect_power", lambda r: calls.append(r) or "ok")
+        eng.execute([req("redirect_power", "system")])
+        assert len(calls) == 1
+
+    def test_audit_grows(self, machine):
+        eng = ActionEngine(machine)
+        eng.execute([req("alert", "n0"), req("alert", "n1")])
+        assert len(eng.audit) == 2
+
+
+class TestDefaultPolicy:
+    def test_rules_compile_and_cover_faults(self):
+        eng = default_sec_engine()
+        names = (
+            [r.name for r in eng.singles]
+            + [r.name for r in eng.pairs]
+            + [r.name for r in eng.thresholds]
+        )
+        for expected in ("soft_lockup", "gpu_falloff_drain",
+                         "link_recovery_watch", "hwerr_storm",
+                         "queue_blocked", "bench_degraded"):
+            assert expected in names
+
+    def test_detections_adapter(self):
+        d = Detection(10.0, "node.power_w", "n3", 8.5, "outlier",
+                      "value=330")
+        (r,) = detections_to_requests([d])
+        assert r.action == "alert"
+        assert r.component == "n3"
+        assert "node.power_w" in r.rule
+        assert r.fields["score"] == 8.5

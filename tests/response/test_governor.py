@@ -1,0 +1,146 @@
+"""Tests for the envisioned responses: power governor + congestion-aware
+placement (Section III-C's forward-looking capabilities)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine, PackedPlacement, PowerModel, build_dragonfly
+from repro.cluster.network import Flow
+from repro.cluster.workload import APP_LIBRARY, Job, JobState
+from repro.response.governor import CongestionAwarePlacement, PowerGovernor
+
+
+def make_machine(**kw):
+    topo = build_dragonfly(groups=3, chassis_per_group=3,
+                           blades_per_chassis=4)
+    return Machine(topo, seed=3, **kw)
+
+
+def submit(machine, n, seed=0, work=3600.0):
+    j = Job(APP_LIBRARY["qmc"], n, machine.now, seed=seed)
+    j.work_seconds = work
+    machine.scheduler.submit(j, machine.now)
+    return j
+
+
+class TestPowerGovernorAdmission:
+    def test_job_within_budget_admitted(self):
+        m = make_machine(placement=PackedPlacement())
+        gov = PowerGovernor(m, budget_w=1e9)
+        m.scheduler.admission_control = gov.admit
+        j = submit(m, 16)
+        m.step(10.0)
+        assert j.state is JobState.RUNNING
+        assert gov.deferred == 0
+
+    def test_job_over_budget_deferred(self):
+        m = make_machine(placement=PackedPlacement())
+        # budget barely above idle: no room for a 16-node job's dynamics
+        pm = PowerModel(m.topo, m.nodes)
+        gov = PowerGovernor(m, budget_w=pm.system_power_w() + 1000.0)
+        m.scheduler.admission_control = gov.admit
+        j = submit(m, 16)
+        m.step(10.0)
+        assert j.state is JobState.PENDING
+        assert gov.deferred >= 1
+
+    def test_budget_respected_under_stream(self):
+        m = make_machine(placement=PackedPlacement())
+        pm = PowerModel(m.topo, m.nodes)
+        idle = pm.system_power_w()
+        # budget allows roughly half the machine at full tilt
+        budget = idle + 0.5 * len(m.topo.nodes) * (
+            m.nodes.max_power_w - m.nodes.idle_power_w
+        )
+        gov = PowerGovernor(m, budget_w=budget)
+        m.scheduler.admission_control = gov.admit
+        for i in range(8):
+            submit(m, 24, seed=i)
+        peak = 0.0
+        for _ in range(120):
+            m.step(10.0)
+            peak = max(peak, pm.system_power_w())
+        assert peak <= budget * 1.02   # small settle tolerance
+        assert gov.deferred > 0        # some jobs had to wait
+        assert m.scheduler.running     # but work is flowing
+
+    def test_deferred_job_starts_when_room_frees(self):
+        m = make_machine(placement=PackedPlacement())
+        pm = PowerModel(m.topo, m.nodes)
+        dyn = m.nodes.max_power_w - m.nodes.idle_power_w
+        budget = pm.system_power_w() + 30 * dyn   # room for ~30 nodes
+        gov = PowerGovernor(m, budget_w=budget)
+        m.scheduler.admission_control = gov.admit
+        first = submit(m, 24, seed=1, work=300.0)
+        second = submit(m, 24, seed=2)
+        m.run(100.0, dt=10.0)
+        assert first.state is JobState.RUNNING
+        assert second.state is JobState.PENDING
+        m.run(1200.0, dt=10.0)        # first finishes, power falls
+        assert second.state in (JobState.RUNNING, JobState.COMPLETED)
+
+
+class TestPowerGovernorDownclock:
+    def test_downclock_makes_room(self):
+        m = make_machine(placement=PackedPlacement())
+        pm = PowerModel(m.topo, m.nodes)
+        dyn = m.nodes.max_power_w - m.nodes.idle_power_w
+        # run half the machine hot first
+        base = submit(m, 72, seed=1)
+        m.run(120.0, dt=10.0)
+        busy_power = pm.system_power_w()
+        budget = busy_power + 10 * dyn   # not enough for 48 more nodes
+        gov = PowerGovernor(m, budget_w=budget, downclock_to_fit=True)
+        m.scheduler.admission_control = gov.admit
+        j = submit(m, 48, seed=2)
+        m.run(60.0, dt=10.0)
+        assert j.state is JobState.RUNNING
+        assert gov.downclocks >= 1
+        assert float(m.nodes.pstate_frac.mean()) < 1.0
+
+    def test_relax_restores_frequency(self):
+        m = make_machine(placement=PackedPlacement())
+        gov = PowerGovernor(m, budget_w=1e9, downclock_to_fit=True)
+        m.nodes.pstate_frac[:] = 0.8
+        gov.relax()
+        assert (m.nodes.pstate_frac == 1.0).all()
+
+
+class TestCongestionAwarePlacement:
+    def congest_group(self, machine, group):
+        """Saturate links inside one group with raw flows."""
+        nodes = [n for n in machine.topo.nodes
+                 if machine.topo.node_group[n] == group]
+        flows = [Flow(nodes[i], nodes[-1 - i], 50e9) for i in range(12)]
+        machine.network.step(1.0, flows)
+
+    def test_avoids_hot_group(self):
+        m = make_machine()
+        placement = CongestionAwarePlacement(m.network)
+        m.scheduler.placement = placement
+        self.congest_group(m, 0)
+        j = submit(m, 16)
+        m.scheduler.tick(m.now)
+        groups = {m.topo.node_group[n] for n in j.nodes}
+        assert 0 not in groups
+
+    def test_quiet_network_behaves_like_tas(self):
+        m = make_machine()
+        m.scheduler.placement = CongestionAwarePlacement(m.network)
+        j = submit(m, 16)
+        m.scheduler.tick(m.now)
+        assert len({m.topo.node_group[n] for n in j.nodes}) == 1
+
+    def test_spills_into_hot_group_only_when_forced(self):
+        m = make_machine()
+        m.scheduler.placement = CongestionAwarePlacement(m.network)
+        self.congest_group(m, 0)
+        per_group = len(m.topo.nodes) // 3
+        j = submit(m, 2 * per_group + 8)   # must touch all three groups
+        m.scheduler.tick(m.now)
+        groups = {m.topo.node_group[n] for n in j.nodes}
+        assert groups == {0, 1, 2}
+        # the hot group contributes the fewest nodes
+        from collections import Counter
+        counts = Counter(m.topo.node_group[n] for n in j.nodes)
+        assert counts[0] == min(counts.values())

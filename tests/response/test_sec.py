@@ -1,0 +1,132 @@
+"""Unit tests for the SEC rule engine."""
+
+import pytest
+
+from repro.core.events import Event, EventKind, Severity
+from repro.response.sec import (
+    PairRule,
+    SecEngine,
+    SingleRule,
+    ThresholdRule,
+)
+
+
+def ev(t, msg, comp="n0"):
+    return Event(t, comp, EventKind.CONSOLE, Severity.INFO, msg)
+
+
+class TestSingleRule:
+    def test_match_emits_action(self):
+        eng = SecEngine([SingleRule("lockup", r"soft lockup", "alert")])
+        reqs = eng.feed([ev(1.0, "watchdog: soft lockup on CPU#2")])
+        assert len(reqs) == 1
+        assert reqs[0].action == "alert"
+        assert reqs[0].component == "n0"
+
+    def test_no_match_no_action(self):
+        eng = SecEngine([SingleRule("lockup", r"soft lockup", "alert")])
+        assert eng.feed([ev(1.0, "all fine")]) == []
+
+    def test_context_gating(self):
+        eng = SecEngine(
+            [
+                SingleRule("arm", r"maintenance started", "alert",
+                           sets_context="maint"),
+                SingleRule("gated", r"node down", "alert",
+                           requires_context="maint"),
+                SingleRule("disarm", r"maintenance ended", "alert",
+                           clears_context="maint"),
+            ]
+        )
+        assert eng.feed([ev(0.0, "node down")]) == []      # not in maint
+        eng.feed([ev(1.0, "maintenance started")])
+        assert len(eng.feed([ev(2.0, "node down")])) == 1  # gated rule live
+        eng.feed([ev(3.0, "maintenance ended")])
+        assert eng.feed([ev(4.0, "node down")]) == []
+
+    def test_unknown_rule_type_rejected(self):
+        with pytest.raises(TypeError):
+            SecEngine(["not a rule"])
+
+
+class TestPairRule:
+    def rule(self, window=60.0):
+        return PairRule(
+            name="recovery_watch",
+            pattern_a=r"link .* failed",
+            pattern_b=r"link .* restored",
+            window_s=window,
+            timeout_action="alert",
+            completion_action="log_ok",
+        )
+
+    def test_completion_within_window(self):
+        eng = SecEngine([self.rule()])
+        eng.feed([ev(0.0, "link x failed", comp="r0")])
+        reqs = eng.feed([ev(30.0, "link x restored", comp="r0")])
+        assert [r.action for r in reqs] == ["log_ok"]
+        # no timeout later
+        assert eng.tick(1000.0) == []
+
+    def test_timeout_fires_without_completion(self):
+        eng = SecEngine([self.rule()])
+        eng.feed([ev(0.0, "link x failed", comp="r0")])
+        reqs = eng.tick(100.0)
+        assert len(reqs) == 1
+        assert reqs[0].action == "alert"
+        assert reqs[0].time == 60.0  # stamped at window expiry
+
+    def test_per_component_tracking(self):
+        eng = SecEngine([self.rule()])
+        eng.feed([ev(0.0, "link a failed", comp="r0"),
+                  ev(1.0, "link b failed", comp="r1")])
+        eng.feed([ev(30.0, "link a restored", comp="r0")])
+        reqs = eng.tick(100.0)
+        # only r1's watch times out
+        assert [r.component for r in reqs] == ["r1"]
+
+    def test_completion_on_other_component_ignored(self):
+        eng = SecEngine([self.rule()])
+        eng.feed([ev(0.0, "link a failed", comp="r0")])
+        eng.feed([ev(30.0, "link a restored", comp="r9")])
+        assert len(eng.tick(100.0)) == 1
+
+
+class TestThresholdRule:
+    def test_storm_detected(self):
+        eng = SecEngine(
+            [ThresholdRule("storm", r"machine check", 3, 60.0, "alert")]
+        )
+        reqs = eng.feed([ev(float(i), "machine check") for i in range(3)])
+        assert len(reqs) == 1
+        assert reqs[0].fields["count"] == 3
+
+    def test_slow_drip_does_not_fire(self):
+        eng = SecEngine(
+            [ThresholdRule("storm", r"machine check", 3, 60.0, "alert")]
+        )
+        reqs = eng.feed(
+            [ev(i * 100.0, "machine check") for i in range(10)]
+        )
+        assert reqs == []
+
+    def test_rearm_after_fire(self):
+        eng = SecEngine(
+            [ThresholdRule("storm", r"err", 2, 60.0, "alert")]
+        )
+        r1 = eng.feed([ev(0.0, "err"), ev(1.0, "err")])
+        r2 = eng.feed([ev(2.0, "err")])
+        r3 = eng.feed([ev(3.0, "err")])
+        assert len(r1) == 1 and r2 == [] and len(r3) == 1
+
+    def test_per_component_windows(self):
+        eng = SecEngine(
+            [ThresholdRule("flap", r"FAILED", 2, 60.0, "drain_node",
+                           per_component=True)]
+        )
+        reqs = eng.feed(
+            [ev(0.0, "FAILED", comp="n0"), ev(1.0, "FAILED", comp="n1"),
+             ev(2.0, "FAILED", comp="n0")]
+        )
+        assert len(reqs) == 1
+        assert reqs[0].component == "n0"

@@ -1,0 +1,105 @@
+"""Unit tests for the benchmark suites."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine, SlowOst, build_dragonfly
+from repro.cluster.workload import APP_LIBRARY, Job
+from repro.core.events import EventKind
+from repro.sources.benchmarks import (
+    BenchmarkSuite,
+    ComputeBenchmark,
+    IoBenchmark,
+    MemoryBenchmark,
+    MetadataBenchmark,
+    NetworkBenchmark,
+    default_suite,
+)
+
+
+@pytest.fixture()
+def machine():
+    topo = build_dragonfly(groups=2, chassis_per_group=3,
+                           blades_per_chassis=4)
+    return Machine(topo, seed=9)
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestHealthyBaseline:
+    def test_all_benchmarks_near_nominal_on_idle_machine(self, machine):
+        machine.run(30.0, dt=5.0)
+        for bench in default_suite():
+            r = bench.run(machine, rng())
+            assert r.fraction_of_nominal > 0.9, bench.name
+
+
+class TestDegradations:
+    def test_pstate_cap_hits_dgemm(self, machine):
+        machine.nodes.pstate_frac[:] = 0.6
+        r = ComputeBenchmark().run(machine, rng())
+        assert r.fraction_of_nominal < 0.7
+
+    def test_memory_pressure_hits_stream(self, machine):
+        machine.nodes.mem_free_gb[:] = 1.0
+        r = MemoryBenchmark().run(machine, rng())
+        assert r.fraction_of_nominal < 0.2
+
+    def test_congestion_hits_allreduce(self, machine):
+        j = Job(APP_LIBRARY["cfd_fft"], 64, 0.0, seed=2)
+        machine.scheduler.submit(j, 0.0)
+        machine.run(300.0, dt=5.0)
+        r = NetworkBenchmark(sample_pairs=30).run(machine, rng())
+        idle = Machine(build_dragonfly(groups=2, chassis_per_group=3,
+                                       blades_per_chassis=4), seed=9)
+        r_idle = NetworkBenchmark(sample_pairs=30).run(idle, rng())
+        assert r.fom < r_idle.fom
+
+    def test_slow_ost_hits_ior(self, machine):
+        before = IoBenchmark().run(machine, rng())
+        machine.fs.set_slow_ost(0, 0.1)
+        after = IoBenchmark().run(machine, rng())
+        assert after.fom < before.fom * 0.3
+
+    def test_mds_degradation_hits_mdtest(self, machine):
+        before = MetadataBenchmark().run(machine, rng())
+        machine.fs.set_mds_degraded(0.1)
+        after = MetadataBenchmark().run(machine, rng())
+        assert after.fom < before.fom * 0.3
+
+    def test_runtime_inversely_tracks_fom(self, machine):
+        machine.fs.set_slow_ost(0, 0.1)
+        r = IoBenchmark().run(machine, rng())
+        assert r.runtime_s > IoBenchmark().nominal_runtime_s * 2
+
+
+class TestSuiteCollector:
+    def test_publishes_fom_and_runtime(self, machine):
+        suite = BenchmarkSuite(interval_s=600.0, seed=1)
+        out = suite.collect(machine, 0.0)
+        metrics = {b.metric for b in out.batches}
+        assert metrics == {"bench.fom", "bench.runtime_s"}
+        assert len(out.batches[0]) == 5
+
+    def test_degraded_benchmark_emits_warning_event(self, machine):
+        machine.fs.set_slow_ost(0, 0.05)
+        suite = BenchmarkSuite(seed=1)
+        out = suite.collect(machine, 0.0)
+        warn = [
+            e for e in out.events
+            if e.kind is EventKind.TEST and "DEGRADED" in e.message
+        ]
+        assert any(e.component == "ior_read" for e in warn)
+
+    def test_healthy_machine_all_pass(self, machine):
+        machine.run(30.0, dt=5.0)
+        out = BenchmarkSuite(seed=1).collect(machine, machine.now)
+        assert all(e.fields["passed"] for e in out.events)
+
+    def test_history_accumulates(self, machine):
+        suite = BenchmarkSuite(seed=1)
+        suite.collect(machine, 0.0)
+        suite.collect(machine, 600.0)
+        assert len(suite.history) == 10

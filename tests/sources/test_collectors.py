@@ -1,0 +1,219 @@
+"""Unit tests for the collector framework and basic collectors."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine, build_dragonfly
+from repro.cluster.workload import APP_LIBRARY, Job
+from repro.core.registry import default_registry
+from repro.sources import (
+    CollectionScheduler,
+    Collector,
+    CollectorOutput,
+    EnvironmentCollector,
+    FsProbeCollector,
+    InjectionCollector,
+    NetLinkCollector,
+    NodeCounterCollector,
+    OstCounterCollector,
+    PowerCollector,
+    QueueStatsCollector,
+    SedcCollector,
+)
+from repro.transport import MessageBus
+
+
+@pytest.fixture()
+def machine():
+    topo = build_dragonfly(groups=2, chassis_per_group=3,
+                           blades_per_chassis=4)
+    return Machine(topo, gpu_nodes="all", seed=3)
+
+
+def run_with_job(machine, seconds=120.0, app="climate", n=16):
+    j = Job(APP_LIBRARY[app], n, 0.0, seed=1)
+    machine.scheduler.submit(j, 0.0)
+    machine.run(seconds, dt=5.0)
+    return j
+
+
+class TestNodeCounterCollector:
+    def test_sweep_covers_all_nodes(self, machine):
+        out = NodeCounterCollector().collect(machine, 60.0)
+        metrics = {b.metric for b in out.batches}
+        assert "node.cpu_util" in metrics and "node.clock_offset_s" in metrics
+        for b in out.batches:
+            assert len(b) == len(machine.topo.nodes)
+            assert (b.times == 60.0).all()
+
+    def test_clock_offsets_nonzero(self, machine):
+        machine.run(3600.0, dt=60.0)
+        out = NodeCounterCollector().collect(machine, machine.now)
+        offsets = next(
+            b for b in out.batches if b.metric == "node.clock_offset_s"
+        )
+        assert np.abs(offsets.values).max() > 0
+
+
+class TestSedcCollector:
+    def test_gpu_metrics_present_when_gpus(self, machine):
+        out = SedcCollector().collect(machine, 0.0)
+        metrics = {b.metric for b in out.batches}
+        assert "gpu.health" in metrics
+
+    def test_gpu_metrics_absent_without_gpus(self):
+        m = Machine(build_dragonfly(groups=2, chassis_per_group=3,
+                                    blades_per_chassis=4), seed=1)
+        out = SedcCollector().collect(m, 0.0)
+        metrics = {b.metric for b in out.batches}
+        assert "gpu.health" not in metrics
+        assert "node.power_w" in metrics
+
+
+class TestPowerCollector:
+    def test_system_power_equals_cabinet_sum(self, machine):
+        run_with_job(machine)
+        out = PowerCollector(machine).collect(machine, machine.now)
+        by_metric = {b.metric: b for b in out.batches}
+        cab = by_metric["cabinet.power_w"]
+        sys = by_metric["system.power_w"]
+        assert sys.values[0] == pytest.approx(cab.values.sum())
+
+
+class TestFsCollectors:
+    def test_probe_latencies_positive(self, machine):
+        out = FsProbeCollector().collect(machine, 0.0)
+        for b in out.batches:
+            assert (b.values > 0).all()
+
+    def test_ost_counters_and_aggregate_consistent(self, machine):
+        run_with_job(machine, app="climate")
+        out = OstCounterCollector().collect(machine, machine.now)
+        by_metric = {b.metric: b for b in out.batches}
+        assert by_metric["fs.write_bps"].values[0] == pytest.approx(
+            by_metric["ost.write_bps"].values.sum()
+        )
+
+
+class TestQueueStatsCollector:
+    def test_depth_and_backlog(self, machine):
+        big = Job(APP_LIBRARY["qmc"], 10_000, 0.0, seed=1,
+                  walltime_req=3600.0)
+        machine.scheduler.submit(big, 0.0)
+        machine.step(5.0)
+        out = QueueStatsCollector().collect(machine, machine.now)
+        by_metric = {b.metric: b for b in out.batches}
+        assert by_metric["queue.depth"].values[0] == 1.0
+        assert by_metric["queue.backlog_nodeh"].values[0] == pytest.approx(
+            10_000.0
+        )
+
+    def test_scheduler_events_surfaced(self, machine):
+        run_with_job(machine, seconds=30.0)
+        out = QueueStatsCollector().collect(machine, machine.now)
+        actions = [e.fields["action"] for e in out.events]
+        assert "submit" in actions and "start" in actions
+
+
+class TestEnvironmentCollector:
+    def test_quiet_room_no_events(self, machine):
+        out = EnvironmentCollector().collect(machine, 0.0)
+        assert out.events == []
+        assert len(out.batches) == 4
+
+    def test_ashrae_excursion_emits_once(self, machine):
+        machine.room.corrosion_rate = 900.0
+        coll = EnvironmentCollector()
+        first = coll.collect(machine, 0.0)
+        second = coll.collect(machine, 300.0)
+        assert len(first.events) == 1
+        assert second.events == []          # still over: no re-alert
+        machine.room.corrosion_rate = 100.0
+        coll.collect(machine, 600.0)
+        machine.room.corrosion_rate = 900.0
+        again = coll.collect(machine, 900.0)
+        assert len(again.events) == 1       # re-crossing re-alerts
+
+
+class TestNetLinkCollector:
+    def test_link_sweep_shapes(self, machine):
+        run_with_job(machine, app="cfd_fft", n=32)
+        out = NetLinkCollector().collect(machine, machine.now)
+        n_links = len(machine.topo.links)
+        for b in out.batches:
+            assert len(b) == n_links
+
+    def test_counters_cumulative_across_sweeps(self, machine):
+        # run past the app's setup phase into its all-to-all phase
+        run_with_job(machine, app="cfd_fft", n=32, seconds=400.0)
+        c = NetLinkCollector()
+        first = c.collect(machine, machine.now)
+        machine.run(60.0, dt=5.0)
+        second = c.collect(machine, machine.now)
+        t1 = next(b for b in first.batches
+                  if b.metric == "link.traffic_flits").values
+        t2 = next(b for b in second.batches
+                  if b.metric == "link.traffic_flits").values
+        assert (t2 >= t1).all()
+        assert t2.sum() > t1.sum()
+
+
+class TestScheduler:
+    def test_interval_respected(self, machine):
+        bus = MessageBus()
+        sched = CollectionScheduler(bus, registry=default_registry())
+        c = sched.add(NodeCounterCollector(interval_s=60.0))
+        for t in range(0, 180, 10):
+            machine_now = float(t)
+            sched.poll(machine, machine_now)
+        # due at 0, 60, 120 -> 3 sweeps
+        assert c.sweeps == 3
+
+    def test_missed_slots_skipped_not_replayed(self, machine):
+        bus = MessageBus()
+        sched = CollectionScheduler(bus)
+        c = sched.add(NodeCounterCollector(interval_s=60.0))
+        sched.poll(machine, 0.0)
+        sched.poll(machine, 600.0)   # long gap: one sweep, not ten
+        assert c.sweeps == 2
+
+    def test_publishes_to_bus_topics(self, machine):
+        bus = MessageBus()
+        sub = bus.subscribe("metrics.node.cpu_util")
+        sched = CollectionScheduler(bus)
+        sched.add(NodeCounterCollector(interval_s=60.0))
+        sched.poll(machine, 0.0)
+        assert len(sub.drain()) == 1
+
+    def test_unregistered_metric_rejected(self, machine):
+        class Rogue(Collector):
+            metrics = ("not.registered",)
+
+            def __init__(self):
+                super().__init__("rogue", 60.0)
+
+            def collect(self, machine, now):
+                return CollectorOutput()
+
+        sched = CollectionScheduler(MessageBus(),
+                                    registry=default_registry())
+        with pytest.raises(KeyError, match="documented meaning"):
+            sched.add(Rogue())
+
+    def test_overhead_report(self, machine):
+        sched = CollectionScheduler(MessageBus())
+        sched.add(NodeCounterCollector(interval_s=60.0))
+        sched.poll(machine, 0.0)
+        rep = sched.overhead_report()
+        assert rep["node_counters"]["sweeps"] == 1
+        assert rep["node_counters"]["samples"] > 0
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            NodeCounterCollector(interval_s=0.0)
+
+    def test_injection_collector_unit_range(self, machine):
+        run_with_job(machine, app="cfd_fft", n=32)
+        out = InjectionCollector().collect(machine, machine.now)
+        vals = out.batches[0].values
+        assert (vals >= 0).all() and (vals <= 1.0 + 1e-9).all()

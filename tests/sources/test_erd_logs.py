@@ -1,0 +1,144 @@
+"""Unit tests for the event router, Deluge decoder, and log paths."""
+
+import pytest
+
+from repro.cluster import HungNode, Machine, build_dragonfly
+from repro.core.events import Event, EventKind, Severity
+from repro.sources.erd import DelugeTap, EventRouter
+from repro.sources.logsource import (
+    CrayLogSplitter,
+    UnifiedLogForwarder,
+    parse_split_logs,
+)
+
+
+def machine_with_events():
+    topo = build_dragonfly(groups=2, chassis_per_group=3,
+                           blades_per_chassis=4)
+    m = Machine(topo, seed=5)
+    m.faults.add(HungNode(start=10.0, duration=30.0, node=topo.nodes[0]))
+    m.run(60.0, dt=5.0)
+    return m
+
+
+def sample_events():
+    return [
+        Event(10.0, "c0-0c0s0n0", EventKind.CONSOLE, Severity.ERROR,
+              "soft lockup detected"),
+        Event(20.0, "c0-0c0s1n0", EventKind.HWERR, Severity.CRITICAL,
+              "machine check exception", fields={"bank": 4, "mcacod": 17}),
+        Event(30.0, "room0", EventKind.ENV, Severity.WARNING,
+              "corrosion high"),
+        Event(40.0, "scheduler", EventKind.SCHEDULER, Severity.INFO,
+              "start job=1 app=qmc nodes=8"),
+        Event(90000.0, "c1-0c0s0n1", EventKind.NETWORK, Severity.ERROR,
+              "link failed"),  # next day
+    ]
+
+
+class TestEventRouter:
+    def test_pump_drains_machine(self):
+        m = machine_with_events()
+        router = EventRouter()
+        n = router.pump(m)
+        assert n >= 2                      # hung + recovered at least
+        assert m.drain_events() == []      # machine buffer now empty
+
+    def test_text_subset_is_lossy(self):
+        m = machine_with_events()
+        router = EventRouter()
+        router.pump(m)
+        lines = router.text_subset()
+        assert lines                        # console events present
+        assert all(isinstance(l, str) for l in lines)
+        # structured fields are flattened away in the text path
+        assert not any("{" in l for l in lines)
+
+    def test_deluge_tap_gets_full_events(self):
+        m = machine_with_events()
+        router = EventRouter()
+        tap = router.attach(DelugeTap())
+        router.pump(m)
+        events = tap.drain()
+        assert events
+        assert all(isinstance(e, Event) for e in events)
+
+    def test_deluge_kind_filter(self):
+        m = machine_with_events()
+        router = EventRouter()
+        tap = router.attach(DelugeTap(kinds=[EventKind.CONSOLE]))
+        router.pump(m)
+        assert all(e.kind is EventKind.CONSOLE for e in tap.drain())
+
+    def test_decode_backlog(self):
+        m = machine_with_events()
+        router = EventRouter()
+        router.pump(m)                     # frames buffered pre-attach
+        tap = DelugeTap()
+        tap.decode_backlog(router)
+        assert tap.drain()
+
+    def test_fields_survive_round_trip(self):
+        m = Machine(build_dragonfly(groups=2, chassis_per_group=3,
+                                    blades_per_chassis=4), seed=1)
+        m.emit_event(EventKind.HWERR, Severity.CRITICAL, "n0",
+                     "mce", fields={"bank": 4})
+        router = EventRouter()
+        tap = router.attach(DelugeTap())
+        router.pump(m)
+        (ev,) = tap.drain()
+        assert ev.fields == {"bank": 4}
+
+
+class TestCrayLogSplitter:
+    def test_events_scatter_into_many_files(self):
+        splitter = CrayLogSplitter()
+        splitter.write(sample_events())
+        # 4 kinds on day 0 + 1 kind on day 1 = 5 files
+        assert splitter.n_files() == 5
+
+    def test_formats_differ_between_families(self):
+        splitter = CrayLogSplitter()
+        splitter.write(sample_events())
+        all_lines = [l for lines in splitter.files.values() for l in lines]
+        assert any(l.startswith("[") for l in all_lines)       # bracket
+        assert any(l.startswith("T=") for l in all_lines)      # tagged
+        assert any(l.startswith("*** HWERR") for l in all_lines)  # multiline
+
+    def test_parser_recovers_all_records(self):
+        splitter = CrayLogSplitter()
+        events = sample_events()
+        splitter.write(events)
+        parsed = parse_split_logs(splitter.files)
+        assert len(parsed) == len(events)
+        assert [p.time for p in parsed] == sorted(e.time for e in events)
+
+    def test_parser_reassembles_multiline(self):
+        splitter = CrayLogSplitter()
+        splitter.write(sample_events())
+        parsed = parse_split_logs(splitter.files)
+        hwerr = [p for p in parsed if p.kind == "hwerr"]
+        assert len(hwerr) == 1
+        assert hwerr[0].message == "machine check exception"
+
+
+class TestUnifiedForwarder:
+    def test_single_stream_single_format(self):
+        fwd = UnifiedLogForwarder()
+        fwd.write(sample_events())
+        assert len(fwd.lines) == len(sample_events())
+
+    def test_unified_and_split_agree_on_content(self):
+        events = sample_events()
+        splitter = CrayLogSplitter()
+        splitter.write(events)
+        fwd = UnifiedLogForwarder()
+        fwd.write(events)
+        split_parsed = parse_split_logs(splitter.files)
+        uni_parsed = fwd.parse()
+        assert [p.time for p in split_parsed] == [
+            p.time for p in uni_parsed
+        ]
+        assert [p.component for p in split_parsed] == [
+            p.component for p in uni_parsed
+        ]

@@ -1,0 +1,195 @@
+"""Unit tests for health checks and the CSCS gate."""
+
+import pytest
+
+from repro.cluster import Machine, build_dragonfly
+from repro.cluster.workload import APP_LIBRARY, Job, JobState
+from repro.core.events import EventKind
+from repro.sources.health import (
+    ClockSyncCheck,
+    FreeMemoryCheck,
+    GpuCheck,
+    HealthGate,
+    MountCheck,
+    NodeHealthSuite,
+    ResponsivenessCheck,
+    ServiceCheck,
+)
+
+
+@pytest.fixture()
+def machine():
+    topo = build_dragonfly(groups=2, chassis_per_group=3,
+                           blades_per_chassis=4)
+    return Machine(topo, gpu_nodes="all", seed=13)
+
+
+class TestIndividualChecks:
+    def test_service_check(self, machine):
+        node = machine.topo.nodes[0]
+        assert ServiceCheck().check(machine, node).passed
+        machine.nodes.kill_service(node, "slurmd")
+        r = ServiceCheck().check(machine, node)
+        assert not r.passed and "slurmd" in r.detail
+
+    def test_mount_check(self, machine):
+        node = machine.topo.nodes[1]
+        machine.nodes.drop_mount(node, "/scratch")
+        r = MountCheck().check(machine, node)
+        assert not r.passed and "/scratch" in r.detail
+
+    def test_memory_check(self, machine):
+        node = machine.topo.nodes[2]
+        machine.nodes.mem_free_gb[2] = 1.0
+        assert not FreeMemoryCheck(min_free_gb=4.0).check(
+            machine, node
+        ).passed
+
+    def test_responsiveness_check(self, machine):
+        node = machine.topo.nodes[3]
+        machine.nodes.set_hung(node)
+        r = ResponsivenessCheck().check(machine, node)
+        assert not r.passed and "hung" in r.detail
+        machine.nodes.set_hung(node, False)
+        machine.nodes.set_down(node)
+        assert "down" in ResponsivenessCheck().check(machine, node).detail
+
+    def test_gpu_check_failure_modes(self, machine):
+        node = machine.topo.nodes[4]
+        gi = machine.gpus.index[node]
+        machine.gpus.ecc_dbe[gi] = 3
+        r = GpuCheck().check(machine, node)
+        assert not r.passed and "ECC" in r.detail
+        machine.gpus.ecc_dbe[gi] = 0
+        machine.gpus.failed[gi] = True
+        assert "failed" in GpuCheck().check(machine, node).detail
+
+    def test_gpu_check_passes_without_gpus(self):
+        m = Machine(build_dragonfly(groups=2, chassis_per_group=3,
+                                    blades_per_chassis=4), seed=1)
+        assert GpuCheck().check(m, m.topo.nodes[0]).passed
+
+    def test_clock_sync_check(self, machine):
+        node = machine.topo.nodes[5]
+        machine.node_clocks[node].offset = 5.0
+        assert not ClockSyncCheck(max_offset_s=1.0).check(
+            machine, node
+        ).passed
+
+
+class TestSuite:
+    def test_healthy_machine_full_pass(self, machine):
+        suite = NodeHealthSuite()
+        out = suite.collect(machine, 0.0)
+        assert out.events == []
+        (batch,) = out.batches
+        assert (batch.values == 1.0).all()
+
+    def test_failures_emit_health_events(self, machine):
+        node = machine.topo.nodes[0]
+        machine.nodes.kill_service(node, "munge")
+        out = NodeHealthSuite().collect(machine, 0.0)
+        assert len(out.events) == 1
+        assert out.events[0].kind is EventKind.HEALTH
+        assert out.events[0].component == node
+
+    def test_pass_frac_reflects_failures(self, machine):
+        node = machine.topo.nodes[0]
+        machine.nodes.kill_service(node, "munge")
+        machine.nodes.drop_mount(node, "/home")
+        out = NodeHealthSuite().collect(machine, 0.0)
+        (batch,) = out.batches
+        vals = batch.component_values()
+        n_checks = len(NodeHealthSuite().checks)
+        assert vals[node] == pytest.approx((n_checks - 2) / n_checks)
+
+
+class TestHealthGate:
+    def test_gate_blocks_bad_nodes_at_start(self, machine):
+        bad = machine.topo.nodes[0]
+        machine.nodes.set_hung(bad)
+        gate = HealthGate(machine)
+        machine.scheduler.health_gate = gate.gate
+        j = Job(APP_LIBRARY["qmc"], len(machine.topo.nodes) - 1, 0.0, seed=1)
+        machine.scheduler.submit(j, 0.0)
+        machine.step(5.0)
+        assert j.state is JobState.RUNNING
+        assert bad not in j.nodes
+        assert gate.pre_rejections >= 1
+
+    def test_post_job_drains_failed_nodes(self, machine):
+        gate = HealthGate(machine)
+        j = Job(APP_LIBRARY["qmc"], 8, 0.0, seed=1)
+        machine.scheduler.submit(j, 0.0)
+        machine.step(5.0)
+        victim = j.nodes[0]
+        machine.nodes.kill_service(victim, "lnet")   # breaks during job
+        machine.scheduler.complete(j, machine.now)
+        bad = gate.post_job(j)
+        assert bad == [victim]
+        assert victim in machine.scheduler.unavailable
+
+    def test_at_most_one_job_sees_the_problem(self, machine):
+        """The CSCS invariant end-to-end: a fault during job A drains the
+        node, so job B never lands on it."""
+        gate = HealthGate(machine)
+        machine.scheduler.health_gate = gate.gate
+        a = Job(APP_LIBRARY["qmc"], 8, 0.0, seed=1)
+        machine.scheduler.submit(a, 0.0)
+        machine.step(5.0)
+        victim = a.nodes[0]
+        machine.nodes.kill_service(victim, "lnet")
+        machine.scheduler.complete(a, machine.now)
+        gate.post_job(a)
+        b = Job(APP_LIBRARY["qmc"], 8, 0.0, seed=2)
+        machine.scheduler.submit(b, machine.now)
+        machine.step(5.0)
+        assert b.state is JobState.RUNNING
+        assert victim not in b.nodes
+
+    def test_repair_and_return(self, machine):
+        gate = HealthGate(machine)
+        j = Job(APP_LIBRARY["qmc"], 4, 0.0, seed=1)
+        machine.scheduler.submit(j, 0.0)
+        machine.step(5.0)
+        victim = j.nodes[0]
+        machine.nodes.set_hung(victim)
+        machine.scheduler.complete(j, machine.now)
+        gate.post_job(j)
+        machine.nodes.set_hung(victim, False)
+        gate.repair_and_return(victim)
+        assert victim not in machine.scheduler.unavailable
+        assert victim not in gate.drained
+
+
+class TestConfigCheck:
+    def test_fleet_consistent_passes(self, machine):
+        from repro.sources.health import ConfigCheck
+        assert ConfigCheck().check(machine, machine.topo.nodes[0]).passed
+
+    def test_lone_drifted_node_flagged(self, machine):
+        from repro.sources.health import ConfigCheck
+        node = machine.topo.nodes[7]
+        machine.nodes.drift_config(node, 0xBAD)
+        r = ConfigCheck().check(machine, node)
+        assert not r.passed and "golden" in r.detail
+        # the rest of the fleet is unaffected
+        assert ConfigCheck().check(machine, machine.topo.nodes[0]).passed
+
+    def test_fleetwide_change_is_quiet(self, machine):
+        from repro.sources.health import ConfigCheck
+        # an intentional image update rolls to every node: new majority
+        machine.nodes.config_hash[:] = 0x2024
+        assert ConfigCheck().check(machine, machine.topo.nodes[0]).passed
+
+    def test_config_drift_fault_end_to_end(self, machine):
+        from repro.cluster import ConfigDrift
+        from repro.sources.health import NodeHealthSuite
+        node = machine.topo.nodes[2]
+        machine.faults.add(ConfigDrift(start=0.0, duration=30.0,
+                                       node=node))
+        machine.run(10.0, dt=5.0)
+        suite = NodeHealthSuite()
+        assert not suite.node_passes(machine, node)
+        machine.run(60.0, dt=5.0)   # fault reverts
+        assert suite.node_passes(machine, node)

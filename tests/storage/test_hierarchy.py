@@ -1,0 +1,100 @@
+"""Unit tests for hierarchical hot/cold storage."""
+
+import numpy as np
+import pytest
+
+from repro.core.metric import MetricKey, SeriesBatch
+from repro.storage.hierarchy import TieredStore
+from repro.storage.tsdb import TimeSeriesStore
+
+
+def fill(store, n=100, comp="a"):
+    for i in range(n):
+        store.append(
+            SeriesBatch.sweep("m", i * 60.0, [comp], [float(i)])
+        )
+
+
+@pytest.fixture()
+def tiered():
+    t = TieredStore(TimeSeriesStore(chunk_size=16))
+    fill(t)
+    return t
+
+
+class TestArchive:
+    def test_archive_moves_old_chunks(self, tiered):
+        moved = tiered.archive_before(3000.0)
+        assert moved > 0
+        assert tiered.catalog
+        # hot tier no longer holds the archived span
+        hot = tiered.hot.query("m", "a")
+        assert hot.times.min() >= 16 * 60.0  # first chunk(s) gone
+
+    def test_archive_is_idempotent(self, tiered):
+        tiered.archive_before(3000.0)
+        assert tiered.archive_before(3000.0) == 0
+
+    def test_catalog_tracks_spans(self, tiered):
+        tiered.archive_before(3000.0)
+        spans = tiered.cold_spans("m", "a")
+        assert spans
+        assert all(hi < 3000.0 for _, hi in spans)
+
+    def test_cold_bytes_positive(self, tiered):
+        tiered.archive_before(3000.0)
+        assert tiered.cold_bytes() > 0
+
+
+class TestReload:
+    def test_transparent_query_reloads(self, tiered):
+        tiered.archive_before(3000.0)
+        out = tiered.query("m", "a", 0.0, 6000.0)
+        assert len(out) == 100
+        assert list(out.values) == [float(i) for i in range(100)]
+        assert tiered.reloads == 1
+
+    def test_query_outside_cold_span_no_reload(self, tiered):
+        tiered.archive_before(1000.0)
+        tiered.query("m", "a", 5000.0, 6000.0)
+        assert tiered.reloads == 0
+
+    def test_reload_removes_catalog_entries(self, tiered):
+        tiered.archive_before(3000.0)
+        key = MetricKey("m", "a")
+        n = tiered.reload(key, 0.0, 3000.0)
+        assert n > 0
+        assert not tiered.cold_spans("m", "a")
+
+    def test_data_identical_after_archive_reload_cycle(self, tiered):
+        before = tiered.hot.query("m", "a")
+        tiered.archive_before(3000.0)
+        after = tiered.query("m", "a")
+        assert np.array_equal(before.times, after.times)
+        assert np.array_equal(before.values, after.values)
+
+
+class TestDiskTier:
+    def test_cold_dir_persistence(self, tmp_path):
+        t = TieredStore(TimeSeriesStore(chunk_size=16),
+                        cold_dir=tmp_path / "cold")
+        fill(t)
+        t.archive_before(3000.0)
+        files = list((tmp_path / "cold").iterdir())
+        assert files
+        out = t.query("m", "a", 0.0, 6000.0)
+        assert len(out) == 100
+        # reload consumed the cold files
+        assert not list((tmp_path / "cold").iterdir())
+
+    def test_multiple_series_archived_separately(self, tmp_path):
+        t = TieredStore(TimeSeriesStore(chunk_size=16),
+                        cold_dir=tmp_path / "cold")
+        fill(t, comp="a")
+        fill(t, comp="b")
+        t.archive_before(3000.0)
+        assert t.cold_spans("m", "a") and t.cold_spans("m", "b")
+        # reloading a must not disturb b's cold data
+        t.query("m", "a", 0.0, 6000.0)
+        assert not t.cold_spans("m", "a")
+        assert t.cold_spans("m", "b")

@@ -1,0 +1,93 @@
+"""Unit tests for the job allocation index."""
+
+import pytest
+
+from repro.core.metric import SeriesBatch
+from repro.storage.jobstore import JobIndex
+from repro.storage.tsdb import TimeSeriesStore
+
+
+@pytest.fixture()
+def idx():
+    ji = JobIndex()
+    ji.record_start(1, "lammps", ["n0", "n1"], 0.0)
+    ji.record_end(1, 100.0)
+    ji.record_start(2, "qmc", ["n2", "n3"], 50.0)
+    ji.record_end(2, 150.0)
+    ji.record_start(3, "cfd_fft", ["n0", "n4"], 120.0)  # still running
+    return ji
+
+
+class TestRecording:
+    def test_duplicate_start_rejected(self, idx):
+        with pytest.raises(ValueError, match="already recorded"):
+            idx.record_start(1, "x", ["n9"], 0.0)
+
+    def test_double_end_rejected(self, idx):
+        with pytest.raises(ValueError, match="already ended"):
+            idx.record_end(1, 200.0)
+
+    def test_contains_and_len(self, idx):
+        assert 1 in idx and 9 not in idx
+        assert len(idx) == 3
+
+
+class TestAttribution:
+    def test_jobs_active_at(self, idx):
+        assert {a.job_id for a in idx.jobs_active_at(75.0)} == {1, 2}
+        assert {a.job_id for a in idx.jobs_active_at(130.0)} == {2, 3}
+
+    def test_job_on_node_at(self, idx):
+        assert idx.job_on_node_at("n0", 50.0).job_id == 1
+        assert idx.job_on_node_at("n0", 130.0).job_id == 3
+        assert idx.job_on_node_at("n0", 110.0) is None
+        assert idx.job_on_node_at("never", 0.0) is None
+
+    def test_jobs_overlapping(self, idx):
+        assert {a.job_id for a in idx.jobs_overlapping(140.0, 200.0)} == {2, 3}
+
+    def test_concurrent_with(self, idx):
+        assert {a.job_id for a in idx.concurrent_with(1)} == {2}
+        # job 3 is open-ended: overlaps job 2's tail
+        assert {a.job_id for a in idx.concurrent_with(3)} == {2}
+
+    def test_runtimes_by_app(self, idx):
+        rt = idx.runtimes_by_app()
+        assert rt["lammps"] == [100.0]
+        assert rt["qmc"] == [100.0]
+        assert "cfd_fft" not in rt  # still running
+
+
+class TestExtraction:
+    def fill_tsdb(self):
+        tsdb = TimeSeriesStore()
+        for t in range(0, 200, 10):
+            tsdb.append(
+                SeriesBatch.sweep(
+                    "node.power_w", float(t),
+                    ["n0", "n1", "n2"], [100.0, 200.0, 300.0],
+                )
+            )
+        return tsdb
+
+    def test_extract_job_series_window(self, idx):
+        tsdb = self.fill_tsdb()
+        per_node = idx.extract_job_series(tsdb, 1, "node.power_w")
+        assert set(per_node) == {"n0", "n1"}
+        # job 1 ran [0, 100): samples at 0..90
+        assert len(per_node["n0"]) == 10
+
+    def test_condense_sum(self, idx):
+        tsdb = self.fill_tsdb()
+        series = idx.condense_job_series(
+            tsdb, 1, "node.power_w", agg="sum", step=10.0
+        )
+        assert (series.values == 300.0).all()  # 100 + 200 per bucket
+        assert series.components[0] == "job.1"
+
+    def test_condense_mean(self, idx):
+        tsdb = self.fill_tsdb()
+        series = idx.condense_job_series(
+            tsdb, 1, "node.power_w", agg="mean", step=10.0
+        )
+        assert (series.values == 150.0).all()

@@ -1,0 +1,115 @@
+"""Unit tests for the indexed log store."""
+
+import pytest
+
+from repro.core.events import Event, EventKind, Severity
+from repro.storage.logstore import LogStore, tokenize
+
+
+def ev(t, comp="c0-0c0s0n0", kind=EventKind.CONSOLE,
+       sev=Severity.INFO, msg="hello world"):
+    return Event(time=t, component=comp, kind=kind, severity=sev,
+                 message=msg)
+
+
+@pytest.fixture()
+def store():
+    s = LogStore()
+    s.append(ev(0.0, msg="lustre mount failed on scratch"))
+    s.append(ev(10.0, msg="slurmd started ok", sev=Severity.NOTICE))
+    s.append(ev(20.0, comp="c1-0c0s0n0", kind=EventKind.HWERR,
+                sev=Severity.ERROR, msg="machine check exception bank 4"))
+    s.append(ev(30.0, msg="lustre recovery complete"))
+    return s
+
+
+class TestTokenize:
+    def test_basic_tokens(self):
+        assert tokenize("Hello, World!") == ["hello", "world"]
+
+    def test_cnames_survive(self):
+        assert "c0-0c0s0n3" in tokenize("error on c0-0c0s0n3 occurred")
+
+    def test_paths_survive(self):
+        assert "/scratch" in tokenize("mount /scratch lost")
+
+
+class TestSearch:
+    def test_term_and(self, store):
+        hits = store.search(["lustre", "failed"])
+        assert len(hits) == 1
+        assert "mount failed" in hits[0].message
+
+    def test_missing_term_empty(self, store):
+        assert store.search(["nonexistentterm"]) == []
+
+    def test_time_window(self, store):
+        hits = store.search(["lustre"], t0=5.0, t1=100.0)
+        assert len(hits) == 1
+        assert hits[0].time == 30.0
+
+    def test_kind_filter(self, store):
+        hits = store.search(kind=EventKind.HWERR)
+        assert len(hits) == 1
+        assert hits[0].severity is Severity.ERROR
+
+    def test_component_filter(self, store):
+        hits = store.search(component="c1-0c0s0n0")
+        assert len(hits) == 1
+
+    def test_severity_floor(self, store):
+        hits = store.search(min_severity=Severity.ERROR)
+        assert len(hits) == 1
+
+    def test_regex_post_filter(self, store):
+        hits = store.search(regex=r"bank \d")
+        assert len(hits) == 1
+
+    def test_limit(self, store):
+        assert len(store.search(limit=2)) == 2
+
+    def test_no_filters_returns_all(self, store):
+        assert len(store.search()) == 4
+
+    def test_index_matches_naive_scan(self, store):
+        via_index = store.search(["lustre"])
+        via_scan = store.scan(r"lustre")
+        assert via_index == via_scan
+
+
+class TestOccurrenceAnalytics:
+    def test_count_by_component(self, store):
+        counts = store.count_by_component()
+        assert counts["c0-0c0s0n0"] == 3
+        assert counts["c1-0c0s0n0"] == 1
+
+    def test_count_by_kind(self, store):
+        counts = store.count_by_kind()
+        assert counts["console"] == 3
+        assert counts["hwerr"] == 1
+
+    def test_occurrence_series_buckets(self, store):
+        starts, counts = store.occurrence_series(
+            ["lustre"], t0=0.0, t1=40.0, bucket_s=10.0
+        )
+        assert len(starts) == 4
+        assert list(counts) == [1, 0, 0, 1]
+
+    def test_occurrence_series_includes_empty_buckets(self, store):
+        starts, counts = store.occurrence_series(
+            ["nothing"], t0=0.0, t1=100.0, bucket_s=10.0
+        )
+        assert counts.sum() == 0
+        assert len(starts) == 10
+
+
+class TestFootprint:
+    def test_index_bytes_positive(self, store):
+        assert store.index_bytes() > 0
+
+    def test_raw_bytes_counts_lines(self, store):
+        assert store.raw_bytes() > 4 * 20
+
+    def test_len_and_get(self, store):
+        assert len(store) == 4
+        assert store.get(0).time == 0.0

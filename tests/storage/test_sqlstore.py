@@ -1,0 +1,93 @@
+"""Unit tests for the relational store."""
+
+import pytest
+
+from repro.core.metric import SeriesBatch
+from repro.storage.sqlstore import SqlStore, TestResultRow
+
+
+@pytest.fixture()
+def db():
+    store = SqlStore()
+    yield store
+    store.close()
+
+
+class TestJobs:
+    def test_upsert_and_fetch(self, db):
+        db.upsert_job(1, "lammps", 64, 0.0, "pending")
+        row = db.job(1)
+        assert row.app == "lammps" and row.state == "pending"
+        assert row.nodes == ()
+
+    def test_upsert_updates_state(self, db):
+        db.upsert_job(1, "lammps", 64, 0.0, "pending")
+        db.upsert_job(1, "lammps", 64, 0.0, "running",
+                      start_time=10.0, nodes=["n0", "n1"])
+        row = db.job(1)
+        assert row.state == "running"
+        assert row.start_time == 10.0
+        assert row.nodes == ("n0", "n1")
+
+    def test_missing_job_none(self, db):
+        assert db.job(99) is None
+
+    def test_filter_by_state_and_app(self, db):
+        db.upsert_job(1, "a", 1, 0.0, "running")
+        db.upsert_job(2, "b", 1, 0.0, "completed")
+        db.upsert_job(3, "a", 1, 0.0, "completed")
+        assert [j.job_id for j in db.jobs(state="completed")] == [2, 3]
+        assert [j.job_id for j in db.jobs(app="a")] == [1, 3]
+
+    def test_jobs_running_at(self, db):
+        db.upsert_job(1, "a", 1, 0.0, "completed",
+                      start_time=10.0, end_time=20.0)
+        db.upsert_job(2, "a", 1, 0.0, "running", start_time=15.0)
+        at_12 = [j.job_id for j in db.jobs_running_at(12.0)]
+        at_30 = [j.job_id for j in db.jobs_running_at(30.0)]
+        assert at_12 == [1]
+        assert at_30 == [2]
+
+
+class TestNodeState:
+    def test_unhealthy_window(self, db):
+        db.insert_node_state(0.0, "n0", True, True)
+        db.insert_node_state(10.0, "n1", True, False)
+        db.insert_node_state(20.0, "n2", False, False)
+        assert db.unhealthy_nodes_at(0.0, 15.0) == ["n1"]
+        assert db.unhealthy_nodes_at(0.0, 30.0) == ["n1", "n2"]
+
+
+class TestTestResults:
+    def row(self, t, passed=True, test="dgemm", value=1.0):
+        return TestResultRow(t, "nightly", test, "system", passed, value, "")
+
+    def test_insert_and_filter(self, db):
+        db.insert_test_result(self.row(0.0))
+        db.insert_test_result(self.row(10.0, passed=False, value=0.2))
+        db.insert_test_result(self.row(20.0, test="iorate"))
+        fails = db.test_results(only_failures=True)
+        assert len(fails) == 1 and fails[0].value == 0.2
+        assert len(db.test_results(test="dgemm")) == 2
+        assert len(db.test_results(t0=5.0, t1=15.0)) == 1
+
+
+class TestSamples:
+    def test_append_query_round_trip(self, db):
+        b = SeriesBatch.for_component("m", "a", [0.0, 1.0, 2.0], [5, 6, 7])
+        assert db.append(b) == 3
+        out = db.query("m", "a", 0.5, 2.5)
+        assert list(out.values) == [6.0, 7.0]
+
+    def test_sample_count(self, db):
+        db.append(SeriesBatch.sweep("m", 0.0, ["a", "b"], [1, 2]))
+        assert db.sample_count() == 2
+
+    def test_footprint_grows(self, db):
+        before = db.footprint_bytes()
+        for i in range(200):
+            db.append(SeriesBatch.sweep("m", float(i),
+                                        [f"c{j}" for j in range(20)],
+                                        list(range(20))))
+        db.commit()
+        assert db.footprint_bytes() > before

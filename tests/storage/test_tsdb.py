@@ -1,0 +1,214 @@
+"""Unit tests for the time-series store and chunk codec."""
+
+import numpy as np
+import pytest
+
+from repro.core.metric import MetricKey, SeriesBatch
+from repro.storage.tsdb import (
+    TimeSeriesStore,
+    compress_chunk,
+    decompress_chunk,
+)
+
+
+class TestChunkCodec:
+    def round_trip(self, times, values):
+        t, v = decompress_chunk(compress_chunk(np.asarray(times),
+                                               np.asarray(values)))
+        return t, v
+
+    def test_empty_chunk(self):
+        t, v = self.round_trip([], [])
+        assert len(t) == 0 and len(v) == 0
+
+    def test_single_sample(self):
+        t, v = self.round_trip([42.0], [3.14])
+        assert t[0] == 42.0 and v[0] == 3.14
+
+    def test_regular_interval_exact(self):
+        times = np.arange(0, 600, 60, dtype=float)
+        values = np.linspace(100, 200, len(times))
+        t, v = self.round_trip(times, values)
+        assert np.array_equal(t, times)
+        assert np.array_equal(v, values)
+
+    def test_irregular_times_ms_resolution(self):
+        times = np.array([0.001, 0.5, 7.25, 1000.125])
+        values = np.array([1.0, -2.5, 1e-9, 1e9])
+        t, v = self.round_trip(times, values)
+        assert np.allclose(t, times, atol=5e-4)
+        assert np.array_equal(v, values)
+
+    def test_special_float_values(self):
+        values = np.array([0.0, -0.0, np.nan, np.inf, -np.inf, 1e-300])
+        times = np.arange(len(values), dtype=float)
+        t, v = self.round_trip(times, values)
+        assert np.array_equal(
+            np.isnan(v), np.isnan(values)
+        )
+        finite = ~np.isnan(values)
+        assert np.array_equal(v[finite], values[finite])
+
+    def test_constant_series_compresses_hard(self):
+        times = np.arange(0, 512 * 60, 60, dtype=float)
+        values = np.full(512, 230.0)
+        blob = compress_chunk(times, values)
+        # ~2 bytes/sample (1 ts varint + 1 zero-xor marker) + headers
+        assert len(blob) < 512 * 3
+        raw = 512 * 16
+        assert raw / len(blob) > 5
+
+    def test_random_series_still_round_trips(self):
+        rng = np.random.default_rng(0)
+        times = np.sort(rng.uniform(0, 1e6, 300))
+        # dedupe at ms resolution to keep expectations exact
+        times = np.unique(np.round(times * 1000) / 1000)
+        values = rng.normal(0, 1e5, len(times))
+        t, v = self.round_trip(times, values)
+        assert np.allclose(t, times, atol=5e-4)
+        assert np.array_equal(v, values)
+
+
+@pytest.fixture()
+def store():
+    return TimeSeriesStore(chunk_size=16)
+
+
+def sweep(metric, t, comps, vals):
+    return SeriesBatch.sweep(metric, t, comps, vals)
+
+
+class TestIngestAndQuery:
+    def test_append_and_query_single(self, store):
+        store.append(sweep("m", 0.0, ["a"], [1.0]))
+        store.append(sweep("m", 60.0, ["a"], [2.0]))
+        out = store.query("m", "a")
+        assert list(out.values) == [1.0, 2.0]
+        assert list(out.times) == [0.0, 60.0]
+
+    def test_query_unknown_series_empty(self, store):
+        assert len(store.query("m", "nope")) == 0
+
+    def test_query_spans_sealed_and_head(self, store):
+        for i in range(40):  # crosses two sealed chunks + open head
+            store.append(sweep("m", i * 60.0, ["a"], [float(i)]))
+        out = store.query("m", "a")
+        assert len(out) == 40
+        assert list(out.values) == [float(i) for i in range(40)]
+
+    def test_time_window_query(self, store):
+        for i in range(40):
+            store.append(sweep("m", i * 60.0, ["a"], [float(i)]))
+        out = store.query("m", "a", t0=600.0, t1=1200.0)
+        assert list(out.values) == [10.0, 11.0, 12.0, 13.0,
+                                    14.0, 15.0, 16.0, 17.0, 18.0, 19.0]
+
+    def test_multi_component_sweep(self, store):
+        store.append(sweep("m", 0.0, ["a", "b", "c"], [1, 2, 3]))
+        assert store.components("m") == ["a", "b", "c"]
+        assert store.query("m", "b").values[0] == 2.0
+
+    def test_keys_filtered_by_metric(self, store):
+        store.append(sweep("m1", 0.0, ["a"], [1]))
+        store.append(sweep("m2", 0.0, ["a"], [1]))
+        assert store.keys("m1") == [MetricKey("m1", "a")]
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError):
+            TimeSeriesStore(chunk_size=1)
+
+    def test_flush_then_query(self, store):
+        store.append(sweep("m", 0.0, ["a"], [5.0]))
+        store.flush()
+        assert store.query("m", "a").values[0] == 5.0
+        assert store.stats().sealed_chunks == 1
+
+
+class TestDownsample:
+    def fill(self, store):
+        for i in range(120):
+            store.append(sweep("m", float(i), ["a"], [float(i)]))
+
+    def test_mean_buckets(self, store):
+        self.fill(store)
+        out = store.downsample("m", "a", 0.0, 120.0, step=60.0, agg="mean")
+        assert len(out) == 2
+        assert out.values[0] == pytest.approx(np.mean(range(60)))
+        assert out.values[1] == pytest.approx(np.mean(range(60, 120)))
+
+    def test_max_buckets(self, store):
+        self.fill(store)
+        out = store.downsample("m", "a", 0.0, 120.0, step=60.0, agg="max")
+        assert list(out.values) == [59.0, 119.0]
+
+    def test_empty_buckets_omitted(self, store):
+        store.append(sweep("m", 0.0, ["a"], [1.0]))
+        store.append(sweep("m", 500.0, ["a"], [2.0]))
+        out = store.downsample("m", "a", 0.0, 600.0, step=60.0)
+        assert len(out) == 2
+        assert list(out.times) == [0.0, 480.0]
+
+    def test_unknown_agg_rejected(self, store):
+        with pytest.raises(ValueError, match="unknown agg"):
+            store.downsample("m", "a", 0, 1, 1, agg="median?")
+
+    def test_bad_step_rejected(self, store):
+        with pytest.raises(ValueError, match="step"):
+            store.downsample("m", "a", 0, 1, 0.0)
+
+
+class TestAggregateAcross:
+    def test_sum_across_components(self, store):
+        for t in (0.0, 60.0):
+            store.append(sweep("fs.read_bps", t, ["ost0", "ost1"],
+                               [100.0, 50.0]))
+        out = store.aggregate_across("fs.read_bps", step=60.0, agg="sum")
+        assert list(out.values) == [150.0, 150.0]
+
+    def test_mean_across_subset(self, store):
+        store.append(sweep("m", 0.0, ["a", "b", "c"], [1.0, 3.0, 100.0]))
+        out = store.aggregate_across("m", ["a", "b"], step=60.0, agg="mean")
+        assert out.values[0] == 2.0
+
+    def test_empty_store_empty_aggregate(self, store):
+        assert len(store.aggregate_across("m")) == 0
+
+
+class TestStats:
+    def test_counts(self, store):
+        for i in range(40):
+            store.append(sweep("m", float(i), ["a", "b"], [1.0, 2.0]))
+        s = store.stats()
+        assert s.series == 2
+        assert s.samples == 80
+        assert s.sealed_chunks == 4  # 2 series x (40 // 16) sealed
+        assert s.compressed_bytes > 0
+
+    def test_compression_ratio_beats_raw_on_regular_data(self, store):
+        for i in range(512):
+            store.append(sweep("m", i * 60.0, ["a"], [42.0]))
+        store.flush()
+        assert store.stats().compression_ratio > 4
+
+    def test_drop_series(self, store):
+        store.append(sweep("m", 0.0, ["a"], [1.0]))
+        assert store.drop_series("m", "a")
+        assert not store.drop_series("m", "a")
+        assert len(store.query("m", "a")) == 0
+
+
+class TestEvictImport:
+    def test_evict_then_import_round_trip(self, store):
+        for i in range(64):
+            store.append(sweep("m", float(i), ["a"], [float(i)]))
+        store.flush()
+        key = MetricKey("m", "a")
+        chunks, spans = store.export_series(key)
+        evicted = store.evict_chunks_before(key, 32.0)
+        assert evicted == 2
+        assert len(store.query("m", "a")) == 32
+        old = [(c, s) for c, s in zip(chunks, spans) if s[1] < 32.0]
+        store.import_chunks(key, [c for c, _ in old], [s for _, s in old])
+        out = store.query("m", "a")
+        assert len(out) == 64
+        assert list(out.values) == [float(i) for i in range(64)]

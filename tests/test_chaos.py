@@ -1,0 +1,128 @@
+"""Chaos campaign: random fault schedules must never break the stack.
+
+The paper's operational reality is overlapping, unanticipated failures.
+We throw randomized fault schedules (types, targets, timings, overlaps)
+at the full pipeline and assert the structural invariants that must
+survive *any* weather: no exceptions, consistent stores, conserved
+scheduler accounting, monotone counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BerDegradation,
+    ConfigDrift,
+    HungNode,
+    LinkFailure,
+    LoadImbalance,
+    Machine,
+    MdsDegradation,
+    MemoryLeak,
+    MountLoss,
+    PackedPlacement,
+    QueueBlockage,
+    ServiceDeath,
+    SlowOst,
+    ThermalExcursion,
+    build_dragonfly,
+)
+from repro.cluster.workload import JobGenerator, JobState
+from repro.pipeline import default_pipeline
+
+
+def random_fault(rng, machine, t):
+    """One randomly parameterized fault at time ``t``."""
+    topo = machine.topo
+    node = str(rng.choice(topo.nodes))
+    duration = float(rng.uniform(120.0, 1200.0))
+    choices = [
+        lambda: HungNode(start=t, duration=duration, node=node),
+        lambda: ServiceDeath(start=t, duration=duration, node=node,
+                             service=str(rng.choice(
+                                 ["slurmd", "munge", "ntpd", "lnet"]))),
+        lambda: MountLoss(start=t, duration=duration, node=node),
+        lambda: MemoryLeak(start=t, duration=duration, node=node,
+                           gb_per_s=float(rng.uniform(0.01, 0.5))),
+        lambda: ConfigDrift(start=t, duration=duration, node=node),
+        lambda: SlowOst(start=t, duration=duration,
+                        ost=int(rng.integers(0, machine.fs.n_ost)),
+                        bw_factor=float(rng.uniform(0.05, 0.5))),
+        lambda: MdsDegradation(start=t, duration=duration,
+                               rate_factor=float(rng.uniform(0.05, 0.5))),
+        lambda: LinkFailure(start=t, duration=duration,
+                            link_index=int(rng.integers(
+                                0, len(topo.links)))),
+        lambda: BerDegradation(start=t, duration=duration,
+                               link_index=int(rng.integers(
+                                   0, len(topo.links))),
+                               decades_per_day=float(
+                                   rng.uniform(0.5, 5.0))),
+        lambda: QueueBlockage(start=t, duration=duration),
+        lambda: ThermalExcursion(start=t, duration=duration,
+                                 delta_c=float(rng.uniform(2.0, 10.0))),
+        lambda: LoadImbalance(start=t, duration=duration,
+                              frac_busy=float(rng.uniform(0.2, 0.8))),
+    ]
+    return choices[int(rng.integers(0, len(choices)))]()
+
+
+@pytest.mark.parametrize("seed", [11, 23, 47])
+def test_random_fault_campaign_survives(seed):
+    rng = np.random.default_rng(seed)
+    topo = build_dragonfly(groups=2, chassis_per_group=3,
+                           blades_per_chassis=4)
+    machine = Machine(
+        topo,
+        placement=PackedPlacement(),
+        job_generator=JobGenerator(mean_interarrival_s=200,
+                                   max_nodes=24, seed=seed),
+        gpu_nodes="all",
+        seed=seed,
+    )
+    n_faults = int(rng.integers(5, 12))
+    for _ in range(n_faults):
+        machine.faults.add(
+            random_fault(rng, machine, float(rng.uniform(60.0, 3000.0)))
+        )
+    pipeline = default_pipeline(machine, seed=seed)
+    pipeline.run(hours=1.2, dt=10.0)   # must not raise
+
+    # -- structural invariants under arbitrary weather --------------------
+
+    # scheduler accounting conserved
+    sched = machine.scheduler
+    allocated = [n for j in sched.running for n in j.nodes]
+    assert len(allocated) == len(set(allocated))
+    assert set(allocated) == set(sched.allocated)
+    for j in sched.completed:
+        assert j.state in (JobState.COMPLETED, JobState.FAILED)
+        assert j.end_time is not None
+
+    # cumulative counters are monotone by construction; spot-check totals
+    assert (machine.network.cum_traffic_flits >= 0).all()
+    assert (machine.network.cum_stall_flits >= 0).all()
+    assert (machine.nodes.energy_j >= 0).all()
+
+    # every stored series is time-sorted and self-consistent
+    for key in pipeline.tsdb.keys("node.power_w")[:5]:
+        series = pipeline.tsdb.query(key.metric, key.component)
+        assert (np.diff(series.times) > 0).all()
+        assert np.isfinite(series.values).all()
+
+    # job index agrees with the scheduler's view of completed jobs
+    done = {j.id for j in sched.completed if j.start_time is not None}
+    indexed_done = {
+        a.job_id
+        for a in pipeline.jobs.jobs_overlapping(-np.inf, np.inf)
+        if a.end is not None
+    }
+    assert indexed_done <= {j.id for j in sched.completed} | {
+        j.id for j in sched.running
+    }
+    assert done <= set(
+        a.job_id for a in pipeline.jobs.jobs_overlapping(-np.inf, np.inf)
+    )
+
+    # the event plane kept flowing
+    assert pipeline.router.events_routed >= n_faults  # faults emit events

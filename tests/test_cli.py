@@ -1,0 +1,41 @@
+"""Tests for the ``python -m repro`` command-line driver."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args, timeout=300):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestCli:
+    def test_registry_prints_data_dictionary(self):
+        proc = run_cli("registry")
+        assert proc.returncode == 0
+        assert "node.power_w" in proc.stdout
+        assert "meaning" in proc.stdout
+
+    def test_demo_runs_and_alerts(self):
+        proc = run_cli("demo", "--hours", "0.4")
+        assert proc.returncode == 0
+        assert "alerts:" in proc.stdout
+        assert "soft_lockup" in proc.stdout   # the injected hung node
+        assert "system status" in proc.stdout
+
+    def test_dashboard_scenario(self):
+        proc = run_cli("dashboard", "--hours", "0.2")
+        assert proc.returncode == 0
+        assert "shareable spec" in proc.stdout
+        assert "operations" in proc.stdout
+
+    def test_unknown_scenario_rejected(self):
+        proc = run_cli("nonsense")
+        assert proc.returncode != 0
+        assert "invalid choice" in proc.stderr

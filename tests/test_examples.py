@@ -1,0 +1,43 @@
+"""Smoke tests: every shipped example runs to completion.
+
+The examples double as executable documentation of the paper's site
+stories; each carries its own assertions (detection found the injected
+fault, invariants held), so "exits 0" is a meaningful end-to-end check.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_inventory():
+    """Every site story has its example (and the quickstart exists)."""
+    assert "quickstart.py" in EXAMPLES
+    covered_sites = {
+        name.split("_")[1]
+        for name in EXAMPLES
+        if name.startswith("site_")
+    }
+    assert covered_sites >= {
+        "ncsa", "kaust", "cscs", "snl", "hlrs", "alcf", "ornl", "csc"
+    }
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_clean(example):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / example)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{example} failed:\n--- stdout ---\n{proc.stdout[-2000:]}"
+        f"\n--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{example} produced no output"

@@ -1,0 +1,93 @@
+"""Unit tests for the pub/sub message bus."""
+
+import pytest
+
+from repro.transport.bus import MessageBus
+
+
+@pytest.fixture()
+def bus():
+    return MessageBus(default_queue_len=100)
+
+
+class TestRouting:
+    def test_exact_topic_delivery(self, bus):
+        sub = bus.subscribe("metrics.power")
+        bus.publish("metrics.power", {"v": 1})
+        bus.publish("metrics.temp", {"v": 2})
+        got = sub.drain()
+        assert len(got) == 1
+        assert got[0].payload == {"v": 1}
+
+    def test_wildcard_delivery(self, bus):
+        sub = bus.subscribe("metrics.*")
+        bus.publish("metrics.power", 1)
+        bus.publish("metrics.temp", 2)
+        bus.publish("events.hwerr", 3)
+        assert len(sub.drain()) == 2
+
+    def test_multiple_consumers_fanout(self, bus):
+        a = bus.subscribe("t")
+        b = bus.subscribe("t")
+        n = bus.publish("t", 1)
+        assert n == 2
+        assert len(a.drain()) == 1 and len(b.drain()) == 1
+
+    def test_no_subscribers_is_fine(self, bus):
+        assert bus.publish("nowhere", 1) == 0
+
+    def test_unsubscribe_stops_delivery(self, bus):
+        sub = bus.subscribe("t")
+        bus.unsubscribe(sub)
+        bus.publish("t", 1)
+        assert sub.drain() == []
+
+    def test_seq_increments(self, bus):
+        sub = bus.subscribe("t")
+        bus.publish("t", 1)
+        bus.publish("t", 2)
+        seqs = [e.seq for e in sub.drain()]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 2
+
+
+class TestCallbacks:
+    def test_callback_delivery_is_synchronous(self, bus):
+        seen = []
+        bus.subscribe("t", callback=seen.append)
+        bus.publish("t", 42)
+        assert seen[0].payload == 42
+
+
+class TestBackpressure:
+    def test_queue_overflow_drops_oldest(self, bus):
+        sub = bus.subscribe("t", maxlen=3)
+        for i in range(5):
+            bus.publish("t", i)
+        got = [e.payload for e in sub.drain()]
+        assert got == [2, 3, 4]
+        assert sub.dropped == 2
+
+    def test_drain_max_items(self, bus):
+        sub = bus.subscribe("t")
+        for i in range(10):
+            bus.publish("t", i)
+        assert len(sub.drain(max_items=4)) == 4
+        assert len(sub) == 6
+
+
+class TestStats:
+    def test_stats_account_everything(self, bus):
+        sub = bus.subscribe("t", maxlen=2)
+        bus.subscribe("t")
+        for i in range(4):
+            bus.publish("t", i)
+        s = bus.stats()
+        assert s.published == 4
+        assert s.delivered == 8
+        assert s.dropped == 2
+        assert s.subscriptions == 2
+
+    def test_publish_many(self, bus):
+        sub = bus.subscribe("t")
+        bus.publish_many("t", [1, 2, 3])
+        assert len(sub.drain()) == 3

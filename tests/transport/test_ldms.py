@@ -1,0 +1,76 @@
+"""Unit tests for the LDMS-style pull aggregation tree."""
+
+import pytest
+
+from repro.core.metric import SeriesBatch
+from repro.transport.ldms import Aggregator, Sampler, build_tree
+
+
+def sampler(name, value=1.0):
+    def fn(now):
+        return [SeriesBatch.sweep("m", now, [name], [value])]
+
+    return Sampler(name, fn)
+
+
+class TestSampler:
+    def test_pull_invokes_fn(self):
+        s = sampler("n0", 5.0)
+        out = s.pull(60.0)
+        assert out[0].values[0] == 5.0
+        assert s.pulls == 1
+
+
+class TestAggregator:
+    def test_requires_children(self):
+        with pytest.raises(ValueError):
+            Aggregator("a", [])
+
+    def test_fan_in_collects_all(self):
+        agg = Aggregator("a", [sampler(f"n{i}") for i in range(5)])
+        out = agg.pull(0.0)
+        assert len(out) == 5
+        assert agg.samples_moved == 5
+
+    def test_stats_accumulate(self):
+        agg = Aggregator("a", [sampler("n0")])
+        agg.pull(0.0)
+        agg.pull(60.0)
+        s = agg.stats()
+        assert s.pulls == 2
+        assert s.samples == 2
+        assert s.wire_bytes > 0
+
+
+class TestBuildTree:
+    def test_single_level_when_fanin_large(self):
+        root = build_tree([sampler(f"n{i}") for i in range(8)], fan_in=16)
+        assert root.depth() == 1
+        assert len(root.pull(0.0)) == 8
+
+    def test_multi_level_tree(self):
+        root = build_tree([sampler(f"n{i}") for i in range(64)], fan_in=4)
+        # 64 -> 16 -> 4 -> 1: three levels
+        assert root.depth() == 3
+        out = root.pull(0.0)
+        assert len(out) == 64
+
+    def test_all_samples_survive_any_fanin(self):
+        samplers = [sampler(f"n{i}", float(i)) for i in range(37)]
+        for fan_in in (2, 3, 5, 40):
+            root = build_tree(
+                [sampler(f"n{i}", float(i)) for i in range(37)],
+                fan_in=fan_in,
+            )
+            out = root.pull(0.0)
+            values = sorted(b.values[0] for b in out)
+            assert values == [float(i) for i in range(37)]
+
+    def test_fan_in_validated(self):
+        with pytest.raises(ValueError):
+            build_tree([sampler("n0")], fan_in=1)
+
+    def test_synchronized_timestamps(self):
+        root = build_tree([sampler(f"n{i}") for i in range(10)], fan_in=3)
+        out = root.pull(120.0)
+        assert all(b.times[0] == 120.0 for b in out)

@@ -1,0 +1,83 @@
+"""Unit tests for message envelopes and wire codecs."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import Event, EventKind, Severity
+from repro.core.metric import SeriesBatch
+from repro.transport.message import (
+    Envelope,
+    decode_binary,
+    decode_json,
+    encode_binary,
+    encode_json,
+)
+
+
+def batch():
+    return SeriesBatch.sweep("node.power_w", 60.0, ["n0", "n1"],
+                             [250.0, np.nan])
+
+
+def event():
+    return Event(
+        time=5.5,
+        component="c0-0c0s1n2",
+        kind=EventKind.HWERR,
+        severity=Severity.CRITICAL,
+        message="machine check",
+        fields={"bank": 4},
+    )
+
+
+class TestJsonCodec:
+    def test_batch_round_trip(self):
+        env = Envelope("metrics.power", batch(), source="sedc", seq=7)
+        out = decode_json(encode_json(env))
+        assert out.topic == "metrics.power"
+        assert out.seq == 7
+        assert isinstance(out.payload, SeriesBatch)
+        assert list(out.payload.components) == ["n0", "n1"]
+        assert out.payload.values[0] == 250.0
+        assert np.isnan(out.payload.values[1])
+
+    def test_event_round_trip(self):
+        env = Envelope("events.hwerr", event())
+        out = decode_json(encode_json(env))
+        assert out.payload == event()
+
+    def test_dict_round_trip(self):
+        env = Envelope("cfg", {"a": [1, 2]})
+        assert decode_json(encode_json(env)).payload == {"a": [1, 2]}
+
+    def test_json_is_single_line(self):
+        assert "\n" not in encode_json(Envelope("t", event()))
+
+
+class TestBinaryCodec:
+    def test_round_trip(self):
+        env = Envelope("events.hwerr", event(), source="erd", seq=3)
+        out, rest = decode_binary(encode_binary(env))
+        assert rest == b""
+        assert out.topic == "events.hwerr"
+        assert out.source == "erd"
+        assert out.payload == event()
+
+    def test_stream_of_frames(self):
+        stream = encode_binary(Envelope("a", event(), seq=1)) + encode_binary(
+            Envelope("b", event(), seq=2)
+        )
+        first, rest = decode_binary(stream)
+        second, rest = decode_binary(rest)
+        assert (first.topic, second.topic) == ("a", "b")
+        assert rest == b""
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            decode_binary(b"NOPE" + b"\x00" * 16)
+
+    def test_batch_round_trip(self):
+        env = Envelope("metrics", batch())
+        out, _ = decode_binary(encode_binary(env))
+        assert isinstance(out.payload, SeriesBatch)
+        assert len(out.payload) == 2

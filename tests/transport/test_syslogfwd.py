@@ -1,0 +1,64 @@
+"""Unit tests for the syslog forwarder."""
+
+import pytest
+
+from repro.core.events import Event, EventKind, Severity
+from repro.transport.syslogfwd import SyslogForwarder
+
+
+def ev(t, msg="x"):
+    return Event(t, "n0", EventKind.CONSOLE, Severity.INFO, msg)
+
+
+class TestForwarding:
+    def test_all_through_under_rate(self):
+        sink = []
+        fwd = SyslogForwarder(sink.append, rate_per_s=100, burst=50)
+        n = fwd.forward(0.0, [ev(0.0) for _ in range(10)])
+        assert n == 10
+        assert len(sink) == 10
+        assert fwd.stats().loss_rate == 0.0
+
+    def test_burst_exceeding_tokens_buffers(self):
+        sink = []
+        fwd = SyslogForwarder(sink.append, rate_per_s=10, burst=5,
+                              retry_buffer=100)
+        fwd.forward(0.0, [ev(0.0) for _ in range(20)])
+        assert len(sink) == 5
+        assert fwd.pending() == 15
+        assert fwd.stats().dropped == 0
+
+    def test_retries_drain_when_tokens_refill(self):
+        sink = []
+        fwd = SyslogForwarder(sink.append, rate_per_s=10, burst=5,
+                              retry_buffer=100)
+        fwd.forward(0.0, [ev(0.0) for _ in range(20)])
+        fwd.forward(10.0, [])   # 10 s x 10/s, capped at burst... tokens=5
+        assert len(sink) == 10
+        fwd.forward(20.0, [])
+        assert len(sink) == 15
+
+    def test_storm_overflows_buffer_and_drops(self):
+        sink = []
+        fwd = SyslogForwarder(sink.append, rate_per_s=10, burst=5,
+                              retry_buffer=10)
+        fwd.forward(0.0, [ev(0.0) for _ in range(100)])
+        s = fwd.stats()
+        assert s.dropped == 100 - 5 - 10
+        assert s.loss_rate > 0.5
+
+    def test_ordering_oldest_retries_first(self):
+        sink = []
+        fwd = SyslogForwarder(sink.append, rate_per_s=1, burst=1,
+                              retry_buffer=10)
+        fwd.forward(0.0, [ev(0.0, "first"), ev(0.0, "second")])
+        fwd.forward(1.0, [ev(1.0, "third")])
+        assert [e.message for e in sink][:2] == ["first", "second"]
+
+    def test_stats_retried_counted(self):
+        sink = []
+        fwd = SyslogForwarder(sink.append, rate_per_s=10, burst=1,
+                              retry_buffer=10)
+        fwd.forward(0.0, [ev(0.0), ev(0.0)])
+        fwd.forward(1.0, [])
+        assert fwd.stats().retried == 1

@@ -1,0 +1,67 @@
+"""Unit tests for figure builders on small synthetic stores.
+
+The benches exercise these against full simulations; these tests pin
+the arithmetic on hand-built stores where the right answer is obvious.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.metric import SeriesBatch
+from repro.storage.jobstore import JobIndex
+from repro.storage.tsdb import TimeSeriesStore
+from repro.viz.figures import figure1_tas, figure4_drilldown
+
+
+class TestFigure1Unit:
+    def store(self):
+        tsdb = TimeSeriesStore()
+        # pre epoch [0, 600): nodes achieve 40%; post [600, 1200): 80%
+        for t in np.arange(0, 1200, 60.0):
+            frac = 0.4 if t < 600 else 0.8
+            tsdb.append(SeriesBatch.sweep(
+                "node.inject_bw_frac", t, ["n0", "n1"], [frac, frac]))
+        return tsdb
+
+    def test_epoch_means_and_ratio(self):
+        fig = figure1_tas(self.store(), (0.0, 600.0), (600.0, 1200.0))
+        assert fig.summary["pre_mean_pct"] == pytest.approx(40.0)
+        assert fig.summary["post_mean_pct"] == pytest.approx(80.0)
+        assert fig.summary["post_over_pre"] == pytest.approx(2.0)
+
+    def test_panels_cover_both_epochs(self):
+        fig = figure1_tas(self.store(), (0.0, 600.0), (600.0, 1200.0))
+        assert [p[0] for p in fig.panels] == ["pre-TAS epoch",
+                                              "post-TAS epoch"]
+        text = fig.render()
+        assert "pre-TAS" in text and "post-TAS" in text
+
+    def test_empty_pre_epoch_inf_ratio(self):
+        tsdb = TimeSeriesStore()
+        tsdb.append(SeriesBatch.sweep("node.inject_bw_frac", 700.0,
+                                      ["n0"], [0.5]))
+        fig = figure1_tas(tsdb, (0.0, 600.0), (600.0, 1200.0))
+        assert fig.summary["post_over_pre"] == float("inf")
+
+
+class TestFigure4Unit:
+    def test_attribution_prefers_biggest_io_job(self):
+        tsdb = TimeSeriesStore()
+        idx = JobIndex()
+        idx.record_start(1, "small_io", ["n0"], 0.0)
+        idx.record_start(2, "big_io", ["n1"], 0.0)
+        for t in np.arange(0, 600, 60.0):
+            spike = 240 <= t < 360
+            tsdb.append(SeriesBatch.sweep(
+                "fs.read_bps", t, ["fs"], [4e9 if spike else 1e8]))
+            tsdb.append(SeriesBatch.sweep(
+                "ost.read_bps", t, ["ost0", "ost1"],
+                [3e9 if spike else 5e7, 1e9 if spike else 5e7]))
+            tsdb.append(SeriesBatch.sweep(
+                "job.io_bps", t, ["job.1", "job.2"],
+                [1e8, 3.9e9 if spike else 1e7]))
+        fig, result = figure4_drilldown(tsdb, idx, 0.0, 600.0)
+        assert 240 <= result.peak_time < 360
+        assert result.job_id == 2
+        assert result.job_app == "big_io"
+        assert result.ranked_components[0][0] == "ost0"

@@ -1,0 +1,153 @@
+"""Unit tests for series shaping and rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.metric import SeriesBatch
+from repro.viz.render import (
+    ascii_chart,
+    bar_row,
+    from_csv,
+    sparkline,
+    to_csv,
+)
+from repro.viz.series import condense, percent_of, resample, series_matrix
+
+
+def batch(comp, times, values, metric="m"):
+    return SeriesBatch.for_component(metric, comp, times, values)
+
+
+class TestResample:
+    def test_regular_grid(self):
+        b = batch("a", np.arange(0, 100, 10.0), np.arange(10.0))
+        r = resample(b, 0.0, 100.0, 20.0)
+        assert len(r) == 5
+        assert r.values[0] == pytest.approx(0.5)  # mean of samples 0,1
+
+    def test_empty_buckets_are_nan(self):
+        b = batch("a", [0.0, 90.0], [1.0, 2.0])
+        r = resample(b, 0.0, 100.0, 10.0)
+        assert np.isnan(r.values[5])
+        assert r.values[0] == 1.0 and r.values[9] == 2.0
+
+    def test_sum_agg(self):
+        b = batch("a", [0.0, 5.0], [1.0, 2.0])
+        r = resample(b, 0.0, 10.0, 10.0, agg="sum")
+        assert r.values[0] == 3.0
+
+    def test_max_agg(self):
+        b = batch("a", [0.0, 5.0], [1.0, 7.0])
+        r = resample(b, 0.0, 10.0, 10.0, agg="max")
+        assert r.values[0] == 7.0
+
+    def test_bad_agg_and_step(self):
+        b = batch("a", [0.0], [1.0])
+        with pytest.raises(ValueError):
+            resample(b, 0, 10, 10, agg="mode")
+        with pytest.raises(ValueError):
+            resample(b, 0, 10, 0)
+
+
+class TestCondense:
+    def test_sum_across_components(self):
+        per = {
+            "a": batch("a", [0.0, 60.0], [1.0, 2.0]),
+            "b": batch("b", [0.0, 60.0], [10.0, 20.0]),
+        }
+        c = condense(per, 0.0, 120.0, 60.0, agg="sum")
+        assert list(c.values) == [11.0, 22.0]
+
+    def test_mean_ignores_missing_component_buckets(self):
+        per = {
+            "a": batch("a", [0.0, 60.0], [1.0, 3.0]),
+            "b": batch("b", [0.0], [5.0]),     # absent in bucket 1
+        }
+        c = condense(per, 0.0, 120.0, 60.0, agg="mean")
+        assert c.values[0] == 3.0   # (1+5)/2
+        assert c.values[1] == 3.0   # only a present
+
+    def test_empty_input(self):
+        assert len(condense({}, 0, 10, 1)) == 0
+
+    def test_all_missing_bucket_is_nan(self):
+        per = {"a": batch("a", [0.0], [1.0])}
+        c = condense(per, 0.0, 120.0, 60.0, agg="sum")
+        assert np.isnan(c.values[1])
+
+
+class TestPercentOf:
+    def test_scaling(self):
+        b = batch("a", [0.0], [0.25])
+        p = percent_of(b, 0.5)
+        assert p.values[0] == 50.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percent_of(batch("a", [0.0], [1.0]), 0.0)
+
+
+class TestSeriesMatrix:
+    def test_shape_and_order(self):
+        per = {
+            "b": batch("b", [0.0], [2.0]),
+            "a": batch("a", [0.0], [1.0]),
+        }
+        comps, grid, mat = series_matrix(per, 0.0, 60.0, 60.0)
+        assert comps == ["a", "b"]
+        assert mat.shape == (2, 1)
+        assert mat[0, 0] == 1.0
+
+
+class TestSparkline:
+    def test_range_mapping(self):
+        s = sparkline([0, 1, 2, 3])
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_nan_is_space(self):
+        assert sparkline([np.nan, 1.0])[0] == " "
+
+    def test_all_nan(self):
+        assert sparkline([np.nan, np.nan]) == "  "
+
+
+class TestAsciiChart:
+    def series(self):
+        t = np.arange(0, 600, 60.0)
+        return {
+            "up": batch("m", t, np.linspace(0, 10, len(t))),
+            "down": batch("m", t, np.linspace(10, 0, len(t))),
+        }
+
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(self.series(), title="test chart")
+        assert "test chart" in chart
+        assert "*=up" in chart and "o=down" in chart
+        assert "*" in chart and "o" in chart
+
+    def test_empty(self):
+        assert ascii_chart({}) == "(no data)"
+
+    def test_axis_labels(self):
+        chart = ascii_chart(self.series())
+        assert "10" in chart and "t=0s" in chart
+
+    def test_bar_row(self):
+        row = bar_row("power", 50.0, 100.0, width=10, unit="kW")
+        assert row.count("#") == 5
+        assert "50" in row
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self):
+        series = {
+            "a": batch("a", [0.0, 60.0], [1.0, np.nan], metric="m1"),
+            "b": batch("b", [0.0], [5.0], metric="m2"),
+        }
+        text = to_csv(series)
+        assert text.startswith("metric,component,time,value")
+        back = from_csv(text)
+        a = back["m1@a"]
+        assert list(a.times) == [0.0, 60.0]
+        assert a.values[0] == 1.0 and np.isnan(a.values[1])
+        assert back["m2@b"].values[0] == 5.0

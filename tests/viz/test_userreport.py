@@ -1,0 +1,108 @@
+"""Tests for user-scoped job reports and access control."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine, PackedPlacement, SlowOst, build_dragonfly
+from repro.cluster.workload import APP_LIBRARY, Job
+from repro.core.events import Event, EventKind, Severity
+from repro.pipeline import MonitoringPipeline, default_collectors
+from repro.storage.jobstore import JobIndex
+from repro.storage.logstore import LogStore
+from repro.storage.tsdb import TimeSeriesStore
+from repro.viz.userreport import AccessPolicy, job_report
+
+
+class TestAccessPolicy:
+    def make_index(self):
+        idx = JobIndex()
+        idx.record_start(1, "lammps", ["n0"], 0.0, user="alice")
+        idx.record_start(2, "qmc", ["n1"], 0.0, user="bob")
+        return idx
+
+    def test_owner_authorized(self):
+        policy = AccessPolicy(self.make_index())
+        assert policy.authorize("alice", 1).job_id == 1
+
+    def test_other_user_denied(self):
+        policy = AccessPolicy(self.make_index())
+        with pytest.raises(PermissionError, match="does not own"):
+            policy.authorize("alice", 2)
+
+    def test_visible_jobs_scoped(self):
+        policy = AccessPolicy(self.make_index())
+        assert [a.job_id for a in policy.visible_jobs("bob")] == [2]
+
+
+def run_scenario(with_fault: bool, seed: int = 21):
+    """One user job under monitoring, optionally with an FS fault."""
+    topo = build_dragonfly(groups=2, chassis_per_group=3,
+                           blades_per_chassis=4)
+    machine = Machine(topo, placement=PackedPlacement(), seed=seed)
+    job = Job(APP_LIBRARY["genomics"], 16, 0.0, seed=seed, user="alice")
+    job.work_seconds = 1800.0
+    machine.scheduler.submit(job, 0.0)
+    if with_fault:
+        machine.faults.add(SlowOst(start=300.0, duration=2400.0, ost=0,
+                                   bw_factor=0.08))
+    pipeline = MonitoringPipeline(
+        machine, collectors=default_collectors(machine, seed=seed)
+    )
+    pipeline.run(hours=1.2, dt=10.0)
+    return pipeline, job
+
+
+class TestJobReport:
+    def test_clean_run_reports_healthy(self):
+        pipeline, job = run_scenario(with_fault=False)
+        report = job_report(
+            "alice", job.id,
+            index=pipeline.jobs, tsdb=pipeline.tsdb,
+            logs=pipeline.logs, topo=pipeline.machine.topo,
+        )
+        assert "healthy" in report.verdict
+        text = report.render()
+        assert f"job {job.id}" in text
+
+    def test_fs_degradation_surfaces(self):
+        pipeline, job = run_scenario(with_fault=True)
+        report = job_report(
+            "alice", job.id,
+            index=pipeline.jobs, tsdb=pipeline.tsdb,
+            logs=pipeline.logs, topo=pipeline.machine.topo,
+        )
+        assert any("filesystem" in f for f in report.findings)
+        assert "plausibly affected" in report.verdict
+
+    def test_report_denied_to_non_owner(self):
+        pipeline, job = run_scenario(with_fault=False)
+        with pytest.raises(PermissionError):
+            job_report(
+                "mallory", job.id,
+                index=pipeline.jobs, tsdb=pipeline.tsdb,
+                logs=pipeline.logs, topo=pipeline.machine.topo,
+            )
+
+    def test_node_events_scoped_to_own_nodes(self):
+        pipeline, job = run_scenario(with_fault=False)
+        # an error on someone else's node must not leak into the report
+        other_node = next(
+            n for n in pipeline.machine.topo.nodes if n not in job.nodes
+        )
+        pipeline.logs.append(Event(
+            100.0, other_node, EventKind.HWERR, Severity.CRITICAL,
+            "machine check on a stranger's node",
+        ))
+        own_node = job.nodes[0]
+        pipeline.logs.append(Event(
+            100.0, own_node, EventKind.CONSOLE, Severity.ERROR,
+            "soft lockup on your node",
+        ))
+        report = job_report(
+            "alice", job.id,
+            index=pipeline.jobs, tsdb=pipeline.tsdb,
+            logs=pipeline.logs, topo=pipeline.machine.topo,
+        )
+        joined = " ".join(report.findings)
+        assert "soft lockup" in joined
+        assert "stranger" not in joined
