@@ -10,7 +10,6 @@ clustering quality.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.correlate import cluster_events, order_accuracy
 from repro.core.clock import DriftModel

@@ -8,8 +8,6 @@ outlier detector takes to see the fault and (b) the samples moved and
 collector wall time — the tradeoff a site actually tunes.
 """
 
-import numpy as np
-import pytest
 
 from repro.analysis.anomaly import sweep_outliers
 from repro.cluster import HungNode, Machine, PackedPlacement, build_dragonfly

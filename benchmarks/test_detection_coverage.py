@@ -11,7 +11,6 @@ printed matrix is the artifact a site review would ask for; the
 assertions guarantee no fault class is silently uncovered.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis.streaming import StreamingOutlierDetector

@@ -7,7 +7,6 @@ Gemini-style 3D torus under both placements and regenerate the figure;
 the post-TAS epoch must show clearly higher achieved injection.
 """
 
-import numpy as np
 import pytest
 
 from repro.viz.figures import figure1_tas

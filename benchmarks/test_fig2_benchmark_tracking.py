@@ -9,7 +9,6 @@ the metadata benchmark during the MDS window, while compute benchmarks
 stay flat.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis.variability import attribute_window, detect_degradations

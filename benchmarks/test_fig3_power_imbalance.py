@@ -7,7 +7,6 @@ We inject the imbalance and regenerate both panels; the spread and the
 draw drop must land near the paper's factors.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis.powersig import detect_load_imbalance

@@ -6,7 +6,6 @@ without the pre/post-job gate and measure per-broken-node job exposure.
 """
 
 import numpy as np
-import pytest
 
 from repro.cluster import Machine, PackedPlacement, build_dragonfly
 from repro.cluster.workload import APP_LIBRARY, Job

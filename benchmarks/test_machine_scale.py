@@ -8,7 +8,6 @@ collection (the NCSA discipline) is feasible — which on this stack it
 comfortably is.
 """
 
-import numpy as np
 import pytest
 
 from repro.cluster import Machine, PackedPlacement, build_dragonfly

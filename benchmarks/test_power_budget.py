@@ -14,7 +14,6 @@ an active area of interest."  Both are measured here:
 """
 
 import numpy as np
-import pytest
 
 from repro.cluster import (
     Machine,
@@ -22,7 +21,6 @@ from repro.cluster import (
     PowerModel,
     build_dragonfly,
 )
-from repro.cluster.network import Flow
 from repro.cluster.workload import APP_LIBRARY, AppProfile, CommPattern, Job, Phase
 from repro.response.governor import CongestionAwarePlacement, PowerGovernor
 

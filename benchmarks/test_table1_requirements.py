@@ -11,7 +11,6 @@ never silently rot.
 
 import importlib
 
-import pytest
 
 # (area, requirement (abridged from Table I), "module:symbol", notes)
 REQUIREMENTS: list[tuple[str, str, str, str]] = [

@@ -116,3 +116,37 @@ class TestSyslogUnderStorm:
         got = [e.payload for e in sub.drain()]
         assert got == list(range(900, 1000))
         assert bus.stats().dropped == 900
+
+    def test_bus_stats_expose_depth_and_errors_under_storm(self):
+        """The self-monitoring surfaces: per-subscription backlog and
+        isolated callback failures are visible in BusStats."""
+        bus = MessageBus()
+        bus.subscribe("t", maxlen=50, name="slow-consumer")
+        fails = bus.subscribe(
+            "t", name="flaky-consumer",
+            callback=lambda env: (_ for _ in ()).throw(RuntimeError("die")),
+        )
+        keeper = bus.subscribe("t", maxlen=10_000, name="keeper")
+        for i in range(500):
+            bus.publish("t", i)
+        s = bus.stats()
+        assert s.errors == 500
+        assert fails.errors == 500
+        assert s.queue_depths["slow-consumer"] == 50
+        assert s.queue_depths["keeper"] == 500
+        assert bus.queue_depths() == s.queue_depths
+        # the flaky consumer never blocked the keeper's feed
+        assert [e.payload for e in keeper.drain()] == list(range(500))
+
+    def test_depth_tracks_producer_consumer_imbalance(self):
+        bus = MessageBus()
+        sub = bus.subscribe("metrics.*", maxlen=100_000, name="analysis")
+        batch = SeriesBatch.sweep("m", 0.0, [f"n{i}" for i in range(8)],
+                                  np.ones(8))
+        depths = []
+        for round_ in range(5):
+            for _ in range(100):
+                bus.publish("metrics.m", batch)
+            depths.append(bus.queue_depths()["analysis"])
+            sub.drain(max_items=50)            # consumer at half speed
+        assert depths == [100, 150, 200, 250, 300]

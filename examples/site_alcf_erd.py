@@ -14,14 +14,12 @@ Reproduces the Theta methodology (Sections II-8, IV-A):
 Run:  python examples/site_alcf_erd.py
 """
 
-import numpy as np
 
 from repro.analysis.trend import fit_trend, time_to_threshold
 from repro.cluster import BerDegradation, HungNode, Machine, build_dragonfly
 from repro.cluster.workload import APP_LIBRARY, Job
 from repro.pipeline import MonitoringPipeline
 from repro.sources.counters import NetLinkCollector
-from repro.sources.erd import DelugeTap, EventRouter
 from repro.sources.logsource import CrayLogSplitter, parse_split_logs
 
 BER_ALARM = 1e-11   # FEC budget: page when a link is headed here

@@ -18,7 +18,6 @@ Reproduces two related methodologies:
 Run:  python examples/site_csc_queue.py
 """
 
-import numpy as np
 
 from repro import default_pipeline
 from repro.analysis.queueing import characterize, estimate_wait

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.analysis.aggressor import classify
 from repro.cluster import Machine, ScatteredPlacement, build_dragonfly
-from repro.cluster.workload import APP_LIBRARY, AppProfile, CommPattern, Job, Phase
+from repro.cluster.workload import AppProfile, CommPattern, Job, Phase
 from repro.pipeline import MonitoringPipeline
 
 

@@ -14,7 +14,6 @@ Reproduces the Shaheen2 methodology (Section II-7, Figure 3):
 Run:  python examples/site_kaust_power.py
 """
 
-import numpy as np
 
 from repro.analysis.powersig import (
     SignatureLibrary,

@@ -10,7 +10,6 @@ Gemini-style 3D torus.
 Run:  python examples/site_snl_congestion.py
 """
 
-import numpy as np
 
 from repro.analysis.congestion import (
     congestion_levels,
@@ -26,7 +25,6 @@ from repro.cluster import (
 from repro.cluster.workload import APP_LIBRARY, Job
 from repro.pipeline import MonitoringPipeline
 from repro.sources.counters import NetLinkCollector
-from repro.storage.jobstore import JobIndex
 from repro.viz.topoview import by_link_class, group_pair_matrix, render_group_matrix
 
 

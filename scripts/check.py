@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Repo gate: lint + the tier-1 test suite (a ``make lint`` equivalent).
+
+Usage::
+
+    python scripts/check.py           # lint + tier-1 tests
+    python scripts/check.py --lint    # lint only
+
+Lint runs ``ruff check`` when ruff is installed.  When it is not (the
+hermetic CI container ships no linters), a conservative stdlib fallback
+still gates on the defect classes that bite: syntax errors (via
+``compile``) and unused module-level imports (via ``ast``).  The
+fallback intentionally under-reports rather than false-positives: a
+name is "used" if it appears anywhere in the file outside its own
+import statement, including inside string annotations and ``__all__``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CHECKED_DIRS = ("src", "tests", "benchmarks", "examples", "scripts")
+
+
+def python_files() -> list[Path]:
+    out: list[Path] = []
+    for d in CHECKED_DIRS:
+        root = REPO / d
+        if root.is_dir():
+            out.extend(sorted(root.rglob("*.py")))
+    return out
+
+
+def _imported_names(tree: ast.Module) -> list[tuple[str, int]]:
+    """(bound-name, lineno) for every module-level import."""
+    names: list[tuple[str, int]] = []
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                bound = a.asname or a.name.split(".")[0]
+                names.append((bound, node.lineno))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue             # compiler directive, not a binding
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                names.append((a.asname or a.name, node.lineno))
+    return names
+
+
+def check_file(path: Path) -> list[str]:
+    src = path.read_text()
+    problems: list[str] = []
+    try:
+        tree = ast.parse(src, filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno}: syntax error: {exc.msg}"]
+    if path.name == "__init__.py":
+        return problems              # re-export surface: imports are the API
+    lines = src.splitlines()
+    for name, lineno in _imported_names(tree):
+        # "used" = the word appears anywhere outside the import line itself
+        pattern = re.compile(rf"\b{re.escape(name)}\b")
+        used = any(
+            pattern.search(line)
+            for i, line in enumerate(lines, start=1)
+            if i != lineno and not line.lstrip().startswith(("import ",
+                                                             "from "))
+        )
+        if not used:
+            problems.append(f"{path}:{lineno}: unused import {name!r}")
+    return problems
+
+
+def lint() -> int:
+    ruff = subprocess.run(
+        [sys.executable, "-m", "ruff", "--version"],
+        capture_output=True,
+    )
+    if ruff.returncode == 0:
+        print("lint: ruff")
+        return subprocess.run(
+            [sys.executable, "-m", "ruff", "check", *CHECKED_DIRS],
+            cwd=REPO,
+        ).returncode
+    print("lint: ruff not installed, using stdlib fallback "
+          "(syntax + unused imports)")
+    problems: list[str] = []
+    for path in python_files():
+        problems.extend(check_file(path))
+    for p in problems:
+        print(p)
+    print(f"lint: {len(problems)} finding(s) in {len(python_files())} files")
+    return 1 if problems else 0
+
+
+def tests() -> int:
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q"], cwd=REPO, env=env
+    ).returncode
+
+
+def main(argv: list[str]) -> int:
+    rc = lint()
+    if rc != 0:
+        return rc
+    if "--lint" in argv:
+        return 0
+    return tests()
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -33,17 +33,20 @@ Subpackages:
   aggressor-victim/queue/log analyses
 - :mod:`repro.response`  — SEC-style event correlation, alerting, actions
 - :mod:`repro.viz`       — aggregation, drill-down dashboards, figures
+- :mod:`repro.obs`       — self-observability: trace spans, ``selfmon.*``
+  meta-metrics, pipeline introspection ("monitor the monitoring")
 """
 
 __version__ = "1.0.0"
 
-from . import analysis, cluster, core, response, sources, storage, transport, viz
+from . import analysis, cluster, core, obs, response, sources, storage, transport, viz
 from .pipeline import MonitoringPipeline, default_collectors, default_pipeline
 
 __all__ = [
     "analysis",
     "cluster",
     "core",
+    "obs",
     "response",
     "sources",
     "storage",

@@ -12,7 +12,11 @@ Scenarios:
 * ``registry``    — print the metric data dictionary (every metric's
                   unit, meaning, and derivation);
 * ``dashboard``   — run a workload and render the shareable operations
-                  dashboard spec.
+                  dashboard spec;
+* ``obs``         — run a workload and introspect the monitoring plane
+                  itself: per-stage span timings, data-path
+                  completeness, slowest spans, and the ``selfmon.*``
+                  meta-metric series it stored about itself.
 """
 
 from __future__ import annotations
@@ -107,11 +111,36 @@ def cmd_dashboard(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    from .pipeline import default_pipeline
+
+    machine = _build_machine(args.seed)
+    print(f"simulating {len(machine.topo.nodes)} nodes for "
+          f"{args.hours:g} h, monitoring the monitoring...")
+    pipeline = default_pipeline(machine, seed=args.seed)
+    pipeline.run(hours=args.hours, dt=10.0)
+    print()
+    print(pipeline.introspect().render())
+    print()
+    selfmon = sorted(
+        {k.metric for k in pipeline.tsdb.keys()
+         if k.metric.startswith("selfmon.")}
+    )
+    print(f"selfmon series stored ({len(selfmon)} metrics):")
+    for name in selfmon:
+        comps = pipeline.tsdb.components(name)
+        b = pipeline.tsdb.query(name, comps[0])
+        print(f"  {name:<35} {len(comps):3d} component(s), "
+              f"latest={b.values[-1]:.3f}")
+    return 0
+
+
 COMMANDS = {
     "demo": cmd_demo,
     "figures": cmd_figures,
     "registry": cmd_registry,
     "dashboard": cmd_dashboard,
+    "obs": cmd_obs,
 }
 
 

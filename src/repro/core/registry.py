@@ -217,6 +217,71 @@ def _builtin_specs() -> Iterable[MetricSpec]:
                      "Fraction of node-health tests passing (CSCS suite).",
                      higher_is_worse=False)
 
+    # -- self-monitoring plane (repro.obs): the stack's own vitals --------
+    # Table I: monitoring must have documented, bounded impact; these
+    # metrics are that documentation, produced live by the stack itself.
+    yield MetricSpec("selfmon.bus.publish_rate", "msg/s", G, "monitor",
+                     "Messages published on the bus per second over the "
+                     "self-monitor cadence.")
+    yield MetricSpec("selfmon.bus.deliver_rate", "msg/s", G, "monitor",
+                     "Successful consumer hand-offs per second over the "
+                     "self-monitor cadence.")
+    yield MetricSpec("selfmon.bus.drop_rate", "msg/s", G, "monitor",
+                     "Envelopes evicted by the drop-oldest overflow policy "
+                     "per second.", higher_is_worse=True)
+    yield MetricSpec("selfmon.bus.dropped", "count", C, "monitor",
+                     "Cumulative envelopes evicted from bounded "
+                     "subscription queues.", higher_is_worse=True)
+    yield MetricSpec("selfmon.bus.errors", "count", C, "monitor",
+                     "Cumulative subscriber-callback exceptions isolated "
+                     "during fan-out.", higher_is_worse=True)
+    yield MetricSpec("selfmon.bus.queue_depth", "msgs", G, "monitor",
+                     "Current backlog of one subscription queue "
+                     "(component = subscription name).",
+                     higher_is_worse=True)
+    yield MetricSpec("selfmon.bus.completeness", "ratio", R, "monitor",
+                     "Data-path completeness: fraction of attempted "
+                     "deliveries that reached (or still await) a consumer.",
+                     derivation="(delivered - dropped)/(delivered + errors)",
+                     higher_is_worse=False)
+    yield MetricSpec("selfmon.collector.sweep_p50_ms", "ms", L, "monitor",
+                     "Median wall time of one collector sweep over the "
+                     "recent window (component = collector name).",
+                     higher_is_worse=True)
+    yield MetricSpec("selfmon.collector.sweep_p95_ms", "ms", L, "monitor",
+                     "95th-percentile wall time of one collector sweep "
+                     "over the recent window.", higher_is_worse=True)
+    yield MetricSpec("selfmon.collector.sweep_max_ms", "ms", L, "monitor",
+                     "Maximum wall time of one collector sweep over the "
+                     "recent window.", higher_is_worse=True)
+    yield MetricSpec("selfmon.collector.sweeps", "count", C, "monitor",
+                     "Cumulative sweeps a collector has run.")
+    yield MetricSpec("selfmon.store.tsdb_ingest_rate", "samples/s", G,
+                     "monitor",
+                     "Samples ingested into the TSDB per second over the "
+                     "self-monitor cadence.")
+    yield MetricSpec("selfmon.store.tsdb_points", "samples", G, "monitor",
+                     "Resident sample count in the TSDB.")
+    yield MetricSpec("selfmon.store.tsdb_bytes", "B", G, "monitor",
+                     "Compressed footprint of the TSDB.")
+    yield MetricSpec("selfmon.store.log_events", "count", C, "monitor",
+                     "Events resident in the indexed log store.")
+    yield MetricSpec("selfmon.store.sql_bytes", "B", G, "monitor",
+                     "Footprint of the relational store (sqlite page "
+                     "accounting).")
+    yield MetricSpec("selfmon.sec.rule_fires", "count", C, "monitor",
+                     "Cumulative action requests emitted by the SEC rule "
+                     "engine.")
+    yield MetricSpec("selfmon.sec.events_seen", "count", C, "monitor",
+                     "Cumulative events fed through the SEC rule set.")
+    yield MetricSpec("selfmon.actions.executed", "count", C, "monitor",
+                     "Cumulative action executions recorded in the audit "
+                     "log.")
+    yield MetricSpec("selfmon.pipeline.tick_ms", "ms", L, "monitor",
+                     "Mean wall time of one full pipeline tick over the "
+                     "self-monitor cadence (from the root trace span).",
+                     higher_is_worse=True)
+
 
 def default_registry() -> MetricRegistry:
     """Registry pre-loaded with every metric the built-in stack publishes."""

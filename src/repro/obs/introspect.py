@@ -1,0 +1,207 @@
+"""Pipeline introspection: one structured health report over the stack.
+
+The paper's Table I asks that operators be able to see *data-path
+completeness* end to end and that monitoring overhead be documented.
+:class:`PipelineIntrospector` assembles both into a single
+:class:`HealthReport`: per-stage span timings (from the tracer), bus
+drop/backpressure status with per-subscription queue depths, the
+slowest recent spans, per-collector latency summaries, store sizes, and
+the completeness ratio — rendered by ``python -m repro obs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .selfmetrics import _tsdb_stats, completeness_ratio
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pipeline import MonitoringPipeline
+
+__all__ = ["StageReport", "HealthReport", "PipelineIntrospector", "STAGES"]
+
+#: the per-tick child spans MonitoringPipeline.step() opens, in data-path order
+STAGES: tuple[str, ...] = (
+    "event-plane",
+    "metric-plane",
+    "job-tracking",
+    "streaming",
+    "analysis-hooks",
+    "response",
+    "selfmon",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class StageReport:
+    """Wall-time accounting for one pipeline stage."""
+
+    name: str
+    calls: int
+    total_s: float
+    mean_ms: float
+    max_ms: float
+
+
+@dataclass(frozen=True, slots=True)
+class HealthReport:
+    """Structured end-to-end health of the monitoring plane itself."""
+
+    ticks: int
+    stages: tuple[StageReport, ...]
+    completeness: float
+    bus: dict[str, int]
+    queue_depths: dict[str, int] = field(default_factory=dict)
+    slowest_spans: tuple[tuple[str, float, str], ...] = ()
+    collectors: dict[str, dict[str, float]] = field(default_factory=dict)
+    stores: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def backpressured(self) -> list[str]:
+        """Subscriptions currently holding a non-trivial backlog."""
+        return [n for n, d in self.queue_depths.items() if d > 0]
+
+
+class PipelineIntrospector:
+    """Reads every layer's stats surfaces into one health report."""
+
+    def __init__(self, pipeline: "MonitoringPipeline") -> None:
+        self.pipeline = pipeline
+
+    def report(self, slowest_n: int = 5) -> HealthReport:
+        p = self.pipeline
+        agg = p.tracer.aggregate()
+        ticks = int(agg.get("tick", {}).get("count", 0))
+        stages = tuple(
+            StageReport(
+                name=name,
+                calls=int(a["count"]),
+                total_s=a["total_s"],
+                mean_ms=a["mean_ms"],
+                max_ms=1000.0 * a["max_s"],
+            )
+            for name in STAGES
+            if (a := agg.get(name)) is not None
+        )
+        stats = p.bus.stats()
+        slowest = tuple(
+            (
+                s.name,
+                1000.0 * s.duration_s,
+                ",".join(f"{k}={v}" for k, v in s.attrs.items()),
+            )
+            for s in p.tracer.slowest(slowest_n)
+        )
+        collectors = {}
+        for c in p.scheduler.collectors:
+            entry: dict[str, float] = {
+                "sweeps": float(c.sweeps),
+                "samples": float(c.samples_produced),
+                "wall_per_sweep_ms": (
+                    1000.0 * c.collect_wall_s / c.sweeps if c.sweeps else 0.0
+                ),
+            }
+            hist = p.scheduler.latency.get(c.name)
+            if hist is not None and len(hist):
+                s = hist.summary()
+                entry["p50_ms"] = 1000.0 * s["p50_s"]
+                entry["p95_ms"] = 1000.0 * s["p95_s"]
+                entry["max_ms"] = 1000.0 * s["max_s"]
+            collectors[c.name] = entry
+        tstats = _tsdb_stats(p.tsdb)
+        stores = {
+            "log_events": float(len(p.logs)),
+            "sql_bytes": float(p.sql.footprint_bytes()),
+        }
+        if tstats is not None:
+            stores.update(
+                tsdb_points=float(tstats.samples),
+                tsdb_series=float(tstats.series),
+                tsdb_bytes=float(tstats.compressed_bytes),
+            )
+        return HealthReport(
+            ticks=ticks,
+            stages=stages,
+            completeness=completeness_ratio(
+                stats.delivered, stats.dropped, stats.errors
+            ),
+            bus={
+                "published": stats.published,
+                "delivered": stats.delivered,
+                "dropped": stats.dropped,
+                "errors": stats.errors,
+                "subscriptions": stats.subscriptions,
+            },
+            queue_depths=p.bus.queue_depths(),
+            slowest_spans=slowest,
+            collectors=collectors,
+            stores=stores,
+            counts={
+                "sec_rule_fires": len(p.sec.requests),
+                "sec_events_seen": p.sec.events_seen,
+                "actions_executed": len(p.actions.audit),
+                "alerts": len(p.alerts.alerts),
+            },
+        )
+
+    def render(self, slowest_n: int = 5) -> str:
+        """Human-readable health report (the CLI surface)."""
+        r = self.report(slowest_n=slowest_n)
+        lines = [f"=== monitoring-plane health ({r.ticks} ticks) ==="]
+        lines.append(
+            f"data-path completeness: {r.completeness:.4f}"
+            + ("  (no loss)" if r.completeness >= 1.0 - 1e-12 else "  (LOSSY)")
+        )
+        b = r.bus
+        lines.append(
+            f"bus: published={b['published']} delivered={b['delivered']} "
+            f"dropped={b['dropped']} errors={b['errors']} "
+            f"subs={b['subscriptions']}"
+        )
+        backlog = r.backpressured
+        lines.append(
+            "backpressure: "
+            + (", ".join(f"{n}={r.queue_depths[n]}" for n in backlog)
+               if backlog else "none (all queues drained)")
+        )
+        lines.append("stage timings (per tick):")
+        for s in r.stages:
+            lines.append(
+                f"  {s.name:<15} calls={s.calls:<6} mean={s.mean_ms:8.3f} ms"
+                f"  max={s.max_ms:8.3f} ms  total={s.total_s:8.3f} s"
+            )
+        if r.slowest_spans:
+            lines.append("slowest spans:")
+            for name, ms, attrs in r.slowest_spans:
+                suffix = f" [{attrs}]" if attrs else ""
+                lines.append(f"  {ms:9.3f} ms  {name}{suffix}")
+        if r.collectors:
+            lines.append("collector sweep latency:")
+            for name, c in sorted(r.collectors.items()):
+                if "p50_ms" in c:
+                    lines.append(
+                        f"  {name:<18} sweeps={int(c['sweeps']):<5}"
+                        f" p50={c['p50_ms']:7.3f} ms"
+                        f" p95={c['p95_ms']:7.3f} ms"
+                        f" max={c['max_ms']:7.3f} ms"
+                    )
+        tsdb_part = (
+            f"tsdb {int(r.stores['tsdb_points'])} points / "
+            f"{int(r.stores['tsdb_series'])} series / "
+            f"{int(r.stores['tsdb_bytes'])} B compressed; "
+            if "tsdb_points" in r.stores else ""
+        )
+        lines.append(
+            f"stores: {tsdb_part}"
+            f"logs {int(r.stores['log_events'])} events; "
+            f"sql {int(r.stores['sql_bytes'])} B"
+        )
+        lines.append(
+            f"response: {r.counts['sec_rule_fires']} rule fires over "
+            f"{r.counts['sec_events_seen']} events, "
+            f"{r.counts['actions_executed']} actions, "
+            f"{r.counts['alerts']} alerts"
+        )
+        return "\n".join(lines)

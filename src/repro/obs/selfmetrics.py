@@ -1,0 +1,235 @@
+"""Meta-metrics: the stack's own vitals as ordinary telemetry.
+
+DCDB (Netti et al.) treats the monitoring system's own overhead and
+throughput as first-class monitoring data.  :class:`SelfMonitor` does
+the same here: on a configurable cadence it samples the pipeline's
+vitals — bus publish/deliver/drop rates and callback errors,
+per-subscription queue depth, per-collector sweep-latency percentiles,
+TSDB ingest rate and resident points, LogStore/SqlStore sizes, SEC
+rule-fire and action-execution counts, and the pipeline tick time —
+and publishes them as ordinary :class:`~repro.core.metric.SeriesBatch`es
+on ``selfmon.*`` topics.
+
+Because they ride the same bus, they land in the same TSDB, dashboards,
+streaming detectors, and analysis hooks as machine telemetry: the
+monitoring plane is monitored by itself, with no parallel plumbing.
+Every name is declared in :mod:`repro.core.registry` so the
+``verify_registered`` discipline covers the self-monitoring plane too.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.metric import SeriesBatch
+from ..core.registry import MetricRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pipeline import MonitoringPipeline
+
+__all__ = ["SELFMON_METRICS", "SelfMonitor", "completeness_ratio"]
+
+#: every metric the self-monitoring plane publishes (registry contract)
+SELFMON_METRICS: tuple[str, ...] = (
+    "selfmon.bus.publish_rate",
+    "selfmon.bus.deliver_rate",
+    "selfmon.bus.drop_rate",
+    "selfmon.bus.dropped",
+    "selfmon.bus.errors",
+    "selfmon.bus.queue_depth",
+    "selfmon.bus.completeness",
+    "selfmon.collector.sweep_p50_ms",
+    "selfmon.collector.sweep_p95_ms",
+    "selfmon.collector.sweep_max_ms",
+    "selfmon.collector.sweeps",
+    "selfmon.store.tsdb_ingest_rate",
+    "selfmon.store.tsdb_points",
+    "selfmon.store.tsdb_bytes",
+    "selfmon.store.log_events",
+    "selfmon.store.sql_bytes",
+    "selfmon.sec.rule_fires",
+    "selfmon.sec.events_seen",
+    "selfmon.actions.executed",
+    "selfmon.pipeline.tick_ms",
+)
+
+
+def _tsdb_stats(tsdb):
+    """Stats of the numeric store, tolerating swapped-in backends.
+
+    ``pipeline.tsdb`` is replaceable (e.g. by a ``TieredStore`` whose
+    hot tier holds the stats surface); self-monitoring must observe
+    whatever is installed rather than constrain it.
+    """
+    stats = getattr(tsdb, "stats", None)
+    if callable(stats):
+        return stats()
+    hot = getattr(tsdb, "hot", None)
+    if hot is not None and callable(getattr(hot, "stats", None)):
+        return hot.stats()
+    return None
+
+
+def completeness_ratio(delivered: int, dropped: int, errors: int) -> float:
+    """Data-path completeness: fraction of attempted deliveries that
+    reached (or still await) a consumer.
+
+    ``delivered`` counts successful hand-offs (callback returned, or the
+    envelope was enqueued); ``dropped`` counts envelopes later evicted
+    by the drop-oldest policy; ``errors`` counts callback raises.  Under
+    no-drop, no-error conditions the ratio is exactly 1.0.
+    """
+    attempted = delivered + errors
+    if attempted <= 0:
+        return 1.0
+    return (delivered - dropped) / attempted
+
+
+class SelfMonitor:
+    """Samples the pipeline's vitals on a cadence and publishes them."""
+
+    metrics = SELFMON_METRICS
+
+    def __init__(
+        self,
+        pipeline: "MonitoringPipeline",
+        interval_s: float = 60.0,
+        source: str = "selfmon",
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.pipeline = pipeline
+        self.interval_s = float(interval_s)
+        self.source = source
+        self.emissions = 0
+        self._last_t: float | None = None
+        self._next_due = 0.0
+        self._prev_bus: tuple[int, int, int] = (0, 0, 0)
+        self._prev_tsdb_samples = 0
+        self._prev_tick: tuple[int, float] = (0, 0.0)
+
+    def verify_registered(self, registry: MetricRegistry) -> None:
+        """Fail fast if any self-metric is undocumented (Table I)."""
+        for m in self.metrics:
+            registry.get(m)
+
+    # -- cadence -----------------------------------------------------------
+
+    def maybe_emit(self, now: float) -> list[SeriesBatch]:
+        """Emit one self-metric sweep when the cadence is due.
+
+        The first call only establishes the counter baseline (rates need
+        a prior sample); returns the batches published, empty when not
+        due.
+        """
+        if self._last_t is None:
+            self._baseline(now)
+            return []
+        if now + 1e-9 < self._next_due:
+            return []
+        batches = self.sample(now, elapsed_s=now - self._last_t)
+        bus = self.pipeline.bus
+        for b in batches:
+            bus.publish(b.metric, b, source=self.source)
+        self.emissions += 1
+        return batches
+
+    def _baseline(self, now: float) -> None:
+        p = self.pipeline
+        stats = p.bus.stats()
+        self._prev_bus = (stats.published, stats.delivered, stats.dropped)
+        tstats = _tsdb_stats(p.tsdb)
+        self._prev_tsdb_samples = tstats.samples if tstats else 0
+        agg = p.tracer.snapshot_counts().get("tick")
+        self._prev_tick = agg if agg is not None else (0, 0.0)
+        self._last_t = now
+        self._next_due = now + self.interval_s
+
+    # -- one sweep ---------------------------------------------------------
+
+    def sample(self, now: float, elapsed_s: float) -> list[SeriesBatch]:
+        """Build (without publishing) one full self-metric sweep.
+
+        The counters read here also become the next baseline — one
+        stats walk per cadence, not two.
+        """
+        p = self.pipeline
+        elapsed = max(float(elapsed_s), 1e-9)
+        out: list[SeriesBatch] = []
+
+        def one(metric: str, component: str, value: float) -> None:
+            out.append(SeriesBatch.sweep(metric, now, [component], [value]))
+
+        # -- bus -----------------------------------------------------------
+        stats = p.bus.stats()
+        d_pub = stats.published - self._prev_bus[0]
+        d_del = stats.delivered - self._prev_bus[1]
+        d_drop = stats.dropped - self._prev_bus[2]
+        one("selfmon.bus.publish_rate", "bus", d_pub / elapsed)
+        one("selfmon.bus.deliver_rate", "bus", d_del / elapsed)
+        one("selfmon.bus.drop_rate", "bus", d_drop / elapsed)
+        one("selfmon.bus.dropped", "bus", float(stats.dropped))
+        one("selfmon.bus.errors", "bus", float(stats.errors))
+        one("selfmon.bus.completeness", "bus",
+            completeness_ratio(stats.delivered, stats.dropped, stats.errors))
+        self._prev_bus = (stats.published, stats.delivered, stats.dropped)
+        depths = stats.queue_depths
+        if depths:
+            out.append(SeriesBatch.sweep(
+                "selfmon.bus.queue_depth", now,
+                list(depths), [float(v) for v in depths.values()],
+            ))
+
+        # -- collectors ----------------------------------------------------
+        names, p50, p95, mx, sweeps = [], [], [], [], []
+        for c in p.scheduler.collectors:
+            hist = p.scheduler.latency.get(c.name)
+            if hist is None or not len(hist):
+                continue
+            s = hist.summary()
+            names.append(c.name)
+            p50.append(1000.0 * s["p50_s"])
+            p95.append(1000.0 * s["p95_s"])
+            mx.append(1000.0 * s["max_s"])
+            sweeps.append(float(c.sweeps))
+        if names:
+            out.append(SeriesBatch.sweep(
+                "selfmon.collector.sweep_p50_ms", now, names, p50))
+            out.append(SeriesBatch.sweep(
+                "selfmon.collector.sweep_p95_ms", now, names, p95))
+            out.append(SeriesBatch.sweep(
+                "selfmon.collector.sweep_max_ms", now, names, mx))
+            out.append(SeriesBatch.sweep(
+                "selfmon.collector.sweeps", now, names, sweeps))
+
+        # -- stores --------------------------------------------------------
+        tstats = _tsdb_stats(p.tsdb)
+        if tstats is not None:
+            d_samples = tstats.samples - self._prev_tsdb_samples
+            self._prev_tsdb_samples = tstats.samples
+            one("selfmon.store.tsdb_ingest_rate", "tsdb",
+                d_samples / elapsed)
+            one("selfmon.store.tsdb_points", "tsdb", float(tstats.samples))
+            one("selfmon.store.tsdb_bytes", "tsdb",
+                float(tstats.compressed_bytes))
+        one("selfmon.store.log_events", "logstore", float(len(p.logs)))
+        one("selfmon.store.sql_bytes", "sqlstore",
+            float(p.sql.footprint_bytes()))
+
+        # -- response plane ------------------------------------------------
+        one("selfmon.sec.rule_fires", "sec", float(len(p.sec.requests)))
+        one("selfmon.sec.events_seen", "sec", float(p.sec.events_seen))
+        one("selfmon.actions.executed", "actions", float(len(p.actions.audit)))
+
+        # -- pipeline tick time (from the tracer's root spans) -------------
+        agg = p.tracer.snapshot_counts().get("tick")
+        if agg is not None:
+            d_count = agg[0] - self._prev_tick[0]
+            d_total = agg[1] - self._prev_tick[1]
+            self._prev_tick = agg
+            if d_count > 0:
+                one("selfmon.pipeline.tick_ms", "pipeline",
+                    1000.0 * d_total / d_count)
+        self._last_t = now
+        self._next_due = now + self.interval_s
+        return out

@@ -29,6 +29,9 @@ from .cluster.machine import Machine
 from .core.events import Event
 from .core.metric import SeriesBatch
 from .core.registry import MetricRegistry, default_registry
+from .obs.introspect import PipelineIntrospector
+from .obs.selfmetrics import SelfMonitor
+from .obs.trace import Tracer
 from .response.actions import ActionEngine, AlertManager
 from .response.policy import default_sec_engine, detections_to_requests
 from .response.sec import SecEngine
@@ -69,6 +72,8 @@ class MonitoringPipeline:
         sec: SecEngine | None = None,
         tick_s: float = 10.0,
         renotify_s: float = 3600.0,
+        tracer: Tracer | None = None,
+        selfmon_interval_s: float | None = 60.0,
     ) -> None:
         self.machine = machine
         self.registry = registry or default_registry()
@@ -80,7 +85,13 @@ class MonitoringPipeline:
         self.jobs = JobIndex()
         self.sql = SqlStore()
 
-        self.scheduler = CollectionScheduler(self.bus, self.registry)
+        # self-observability plane: span tracing + meta-metrics
+        # identity check: an empty tracer is falsy (len == ring size),
+        # and a disabled one must stay disabled
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.scheduler = CollectionScheduler(
+            self.bus, self.registry, tracer=self.tracer
+        )
         for c in collectors:
             self.scheduler.add(c)
 
@@ -94,15 +105,24 @@ class MonitoringPipeline:
         self._analysis_hooks: list[tuple[float, float, AnalysisHook]] = []
         self._streaming: list = []
 
-        # metric fan-out: one subscription stores everything numeric
+        # metric fan-out: one subscription stores everything numeric;
+        # selfmon.* meta-metrics ride the same path into the same TSDB
         self.bus.subscribe(
             "metrics.*", callback=self._on_metric, name="tsdb-ingest"
+        )
+        self.bus.subscribe(
+            "selfmon.*", callback=self._on_metric, name="selfmon-ingest"
         )
         self.bus.subscribe(
             "events.*", callback=self._on_event, name="log-ingest"
         )
         self._tracked_jobs: set[int] = set()
         self._known_done: set[int] = set()
+
+        self.selfmon: SelfMonitor | None = None
+        if selfmon_interval_s is not None:
+            self.selfmon = SelfMonitor(self, interval_s=selfmon_interval_s)
+            self.selfmon.verify_registered(self.registry)
 
     # -- bus sinks ---------------------------------------------------------------
 
@@ -174,50 +194,77 @@ class MonitoringPipeline:
     # -- main loop -------------------------------------------------------------------------
 
     def step(self, dt: float | None = None) -> None:
-        """Advance the machine one tick and run the monitoring plane."""
+        """Advance the machine one tick and run the monitoring plane.
+
+        Every tick opens a root ``tick`` span with one child span per
+        stage, so the introspector can attribute wall time to exactly
+        the stage that spent it.
+        """
         dt = self.tick_s if dt is None else dt
-        self.machine.step(dt)
-        now = self.machine.now
+        tracer = self.tracer
+        with tracer.span("tick"):
+            self.machine.step(dt)
+            now = self.machine.now
 
-        # event plane: machine events -> router -> decoded -> log store + SEC
-        self.router.pump(self.machine)
-        fresh_events = self.tap.drain()
-        for ev in fresh_events:
-            self.bus.publish(f"events.{ev.kind.value}", ev, source="erd")
-        requests = self.sec.feed(fresh_events)
-        requests += self.sec.tick(now)
+            # event plane: machine events -> router -> decoded -> log
+            # store + SEC
+            with tracer.span("event-plane"):
+                self.router.pump(self.machine)
+                fresh_events = self.tap.drain()
+                for ev in fresh_events:
+                    self.bus.publish(f"events.{ev.kind.value}", ev,
+                                     source="erd")
+                requests = self.sec.feed(fresh_events)
+                requests += self.sec.tick(now)
 
-        # metric plane: due collectors sweep the machine; events they
-        # emit (benchmark DEGRADED, health failures) also feed the SEC
-        # rules — "triggered based on arbitrary locations in the data
-        # and analysis pathways" (Table I)
-        collected = self.scheduler.poll(self.machine, now)
-        if collected.events:
-            requests += self.sec.feed(collected.events)
+            # metric plane: due collectors sweep the machine; events they
+            # emit (benchmark DEGRADED, health failures) also feed the SEC
+            # rules — "triggered based on arbitrary locations in the data
+            # and analysis pathways" (Table I)
+            with tracer.span("metric-plane"):
+                collected = self.scheduler.poll(self.machine, now)
+                if collected.events:
+                    requests += self.sec.feed(collected.events)
 
-        # job tenancy
-        self._track_jobs(now)
+            # job tenancy
+            with tracer.span("job-tracking"):
+                self._track_jobs(now)
 
-        # streaming detectors saw the sweeps at ingest; drain them now
-        for det in self._streaming:
-            drain = getattr(det, "drain", None)
-            if drain is not None:
-                found = drain()
-                if found:
-                    requests += detections_to_requests(list(found),
-                                                       rule_prefix="stream")
+            # streaming detectors saw the sweeps at ingest; drain them now
+            with tracer.span("streaming"):
+                for det in self._streaming:
+                    drain = getattr(det, "drain", None)
+                    if drain is not None:
+                        found = drain()
+                        if found:
+                            requests += detections_to_requests(
+                                list(found), rule_prefix="stream"
+                            )
 
-        # analysis hooks on their cadence
-        for i, (interval, next_due, hook) in enumerate(self._analysis_hooks):
-            if now >= next_due:
-                detections = hook(self, now)
-                if detections:
-                    requests += detections_to_requests(list(detections))
-                self._analysis_hooks[i] = (interval, now + interval, hook)
+            # analysis hooks on their cadence
+            with tracer.span("analysis-hooks"):
+                for i, (interval, next_due, hook) in enumerate(
+                    self._analysis_hooks
+                ):
+                    if now >= next_due:
+                        detections = hook(self, now)
+                        if detections:
+                            requests += detections_to_requests(
+                                list(detections)
+                            )
+                        self._analysis_hooks[i] = (
+                            interval, now + interval, hook
+                        )
 
-        # response plane
-        if requests:
-            self.actions.execute(requests)
+            # response plane
+            with tracer.span("response"):
+                if requests:
+                    self.actions.execute(requests)
+
+            # the stack's own vitals, on their cadence
+            if self.selfmon is not None:
+                with tracer.span("selfmon"):
+                    self.selfmon.maybe_emit(now)
 
     def run(
         self,
@@ -242,6 +289,10 @@ class MonitoringPipeline:
 
     def overhead_report(self) -> dict:
         return self.scheduler.overhead_report()
+
+    def introspect(self) -> PipelineIntrospector:
+        """Health-report view over the monitoring plane itself."""
+        return PipelineIntrospector(self)
 
 
 def default_collectors(

@@ -24,9 +24,11 @@ from typing import TYPE_CHECKING
 from ..core.events import Event
 from ..core.metric import SeriesBatch
 from ..core.registry import MetricRegistry
+from ..obs.hist import LatencyHistogram
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..cluster.machine import Machine
+    from ..obs.trace import Tracer
     from ..transport.bus import MessageBus
 
 __all__ = ["CollectorOutput", "Collector", "CollectionScheduler"]
@@ -87,10 +89,14 @@ class CollectionScheduler:
         bus: "MessageBus",
         registry: MetricRegistry | None = None,
         measure_overhead: bool = True,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.bus = bus
         self.registry = registry
         self.measure_overhead = measure_overhead
+        self.tracer = tracer
+        #: per-collector sweep-latency histograms (self-monitoring surface)
+        self.latency: dict[str, LatencyHistogram] = {}
         self._collectors: list[Collector] = []
         self._next_due: list[float] = []
 
@@ -100,6 +106,7 @@ class CollectionScheduler:
             collector.verify_registered(self.registry)
         self._collectors.append(collector)
         self._next_due.append(phase)
+        self.latency[collector.name] = LatencyHistogram()
         return collector
 
     @property
@@ -109,13 +116,20 @@ class CollectionScheduler:
     def poll(self, machine: "Machine", now: float) -> CollectorOutput:
         """Run every due collector against the current machine state."""
         total = CollectorOutput()
+        tracer = self.tracer
         for i, c in enumerate(self._collectors):
             if now + 1e-9 < self._next_due[i]:
                 continue
             t0 = _time.perf_counter() if self.measure_overhead else 0.0
-            out = c.collect(machine, now)
+            if tracer is not None and tracer.enabled:
+                with tracer.span("collect", collector=c.name):
+                    out = c.collect(machine, now)
+            else:
+                out = c.collect(machine, now)
             if self.measure_overhead:
-                c.collect_wall_s += _time.perf_counter() - t0
+                wall = _time.perf_counter() - t0
+                c.collect_wall_s += wall
+                self.latency[c.name].record(wall)
             c.sweeps += 1
             c.samples_produced += out.n_samples
             # schedule strictly forward, skipping missed slots

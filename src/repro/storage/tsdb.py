@@ -191,7 +191,8 @@ class StoreStats:
 class _Series:
     """One (metric, component) series: sealed chunks + open head."""
 
-    __slots__ = ("chunks", "chunk_spans", "head_t", "head_v", "n_sealed_samples")
+    __slots__ = ("chunks", "chunk_spans", "head_t", "head_v",
+                 "n_sealed_samples", "sealed_bytes")
 
     def __init__(self) -> None:
         self.chunks: list[bytes] = []
@@ -199,25 +200,36 @@ class _Series:
         self.head_t: list[float] = []
         self.head_v: list[float] = []
         self.n_sealed_samples = 0
+        self.sealed_bytes = 0       # running sum(len(c) for c in chunks)
 
-    def append(self, t: float, v: float, chunk_size: int) -> None:
+    def append(self, t: float, v: float, chunk_size: int) -> tuple[int, int] | None:
+        """Append one sample; returns the seal delta when a chunk sealed."""
         self.head_t.append(t)
         self.head_v.append(v)
         if len(self.head_t) >= chunk_size:
-            self.seal()
+            return self.seal()
+        return None
 
-    def seal(self) -> None:
+    def seal(self) -> tuple[int, int] | None:
+        """Seal the open head; returns (samples, bytes) sealed, or None.
+
+        The return value lets the owning store maintain O(1) aggregate
+        counters without re-walking every series.
+        """
         if not self.head_t:
-            return
+            return None
         t = np.asarray(self.head_t)
         v = np.asarray(self.head_v)
         order = np.argsort(t, kind="stable")
         t, v = t[order], v[order]
-        self.chunks.append(compress_chunk(t, v))
+        blob = compress_chunk(t, v)
+        self.chunks.append(blob)
         self.chunk_spans.append((float(t[0]), float(t[-1])))
         self.n_sealed_samples += len(t)
+        self.sealed_bytes += len(blob)
         self.head_t = []
         self.head_v = []
+        return len(t), len(blob)
 
     def read(self, t0: float, t1: float) -> tuple[np.ndarray, np.ndarray]:
         """All samples with ``t0 <= t < t1``, time-sorted."""
@@ -248,7 +260,7 @@ class _Series:
         return self.n_sealed_samples + len(self.head_t)
 
     def compressed_bytes(self) -> int:
-        return sum(len(c) for c in self.chunks) + 16 * len(self.head_t)
+        return self.sealed_bytes + 16 * len(self.head_t)
 
 
 class TimeSeriesStore:
@@ -259,6 +271,18 @@ class TimeSeriesStore:
             raise ValueError("chunk_size must be >= 2")
         self.chunk_size = int(chunk_size)
         self._series: dict[MetricKey, _Series] = {}
+        # aggregate counters so stats() is O(1), not a walk over every
+        # series — the self-monitoring plane reads it on a cadence
+        self._samples = 0
+        self._sealed_samples = 0
+        self._sealed_chunks = 0
+        self._sealed_bytes = 0
+
+    def _note_seal(self, sealed: tuple[int, int] | None) -> None:
+        if sealed is not None:
+            self._sealed_samples += sealed[0]
+            self._sealed_chunks += 1
+            self._sealed_bytes += sealed[1]
 
     # -- ingest ---------------------------------------------------------------
 
@@ -271,8 +295,11 @@ class TimeSeriesStore:
             series = self._series.get(key)
             if series is None:
                 series = self._series[key] = _Series()
-            series.append(float(t), float(v), cs)
+            sealed = series.append(float(t), float(v), cs)
+            if sealed is not None:
+                self._note_seal(sealed)
             n += 1
+        self._samples += n
         return n
 
     def append_many(self, batches: Iterable[SeriesBatch]) -> int:
@@ -281,7 +308,7 @@ class TimeSeriesStore:
     def flush(self) -> None:
         """Seal every open head chunk (checkpoint before archiving)."""
         for s in self._series.values():
-            s.seal()
+            self._note_seal(s.seal())
 
     # -- query ---------------------------------------------------------------
 
@@ -399,18 +426,26 @@ class TimeSeriesStore:
     # -- maintenance / stats ---------------------------------------------------
 
     def drop_series(self, metric: str, component: str) -> bool:
-        return self._series.pop(MetricKey(metric, component), None) is not None
+        s = self._series.pop(MetricKey(metric, component), None)
+        if s is None:
+            return False
+        self._samples -= s.n_samples
+        self._sealed_samples -= s.n_sealed_samples
+        self._sealed_chunks -= len(s.chunks)
+        self._sealed_bytes -= s.sealed_bytes
+        return True
 
     def stats(self) -> StoreStats:
-        n_samples = sum(s.n_samples for s in self._series.values())
-        sealed = sum(len(s.chunks) for s in self._series.values())
-        comp_bytes = sum(s.compressed_bytes() for s in self._series.values())
+        # O(1) from counters maintained at every mutation point: the
+        # self-monitoring plane reads this on a cadence, against
+        # thousands of series
+        head = self._samples - self._sealed_samples
         return StoreStats(
             series=len(self._series),
-            samples=n_samples,
-            sealed_chunks=sealed,
-            compressed_bytes=comp_bytes,
-            raw_bytes=n_samples * 16,  # float64 time + float64 value
+            samples=self._samples,
+            sealed_chunks=self._sealed_chunks,
+            compressed_bytes=self._sealed_bytes + 16 * head,
+            raw_bytes=self._samples * 16,  # float64 time + float64 value
         )
 
     # hooks used by the hierarchical tier manager -------------------------------
@@ -418,7 +453,7 @@ class TimeSeriesStore:
     def export_series(self, key: MetricKey) -> tuple[list[bytes], list[tuple[float, float]]]:
         """Sealed chunks + spans for archiving (head is sealed first)."""
         s = self._series[key]
-        s.seal()
+        self._note_seal(s.seal())
         return list(s.chunks), list(s.chunk_spans)
 
     def evict_chunks_before(self, key: MetricKey, t_cut: float) -> int:
@@ -433,6 +468,11 @@ class TimeSeriesStore:
                 evicted += 1
                 n_in, = struct.unpack_from("<I", blob, 0)
                 s.n_sealed_samples -= n_in
+                s.sealed_bytes -= len(blob)
+                self._samples -= n_in
+                self._sealed_samples -= n_in
+                self._sealed_chunks -= 1
+                self._sealed_bytes -= len(blob)
             else:
                 keep_c.append(blob)
                 keep_s.append(span)
@@ -455,6 +495,11 @@ class TimeSeriesStore:
         )
         s.chunks = [c for c, _ in merged]
         s.chunk_spans = [sp for _, sp in merged]
-        s.n_sealed_samples += sum(
-            struct.unpack_from("<I", c, 0)[0] for c in chunks
-        )
+        n_in = sum(struct.unpack_from("<I", c, 0)[0] for c in chunks)
+        b_in = sum(len(c) for c in chunks)
+        s.n_sealed_samples += n_in
+        s.sealed_bytes += b_in
+        self._samples += n_in
+        self._sealed_samples += n_in
+        self._sealed_chunks += len(chunks)
+        self._sealed_bytes += b_in

@@ -9,19 +9,25 @@ configured and changed".
 This bus provides topic-based routing with ``*`` wildcards, per-consumer
 bounded queues with a drop-oldest overflow policy (backpressure during
 event storms is exactly the Splunk-cost scenario the paper mentions),
-and delivery statistics the transport-comparison bench reads.
+and delivery statistics the transport-comparison bench and the
+self-monitoring plane read.  A raising subscriber callback never aborts
+the fan-out: the exception is isolated, counted on the subscription,
+and delivery continues to the remaining consumers.
 """
 
 from __future__ import annotations
 
 import fnmatch
+import logging
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from .message import Envelope
 
 __all__ = ["Subscription", "MessageBus", "BusStats"]
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True, slots=True)
@@ -30,6 +36,8 @@ class BusStats:
     delivered: int
     dropped: int
     subscriptions: int
+    errors: int = 0
+    queue_depths: dict[str, int] = field(default_factory=dict)
 
 
 class Subscription:
@@ -49,20 +57,38 @@ class Subscription:
         self.maxlen = maxlen
         self.received = 0
         self.dropped = 0
+        self.errors = 0
+        self.last_error: BaseException | None = None
 
     def matches(self, topic: str) -> bool:
         return fnmatch.fnmatchcase(topic, self.pattern)
 
-    def offer(self, env: Envelope) -> None:
+    def offer(self, env: Envelope) -> bool:
+        """Deliver one envelope; returns True on successful hand-off.
+
+        A raising callback is isolated here — counted in ``errors``,
+        logged, and reported as a failed delivery — so one misbehaving
+        consumer cannot starve the rest of the fan-out.
+        """
         if self.callback is not None:
-            self.callback(env)
+            try:
+                self.callback(env)
+            except Exception as exc:
+                self.errors += 1
+                self.last_error = exc
+                _log.warning(
+                    "subscriber %r raised on topic %r: %r",
+                    self.name, env.topic, exc,
+                )
+                return False
             self.received += 1
-            return
+            return True
         if len(self._queue) >= self.maxlen:
             self._queue.popleft()      # drop-oldest under storm
             self.dropped += 1
         self._queue.append(env)
         self.received += 1
+        return True
 
     def drain(self, max_items: int | None = None) -> list[Envelope]:
         """Pull queued messages (consumer-paced pull path)."""
@@ -108,15 +134,19 @@ class MessageBus:
         self._subs.remove(sub)
 
     def publish(self, topic: str, payload, source: str = "") -> int:
-        """Publish one payload; returns the number of consumers reached."""
+        """Publish one payload; returns the number of consumers reached.
+
+        Every matching subscriber is offered the envelope even when an
+        earlier subscriber's callback raises (the raise is isolated and
+        counted in that subscription's ``errors``).
+        """
         self._seq += 1
         env = Envelope(topic=topic, payload=payload, source=source,
                        seq=self._seq)
         self._published += 1
         hits = 0
         for sub in self._subs:
-            if sub.matches(topic):
-                sub.offer(env)
+            if sub.matches(topic) and sub.offer(env):
                 hits += 1
         self._delivered += hits
         return hits
@@ -124,10 +154,26 @@ class MessageBus:
     def publish_many(self, topic: str, payloads: Iterable, source: str = "") -> int:
         return sum(self.publish(topic, p, source) for p in payloads)
 
+    def queue_depths(self) -> dict[str, int]:
+        """Current backlog per subscription (self-monitoring surface).
+
+        Subscriptions sharing a name (e.g. two bare-pattern subscribers)
+        are disambiguated with a ``#i`` suffix so no depth is shadowed.
+        """
+        depths: dict[str, int] = {}
+        for i, sub in enumerate(self._subs):
+            key = sub.name
+            if key in depths:
+                key = f"{key}#{i}"
+            depths[key] = len(sub)
+        return depths
+
     def stats(self) -> BusStats:
         return BusStats(
             published=self._published,
             delivered=self._delivered,
             dropped=sum(s.dropped for s in self._subs),
             subscriptions=len(self._subs),
+            errors=sum(s.errors for s in self._subs),
+            queue_depths=self.queue_depths(),
         )

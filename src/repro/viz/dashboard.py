@@ -116,6 +116,50 @@ class Dashboard:
             )
         return out
 
+    def selfmon_tiles(self, now: float,
+                      window_s: float = 600.0) -> list[Tile]:
+        """Tiles over the monitoring plane's own ``selfmon.*`` vitals.
+
+        Empty when self-monitoring is disabled (no ``selfmon.*`` series
+        in the store) — the panel degrades away rather than erroring.
+        """
+        out: list[Tile] = []
+        comp = self._latest_sweep("selfmon.bus.completeness", window_s, now)
+        if len(comp):
+            pct = 100.0 * float(comp.values[-1])
+            out.append(
+                Tile("data-path completeness", pct, "%", 100.0,
+                     "ok" if pct >= 99.999 else "warn" if pct >= 99 else "crit",
+                     trend=self._trend("selfmon.bus.completeness", "bus",
+                                       now)),
+            )
+        depth = self._latest_sweep("selfmon.bus.queue_depth", window_s, now)
+        if len(depth):
+            backlog = float(depth.values.sum())
+            out.append(
+                Tile("bus backlog", backlog, " msgs",
+                     max(backlog * 2, 10.0),
+                     "ok" if backlog == 0 else "warn")
+            )
+        tick = self._latest_sweep("selfmon.pipeline.tick_ms", window_s, now)
+        if len(tick):
+            val = float(tick.values[-1])
+            out.append(
+                Tile("monitoring tick", val, " ms", max(val * 1.5, 10.0),
+                     "ok",
+                     trend=self._trend("selfmon.pipeline.tick_ms",
+                                       "pipeline", now))
+            )
+        ingest = self._latest_sweep("selfmon.store.tsdb_ingest_rate",
+                                    window_s, now)
+        if len(ingest):
+            val = float(ingest.values[-1])
+            out.append(
+                Tile("tsdb ingest", val, " samples/s",
+                     max(val * 1.5, 1.0), "ok")
+            )
+        return out
+
     def render(self, now: float, window_s: float = 600.0) -> str:
         lines = [f"=== system status @ t={now:.0f}s ==="]
         for tile in self.tiles(now, window_s):
@@ -125,6 +169,16 @@ class Dashboard:
                                      unit=tile.unit)
                 + (f"  {tile.trend}" if tile.trend else "")
             )
+        selfmon = self.selfmon_tiles(now, window_s)
+        if selfmon:
+            lines.append("--- monitoring plane ---")
+            for tile in selfmon:
+                mark = {"ok": " ", "warn": "!", "crit": "X"}[tile.status]
+                lines.append(
+                    f"{mark} " + bar_row(tile.name, tile.value, tile.maximum,
+                                         unit=tile.unit)
+                    + (f"  {tile.trend}" if tile.trend else "")
+                )
         return "\n".join(lines)
 
 

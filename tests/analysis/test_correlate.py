@@ -1,6 +1,5 @@
 """Unit tests for event correlation and clock-drift sensitivity."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.correlate import (

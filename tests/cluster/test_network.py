@@ -1,6 +1,5 @@
 """Unit tests for the HSN traffic engine."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.network import FLIT_BYTES, Flow, NetworkState

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cluster.node import ESSENTIAL_SERVICES, NodeStore
+from repro.cluster.node import NodeStore
 
 
 @pytest.fixture()

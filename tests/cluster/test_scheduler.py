@@ -1,6 +1,5 @@
 """Unit tests for the batch scheduler."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.scheduler import (

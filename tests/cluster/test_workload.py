@@ -1,6 +1,5 @@
 """Unit tests for application profiles and jobs."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.workload import (

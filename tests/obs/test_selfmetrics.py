@@ -1,0 +1,129 @@
+"""Unit tests for latency histograms and the self-metric emitter."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import default_registry
+from repro.obs.hist import LatencyHistogram
+from repro.obs.selfmetrics import (
+    SELFMON_METRICS,
+    SelfMonitor,
+    completeness_ratio,
+)
+from repro.pipeline import MonitoringPipeline
+from repro.sources.counters import NodeCounterCollector
+from tests.test_pipeline import make_machine
+
+
+class TestLatencyHistogram:
+    def test_percentiles_over_window(self):
+        h = LatencyHistogram()
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            h.record(v)
+        assert h.percentile(50) == 3.0
+        s = h.summary()
+        assert s["p50_s"] == 3.0
+        assert s["max_s"] == 5.0
+        assert s["count"] == 5.0
+        assert s["mean_s"] == 3.0
+
+    def test_window_is_bounded_but_lifetime_stats_persist(self):
+        h = LatencyHistogram(window=4)
+        for v in range(100):
+            h.record(float(v))
+        assert len(h) == 4
+        assert h.count == 100
+        assert h.max_s == 99.0
+        # window percentiles only see the most recent 4 observations
+        assert h.percentile(0) == 96.0
+
+    def test_empty_histogram_is_nan(self):
+        h = LatencyHistogram()
+        assert np.isnan(h.percentile(50))
+        assert np.isnan(h.summary()["p50_s"])
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(window=0)
+
+
+class TestCompleteness:
+    def test_perfect_delivery_is_one(self):
+        assert completeness_ratio(100, 0, 0) == 1.0
+
+    def test_no_traffic_is_one(self):
+        assert completeness_ratio(0, 0, 0) == 1.0
+
+    def test_drops_and_errors_reduce_it(self):
+        assert completeness_ratio(100, 10, 0) == pytest.approx(0.9)
+        assert completeness_ratio(90, 0, 10) == pytest.approx(0.9)
+
+
+def small_pipeline(**kw):
+    return MonitoringPipeline(
+        make_machine(),
+        collectors=[NodeCounterCollector(interval_s=60.0)],
+        **kw,
+    )
+
+
+class TestSelfMonitor:
+    def test_every_name_is_registered(self):
+        SelfMonitor(small_pipeline()).verify_registered(default_registry())
+
+    def test_first_call_is_baseline_only(self):
+        p = small_pipeline()
+        assert p.selfmon.maybe_emit(0.0) == []
+        assert p.selfmon.emissions == 0
+
+    def test_emits_on_cadence_not_before(self):
+        p = small_pipeline(selfmon_interval_s=120.0)
+        mon = p.selfmon
+        mon.maybe_emit(0.0)
+        assert mon.maybe_emit(60.0) == []
+        batches = mon.maybe_emit(120.0)
+        assert batches
+        assert mon.emissions == 1
+
+    def test_emitted_batches_land_in_tsdb_via_bus(self):
+        p = small_pipeline(selfmon_interval_s=60.0)
+        p.run(duration_s=200.0, dt=10.0)
+        metrics = {k.metric for k in p.tsdb.keys()}
+        for family in ("selfmon.bus.", "selfmon.collector.",
+                       "selfmon.store."):
+            assert any(m.startswith(family) for m in metrics), family
+
+    def test_rates_use_elapsed_time(self):
+        p = small_pipeline()
+        mon = p.selfmon
+        mon.maybe_emit(0.0)
+        for _ in range(100):
+            p.bus.publish("metrics.node.cpu_util", None)
+        batches = {b.metric: b for b in mon.sample(50.0, elapsed_s=50.0)}
+        rate = batches["selfmon.bus.publish_rate"].values[0]
+        assert rate == pytest.approx(2.0)   # 100 msgs / 50 s
+
+    def test_collector_latency_summaries_cover_all_collectors(self):
+        p = small_pipeline()
+        p.run(duration_s=200.0, dt=10.0)
+        b = p.tsdb.query("selfmon.collector.sweep_p95_ms", "node_counters")
+        assert len(b)
+        assert (b.values >= 0.0).all()
+
+    def test_disabled_selfmon_emits_nothing(self):
+        p = small_pipeline(selfmon_interval_s=None)
+        assert p.selfmon is None
+        p.run(duration_s=200.0, dt=10.0)
+        metrics = {k.metric for k in p.tsdb.keys()}
+        assert not any(m.startswith("selfmon.") for m in metrics)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            SelfMonitor(small_pipeline(), interval_s=0.0)
+
+    def test_all_emitted_metrics_are_declared(self):
+        p = small_pipeline()
+        mon = p.selfmon
+        mon.maybe_emit(0.0)
+        emitted = {b.metric for b in mon.sample(60.0, elapsed_s=60.0)}
+        assert emitted <= set(SELFMON_METRICS)

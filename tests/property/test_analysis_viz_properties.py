@@ -1,7 +1,7 @@
 """Property-based tests: analysis and viz invariants."""
 
 import numpy as np
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.correlate import cluster_events, order_accuracy

@@ -1,6 +1,5 @@
 """Property-based tests: response and transport conservation laws."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

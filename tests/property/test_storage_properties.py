@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.events import Event, EventKind, Severity
-from repro.core.metric import MetricKey, SeriesBatch
+from repro.core.metric import SeriesBatch
 from repro.storage.logstore import LogStore, tokenize
 from repro.storage.tsdb import (
     TimeSeriesStore,

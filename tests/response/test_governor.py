@@ -1,8 +1,6 @@
 """Tests for the envisioned responses: power governor + congestion-aware
 placement (Section III-C's forward-looking capabilities)."""
 
-import numpy as np
-import pytest
 
 from repro.cluster import Machine, PackedPlacement, PowerModel, build_dragonfly
 from repro.cluster.network import Flow

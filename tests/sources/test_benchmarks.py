@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cluster import Machine, SlowOst, build_dragonfly
+from repro.cluster import Machine, build_dragonfly
 from repro.cluster.workload import APP_LIBRARY, Job
 from repro.core.events import EventKind
 from repro.sources.benchmarks import (

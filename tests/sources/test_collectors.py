@@ -177,6 +177,59 @@ class TestScheduler:
         sched.poll(machine, 600.0)   # long gap: one sweep, not ten
         assert c.sweeps == 2
 
+    def test_catchup_resumes_on_the_original_grid(self, machine):
+        """After a stall, the next due time lands on the interval grid
+        strictly in the future — missed slots are never replayed and
+        the schedule does not phase-shift to the stall's end."""
+        bus = MessageBus()
+        sched = CollectionScheduler(bus)
+        c = sched.add(NodeCounterCollector(interval_s=60.0))
+        sched.poll(machine, 0.0)               # sweep 1 (t=0)
+        sched.poll(machine, 250.0)             # stall: slots 60/120/180/240
+        assert c.sweeps == 2                   # ... collapse to one sweep
+        # grid-aligned resume: not due again until t=300, not t=310
+        sched.poll(machine, 299.0)
+        assert c.sweeps == 2
+        sched.poll(machine, 300.0)
+        assert c.sweeps == 3
+
+    def test_catchup_when_poll_lands_exactly_on_a_slot(self, machine):
+        bus = MessageBus()
+        sched = CollectionScheduler(bus)
+        c = sched.add(NodeCounterCollector(interval_s=60.0))
+        sched.poll(machine, 0.0)
+        sched.poll(machine, 180.0)             # exactly on the 3rd slot
+        assert c.sweeps == 2
+        sched.poll(machine, 240.0)             # very next slot still fires
+        assert c.sweeps == 3
+
+    def test_sweep_latency_histograms_populated(self, machine):
+        sched = CollectionScheduler(MessageBus())
+        c = sched.add(NodeCounterCollector(interval_s=60.0))
+        for t in (0.0, 60.0, 120.0):
+            sched.poll(machine, t)
+        hist = sched.latency[c.name]
+        assert len(hist) == 3
+        s = hist.summary()
+        assert 0.0 <= s["p50_s"] <= s["p95_s"] <= s["max_s"]
+
+    def test_no_latency_recorded_when_overhead_measure_off(self, machine):
+        sched = CollectionScheduler(MessageBus(), measure_overhead=False)
+        c = sched.add(NodeCounterCollector(interval_s=60.0))
+        sched.poll(machine, 0.0)
+        assert len(sched.latency[c.name]) == 0
+
+    def test_tracer_spans_per_collector(self, machine):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        sched = CollectionScheduler(MessageBus(), tracer=tracer)
+        sched.add(NodeCounterCollector(interval_s=60.0))
+        sched.poll(machine, 0.0)
+        spans = tracer.spans("collect")
+        assert len(spans) == 1
+        assert spans[0].attrs == {"collector": "node_counters"}
+
     def test_publishes_to_bus_topics(self, machine):
         bus = MessageBus()
         sub = bus.subscribe("metrics.node.cpu_util")

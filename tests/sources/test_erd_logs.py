@@ -1,6 +1,5 @@
 """Unit tests for the event router, Deluge decoder, and log paths."""
 
-import pytest
 
 from repro.cluster import HungNode, Machine, build_dragonfly
 from repro.core.events import Event, EventKind, Severity

@@ -3,7 +3,6 @@
 import subprocess
 import sys
 
-import pytest
 
 
 def run_cli(*args, timeout=300):
@@ -34,6 +33,15 @@ class TestCli:
         assert proc.returncode == 0
         assert "shareable spec" in proc.stdout
         assert "operations" in proc.stdout
+
+    def test_obs_scenario_reports_monitoring_plane(self):
+        proc = run_cli("obs", "--hours", "0.2")
+        assert proc.returncode == 0
+        assert "monitoring-plane health" in proc.stdout
+        assert "data-path completeness" in proc.stdout
+        assert "stage timings" in proc.stdout
+        assert "selfmon.bus.completeness" in proc.stdout
+        assert "selfmon.collector.sweep_p95_ms" in proc.stdout
 
     def test_unknown_scenario_rejected(self):
         proc = run_cli("nonsense")

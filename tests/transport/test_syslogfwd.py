@@ -1,6 +1,5 @@
 """Unit tests for the syslog forwarder."""
 
-import pytest
 
 from repro.core.events import Event, EventKind, Severity
 from repro.transport.syslogfwd import SyslogForwarder

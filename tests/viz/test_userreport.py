@@ -1,6 +1,5 @@
 """Tests for user-scoped job reports and access control."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import Machine, PackedPlacement, SlowOst, build_dragonfly
@@ -8,8 +7,6 @@ from repro.cluster.workload import APP_LIBRARY, Job
 from repro.core.events import Event, EventKind, Severity
 from repro.pipeline import MonitoringPipeline, default_collectors
 from repro.storage.jobstore import JobIndex
-from repro.storage.logstore import LogStore
-from repro.storage.tsdb import TimeSeriesStore
 from repro.viz.userreport import AccessPolicy, job_report
 
 
