@@ -13,6 +13,13 @@ still gates on the defect classes that bite: syntax errors (via
 fallback intentionally under-reports rather than false-positives: a
 name is "used" if it appears anywhere in the file outside its own
 import statement, including inside string annotations and ``__all__``.
+
+Both paths additionally gate on **import cycles** inside ``src/repro``:
+runtime module-level imports must form a DAG (``if TYPE_CHECKING:``
+blocks are excluded — they vanish at runtime).  The stage extraction
+relies on this: ``repro.stages`` must never import ``repro.pipeline``
+at runtime, and the check keeps the whole package honest, not just that
+pair.
 """
 
 from __future__ import annotations
@@ -79,7 +86,134 @@ def check_file(path: Path) -> list[str]:
     return problems
 
 
+def _is_type_checking_if(node: ast.stmt) -> bool:
+    """True for ``if TYPE_CHECKING:`` / ``if typing.TYPE_CHECKING:``."""
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _runtime_imports(tree: ast.Module, module: str, package: str) -> set[str]:
+    """Modules (dotted names inside ``package``) that ``module`` imports
+    at runtime — module-level statements only, TYPE_CHECKING excluded."""
+
+    def resolve_relative(level: int, target: str | None) -> str | None:
+        # `from .x import y` inside a.b.c: level 1 strips the leaf
+        parts = module.split(".")
+        if level > len(parts):
+            return None
+        base = parts[: len(parts) - level]
+        return ".".join(base + ([target] if target else []))
+
+    out: set[str] = set()
+
+    def visit(body: list[ast.stmt]) -> None:
+        for node in body:
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    if a.name.startswith(package):
+                        out.add(a.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    mod = resolve_relative(node.level, node.module)
+                elif node.module and node.module.startswith(package):
+                    mod = node.module
+                else:
+                    mod = None
+                if mod is not None:
+                    out.add(mod)
+                    # `from .pkg import name` may bind the submodule
+                    # pkg.name; record both spellings — the cycle check
+                    # collapses names that aren't real modules.
+                    for a in node.names:
+                        if a.name != "*":
+                            out.add(f"{mod}.{a.name}")
+            elif _is_type_checking_if(node):
+                continue            # erased at runtime
+            elif isinstance(node, (ast.If, ast.Try)):
+                visit(node.body)
+                for h in getattr(node, "handlers", []):
+                    visit(h.body)
+                visit(node.orelse)
+                visit(getattr(node, "finalbody", []))
+
+    visit(tree.body)
+    return out
+
+
+def import_graph(root: Path, package: str = "repro") -> dict[str, set[str]]:
+    """Runtime import graph over every module under ``root/<package>``."""
+    pkg_root = root / package
+    modules: dict[str, Path] = {}
+    for path in sorted(pkg_root.rglob("*.py")):
+        rel = path.relative_to(root).with_suffix("")
+        parts = list(rel.parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        modules[".".join(parts)] = path
+    graph: dict[str, set[str]] = {}
+    for mod, path in modules.items():
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError:
+            continue                 # surfaced by check_file already
+        deps = set()
+        for target in _runtime_imports(tree, mod, package):
+            # collapse `from .pkg import name` bindings onto real modules
+            while target and target not in modules:
+                target = target.rpartition(".")[0]
+            if target and target != mod:
+                deps.add(target)
+        graph[mod] = deps
+    return graph
+
+
+def find_import_cycle(graph: dict[str, set[str]]) -> list[str] | None:
+    """First runtime import cycle found, as a module path, else None."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {m: WHITE for m in graph}
+    stack: list[str] = []
+
+    def dfs(mod: str) -> list[str] | None:
+        color[mod] = GREY
+        stack.append(mod)
+        for dep in sorted(graph.get(mod, ())):
+            if color.get(dep, BLACK) == GREY:
+                return stack[stack.index(dep):] + [dep]
+            if color.get(dep) == WHITE:
+                found = dfs(dep)
+                if found:
+                    return found
+        stack.pop()
+        color[mod] = BLACK
+        return None
+
+    for mod in sorted(graph):
+        if color[mod] == WHITE:
+            found = dfs(mod)
+            if found:
+                return found
+    return None
+
+
+def check_import_cycles() -> list[str]:
+    cycle = find_import_cycle(import_graph(REPO / "src"))
+    if cycle:
+        return ["import cycle in src/repro: " + " -> ".join(cycle)]
+    return []
+
+
 def lint() -> int:
+    cycle_problems = check_import_cycles()
+    for p in cycle_problems:
+        print(p)
+    if cycle_problems:
+        return 1
     ruff = subprocess.run(
         [sys.executable, "-m", "ruff", "--version"],
         capture_output=True,

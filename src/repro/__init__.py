@@ -25,10 +25,11 @@ Subpackages:
   filesystem, scheduler, workload, faults)
 - :mod:`repro.sources`   — collectors: counters, SEDC, ERD, logs, probes,
   benchmarks, health checks, power, queue stats
-- :mod:`repro.transport` — pub/sub bus, LDMS-style aggregation tree,
-  syslog forwarding
-- :mod:`repro.storage`   — time-series store, relational store, log store,
-  hierarchical tiering, job index
+- :mod:`repro.transport` — pluggable transports: flat pub/sub bus,
+  partitioned bus, LDMS-style coalescing aggregator tree, syslog
+  forwarding
+- :mod:`repro.storage`   — time-series store (single or sharded),
+  relational store, log store, hierarchical tiering, job index
 - :mod:`repro.analysis`  — anomaly/trend/congestion/power-signature/
   aggressor-victim/queue/log analyses
 - :mod:`repro.response`  — SEC-style event correlation, alerting, actions

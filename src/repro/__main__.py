@@ -16,7 +16,11 @@ Scenarios:
 * ``obs``         — run a workload and introspect the monitoring plane
                   itself: per-stage span timings, data-path
                   completeness, slowest spans, and the ``selfmon.*``
-                  meta-metric series it stored about itself.
+                  meta-metric series it stored about itself;
+* ``scale``       — run the same machine on all three transport tiers
+                  (flat bus, partitioned bus, aggregator tree) and
+                  print a comparison table: message volumes, drops,
+                  completeness, stored samples, and wall time.
 """
 
 from __future__ import annotations
@@ -135,12 +139,65 @@ def cmd_obs(args) -> int:
     return 0
 
 
+def cmd_scale(args) -> int:
+    import time as _time
+
+    from .pipeline import default_pipeline
+
+    specs = [
+        ("flat", dict(transport="flat")),
+        ("partitioned", dict(transport="partitioned", shards=4)),
+        ("tree", dict(transport="tree", shards=4)),
+    ]
+    print(f"running the same {args.hours:g} h scenario on each "
+          f"transport tier...")
+    rows = []
+    for label, kw in specs:
+        machine = _build_machine(args.seed)
+        pipeline = default_pipeline(machine, seed=args.seed, **kw)
+        t0 = _time.perf_counter()
+        pipeline.run(hours=args.hours, dt=10.0)
+        pipeline.bus.flush()     # deliver anything still windowed
+        wall = _time.perf_counter() - t0
+        stats = pipeline.bus.stats()
+        upstream = getattr(stats, "upstream_messages", stats.published)
+        from .obs.selfmetrics import completeness_ratio
+        rows.append((
+            label,
+            stats.published,
+            upstream,
+            stats.delivered,
+            stats.dropped,
+            completeness_ratio(stats.delivered, stats.dropped,
+                               stats.errors),
+            pipeline.tsdb.stats().samples,
+            len(pipeline.alerts.alerts),
+            wall,
+        ))
+    hdr = (f"{'transport':<12} {'published':>10} {'upstream':>10} "
+           f"{'delivered':>10} {'dropped':>8} {'complete':>9} "
+           f"{'samples':>9} {'alerts':>7} {'wall s':>7}")
+    print()
+    print(hdr)
+    print("-" * len(hdr))
+    for r in rows:
+        print(f"{r[0]:<12} {r[1]:>10} {r[2]:>10} {r[3]:>10} {r[4]:>8} "
+              f"{r[5]:>9.4f} {r[6]:>9} {r[7]:>7} {r[8]:>7.2f}")
+    flat_up, tree_up = rows[0][2], rows[2][2]
+    if tree_up:
+        print(f"\naggregator tree upstream reduction: "
+              f"{flat_up / tree_up:.1f}x fewer messages than flat "
+              f"fan-out")
+    return 0
+
+
 COMMANDS = {
     "demo": cmd_demo,
     "figures": cmd_figures,
     "registry": cmd_registry,
     "dashboard": cmd_dashboard,
     "obs": cmd_obs,
+    "scale": cmd_scale,
 }
 
 

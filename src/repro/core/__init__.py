@@ -3,6 +3,7 @@
 from .clock import DriftingClock, DriftModel, SimClock
 from .config import CollectorConfig, MonitoringConfig
 from .events import Event, EventKind, Severity
+from .hashing import stable_bucket, stable_hash
 from .metric import MetricKey, Sample, SeriesBatch, merge_batches
 from .registry import MetricClass, MetricRegistry, MetricSpec, default_registry
 
@@ -15,6 +16,8 @@ __all__ = [
     "Event",
     "EventKind",
     "Severity",
+    "stable_bucket",
+    "stable_hash",
     "MetricKey",
     "Sample",
     "SeriesBatch",

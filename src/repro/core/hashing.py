@@ -1,0 +1,32 @@
+"""Stable hashing for data-path placement decisions.
+
+Partitioned transports and sharded stores both need a *stable* mapping
+from a string identity (a topic, a series name) to a bucket: the same
+name must land in the same bucket in every process and every run, so
+routing survives restarts and test replays.  Python's builtin ``hash``
+is randomized per process (PYTHONHASHSEED) and therefore unusable for
+placement; CRC-32 is deterministic, fast, and well-mixed enough for
+bucket counts in the tens.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["stable_hash", "stable_bucket"]
+
+
+def stable_hash(name: str) -> int:
+    """Deterministic 32-bit hash of ``name`` (identical across runs)."""
+    return zlib.crc32(name.encode("utf-8"))
+
+
+def stable_bucket(name: str, buckets: int) -> int:
+    """Map ``name`` to one of ``buckets`` bins, stably.
+
+    The mapping changes only when ``buckets`` changes (explicit
+    repartitioning), never between runs or processes.
+    """
+    if buckets < 1:
+        raise ValueError("buckets must be >= 1")
+    return stable_hash(name) % buckets

@@ -244,6 +244,14 @@ def _builtin_specs() -> Iterable[MetricSpec]:
                      "deliveries that reached (or still await) a consumer.",
                      derivation="(delivered - dropped)/(delivered + errors)",
                      higher_is_worse=False)
+    yield MetricSpec("selfmon.bus.partition_depth", "msgs", G, "monitor",
+                     "Current backlog of one transport partition or "
+                     "aggregator leaf (component = partition/leaf name; "
+                     "absent on the flat bus).", higher_is_worse=True)
+    yield MetricSpec("selfmon.bus.partition_dropped", "count", C, "monitor",
+                     "Cumulative envelopes evicted from one bounded "
+                     "transport partition (component = partition name).",
+                     higher_is_worse=True)
     yield MetricSpec("selfmon.collector.sweep_p50_ms", "ms", L, "monitor",
                      "Median wall time of one collector sweep over the "
                      "recent window (component = collector name).",
@@ -264,6 +272,13 @@ def _builtin_specs() -> Iterable[MetricSpec]:
                      "Resident sample count in the TSDB.")
     yield MetricSpec("selfmon.store.tsdb_bytes", "B", G, "monitor",
                      "Compressed footprint of the TSDB.")
+    yield MetricSpec("selfmon.store.shard_points", "samples", G, "monitor",
+                     "Resident sample count of one TSDB shard "
+                     "(component = shard name; absent on a single store).")
+    yield MetricSpec("selfmon.store.shard_series", "count", G, "monitor",
+                     "Resident series count of one TSDB shard.")
+    yield MetricSpec("selfmon.store.shard_bytes", "B", G, "monitor",
+                     "Compressed footprint of one TSDB shard.")
     yield MetricSpec("selfmon.store.log_events", "count", C, "monitor",
                      "Events resident in the indexed log store.")
     yield MetricSpec("selfmon.store.sql_bytes", "B", G, "monitor",

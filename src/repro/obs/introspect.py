@@ -57,6 +57,10 @@ class HealthReport:
     collectors: dict[str, dict[str, float]] = field(default_factory=dict)
     stores: dict[str, float] = field(default_factory=dict)
     counts: dict[str, int] = field(default_factory=dict)
+    #: per-partition (or per-leaf) backlog when the transport is tiered
+    partitions: dict[str, int] = field(default_factory=dict)
+    #: per-shard store counters when the TSDB is sharded
+    shards: dict[str, dict[str, float]] = field(default_factory=dict)
 
     @property
     def backpressured(self) -> list[str]:
@@ -121,6 +125,24 @@ class PipelineIntrospector:
                 tsdb_series=float(tstats.series),
                 tsdb_bytes=float(tstats.compressed_bytes),
             )
+        # tiered-transport / sharded-store surfaces (duck-typed: absent
+        # on the flat bus and the single store)
+        partitions: dict[str, int] = {}
+        for probe in ("partition_depths", "leaf_depths"):
+            fn = getattr(p.bus, probe, None)
+            if callable(fn):
+                partitions.update(fn())
+        shards: dict[str, dict[str, float]] = {}
+        per_shard = getattr(p.tsdb, "per_shard_stats", None)
+        if callable(per_shard):
+            shards = {
+                f"shard-{i}": {
+                    "points": float(s.samples),
+                    "series": float(s.series),
+                    "bytes": float(s.compressed_bytes),
+                }
+                for i, s in enumerate(per_shard())
+            }
         return HealthReport(
             ticks=ticks,
             stages=stages,
@@ -144,6 +166,8 @@ class PipelineIntrospector:
                 "actions_executed": len(p.actions.audit),
                 "alerts": len(p.alerts.alerts),
             },
+            partitions=partitions,
+            shards=shards,
         )
 
     def render(self, slowest_n: int = 5) -> str:
@@ -166,6 +190,18 @@ class PipelineIntrospector:
             + (", ".join(f"{n}={r.queue_depths[n]}" for n in backlog)
                if backlog else "none (all queues drained)")
         )
+        if r.partitions:
+            lines.append(
+                "partitions: "
+                + ", ".join(f"{n}={d}" for n, d in r.partitions.items())
+            )
+        if r.shards:
+            lines.append("shards:")
+            for name, s in r.shards.items():
+                lines.append(
+                    f"  {name:<10} {int(s['points'])} points / "
+                    f"{int(s['series'])} series / {int(s['bytes'])} B"
+                )
         lines.append("stage timings (per tick):")
         for s in r.stages:
             lines.append(

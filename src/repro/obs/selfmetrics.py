@@ -38,6 +38,8 @@ SELFMON_METRICS: tuple[str, ...] = (
     "selfmon.bus.errors",
     "selfmon.bus.queue_depth",
     "selfmon.bus.completeness",
+    "selfmon.bus.partition_depth",
+    "selfmon.bus.partition_dropped",
     "selfmon.collector.sweep_p50_ms",
     "selfmon.collector.sweep_p95_ms",
     "selfmon.collector.sweep_max_ms",
@@ -45,6 +47,9 @@ SELFMON_METRICS: tuple[str, ...] = (
     "selfmon.store.tsdb_ingest_rate",
     "selfmon.store.tsdb_points",
     "selfmon.store.tsdb_bytes",
+    "selfmon.store.shard_points",
+    "selfmon.store.shard_series",
+    "selfmon.store.shard_bytes",
     "selfmon.store.log_events",
     "selfmon.store.sql_bytes",
     "selfmon.sec.rule_fires",
@@ -180,6 +185,33 @@ class SelfMonitor:
                 list(depths), [float(v) for v in depths.values()],
             ))
 
+        # -- partitioned transports expose per-partition surfaces ---------
+        # (duck-typed: the flat bus has neither, the tree reports leaves)
+        part_depths = getattr(p.bus, "partition_depths", None)
+        if callable(part_depths):
+            d = part_depths()
+            if d:
+                out.append(SeriesBatch.sweep(
+                    "selfmon.bus.partition_depth", now,
+                    list(d), [float(v) for v in d.values()],
+                ))
+        part_drops = getattr(p.bus, "partition_drops", None)
+        if callable(part_drops):
+            d = part_drops()
+            if d:
+                out.append(SeriesBatch.sweep(
+                    "selfmon.bus.partition_dropped", now,
+                    list(d), [float(v) for v in d.values()],
+                ))
+        leaf_depths = getattr(p.bus, "leaf_depths", None)
+        if callable(leaf_depths):
+            d = leaf_depths()
+            if d:
+                out.append(SeriesBatch.sweep(
+                    "selfmon.bus.partition_depth", now,
+                    list(d), [float(v) for v in d.values()],
+                ))
+
         # -- collectors ----------------------------------------------------
         names, p50, p95, mx, sweeps = [], [], [], [], []
         for c in p.scheduler.collectors:
@@ -212,6 +244,22 @@ class SelfMonitor:
             one("selfmon.store.tsdb_points", "tsdb", float(tstats.samples))
             one("selfmon.store.tsdb_bytes", "tsdb",
                 float(tstats.compressed_bytes))
+        per_shard = getattr(p.tsdb, "per_shard_stats", None)
+        if callable(per_shard):
+            shard_stats = per_shard()
+            names = [f"shard-{i}" for i in range(len(shard_stats))]
+            out.append(SeriesBatch.sweep(
+                "selfmon.store.shard_points", now, names,
+                [float(s.samples) for s in shard_stats],
+            ))
+            out.append(SeriesBatch.sweep(
+                "selfmon.store.shard_series", now, names,
+                [float(s.series) for s in shard_stats],
+            ))
+            out.append(SeriesBatch.sweep(
+                "selfmon.store.shard_bytes", now, names,
+                [float(s.compressed_bytes) for s in shard_stats],
+            ))
         one("selfmon.store.log_events", "logstore", float(len(p.logs)))
         one("selfmon.store.sql_bytes", "sqlstore",
             float(p.sql.footprint_bytes()))

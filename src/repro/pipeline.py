@@ -7,17 +7,21 @@ One :class:`MonitoringPipeline` wires together every layer against a
              probes, benchmarks, health, queue, power, environment)
   events   — the ERD-analog router draining machine events, decoded by
              a Deluge-style tap
-  transport— a pub/sub bus fanning data to *multiple consumers*
-             (Table I: "direct the data and analysis results to
-             multiple consumers")
-  storage  — TSDB for numeric series, log store for events, job index
-             for per-job extraction, relational store for jobs/tests
+  transport— any :class:`~repro.transport.base.Transport` fanning data
+             to *multiple consumers* (Table I: "direct the data and
+             analysis results to multiple consumers"): the flat bus,
+             the partitioned bus, or the LDMS-style aggregator tree
+  storage  — TSDB (single or sharded) for numeric series, log store
+             for events, job index for per-job extraction, relational
+             store for jobs/tests
   response — SEC rule engine + action engine with alert dedup
   analysis — hooks that run user-supplied analyses on a cadence
 
-``default_pipeline`` assembles the stack the way a site would deploy it;
-everything is swappable (Table I: "Extensibility and modularity are
-fundamental").
+The tick loop itself is a sequence of :class:`~repro.stages.Stage`
+objects iterated under trace spans — each plane of the data path is a
+swappable unit, and ``default_pipeline`` assembles the stack the way a
+site would deploy it with ``transport=``/``tsdb=``/``shards=`` knobs
+(Table I: "Extensibility and modularity are fundamental").
 """
 
 from __future__ import annotations
@@ -33,8 +37,8 @@ from .obs.introspect import PipelineIntrospector
 from .obs.selfmetrics import SelfMonitor
 from .obs.trace import Tracer
 from .response.actions import ActionEngine, AlertManager
-from .response.policy import default_sec_engine, detections_to_requests
-from .response.sec import SecEngine
+from .response.policy import default_sec_engine
+from .response.sec import ActionRequest, SecEngine
 from .sources.base import CollectionScheduler, Collector
 from .sources.benchmarks import BenchmarkSuite
 from .sources.counters import (
@@ -49,10 +53,13 @@ from .sources.health import HealthGate, NodeHealthSuite
 from .sources.powermon import PowerCollector
 from .sources.queuestats import QueueStatsCollector
 from .sources.sedc import SedcCollector
+from .stages import AnalysisHooksStage, Stage, StreamingStage, default_stages
 from .storage.jobstore import JobIndex
 from .storage.logstore import LogStore
+from .storage.sharded import ShardedTimeSeriesStore
 from .storage.sqlstore import SqlStore
 from .storage.tsdb import TimeSeriesStore
+from .transport.base import Transport, make_transport
 from .transport.bus import MessageBus
 from .viz.dashboard import Dashboard
 
@@ -74,13 +81,18 @@ class MonitoringPipeline:
         renotify_s: float = 3600.0,
         tracer: Tracer | None = None,
         selfmon_interval_s: float | None = 60.0,
+        transport: Transport | None = None,
+        tsdb=None,
+        stages: Sequence[Stage] | None = None,
     ) -> None:
         self.machine = machine
         self.registry = registry or default_registry()
         self.tick_s = float(tick_s)
 
-        self.bus = MessageBus()
-        self.tsdb = TimeSeriesStore()
+        # transport and numeric store are pluggable tiers; the defaults
+        # are the flat bus + single store every existing example assumes
+        self.bus: Transport = transport if transport is not None else MessageBus()
+        self.tsdb = tsdb if tsdb is not None else TimeSeriesStore()
         self.logs = LogStore()
         self.jobs = JobIndex()
         self.sql = SqlStore()
@@ -102,8 +114,11 @@ class MonitoringPipeline:
         self.alerts = AlertManager(renotify_s=renotify_s)
         self.actions = ActionEngine(machine, self.alerts)
 
-        self._analysis_hooks: list[tuple[float, float, AnalysisHook]] = []
-        self._streaming: list = []
+        # the tick loop: stages iterated under spans
+        self.stages: list[Stage] = (
+            list(stages) if stages is not None else default_stages()
+        )
+        self._pending_requests: list[ActionRequest] = []
 
         # metric fan-out: one subscription stores everything numeric;
         # selfmon.* meta-metrics ride the same path into the same TSDB
@@ -116,13 +131,18 @@ class MonitoringPipeline:
         self.bus.subscribe(
             "events.*", callback=self._on_event, name="log-ingest"
         )
-        self._tracked_jobs: set[int] = set()
-        self._known_done: set[int] = set()
 
         self.selfmon: SelfMonitor | None = None
         if selfmon_interval_s is not None:
             self.selfmon = SelfMonitor(self, interval_s=selfmon_interval_s)
             self.selfmon.verify_registered(self.registry)
+
+    # -- transport alias ---------------------------------------------------------
+
+    @property
+    def transport(self) -> Transport:
+        """The installed transport (``.bus`` kept as the historic name)."""
+        return self.bus
 
     # -- bus sinks ---------------------------------------------------------------
 
@@ -136,135 +156,66 @@ class MonitoringPipeline:
         if isinstance(payload, Event):
             self.logs.append(payload)
 
+    # -- stage access ---------------------------------------------------------------
+
+    def stage(self, name: str) -> Stage:
+        """Look up an installed stage by its span name."""
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(
+            f"no stage named {name!r}; installed: "
+            f"{[s.name for s in self.stages]}"
+        )
+
+    def take_pending(self) -> list[ActionRequest]:
+        """Drain the requests accumulated by earlier stages this tick."""
+        out = self._pending_requests
+        self._pending_requests = []
+        return out
+
     # -- analysis hooks ---------------------------------------------------------------
 
     def add_analysis(self, interval_s: float, hook: AnalysisHook) -> None:
         """Run ``hook(pipeline, now)`` every ``interval_s``; returned
         detections flow through the response policy into actions."""
-        self._analysis_hooks.append((interval_s, 0.0, hook))
+        stage = self.stage("analysis-hooks")
+        assert isinstance(stage, AnalysisHooksStage)
+        stage.add(interval_s, hook)
 
     def add_streaming(self, detector, pattern: str = "metrics.*"):
         """Attach a streaming analysis operator (Table I's "streaming"
         analysis location): it observes every matching batch at ingest,
         and any detections it queues drain into the response path each
         tick."""
+        stage = self.stage("streaming")
+        assert isinstance(stage, StreamingStage)
         detector.attach(self.bus, pattern)
-        self._streaming.append(detector)
+        stage.detectors.append(detector)
         return detector
-
-    # -- job tracking ----------------------------------------------------------------------
-
-    def _track_jobs(self, now: float) -> None:
-        sched = self.machine.scheduler
-        for job in sched.running:
-            if job.id not in self._tracked_jobs and job.start_time is not None:
-                self.jobs.record_start(
-                    job.id, job.app.name, job.nodes, job.start_time,
-                    user=job.user,
-                )
-                self.sql.upsert_job(
-                    job.id, job.app.name, job.n_nodes, job.submit_time,
-                    "running", start_time=job.start_time, nodes=job.nodes,
-                )
-                self._tracked_jobs.add(job.id)
-        for job in sched.completed:
-            if job.id in self._known_done:
-                continue
-            if job.id not in self._tracked_jobs and job.start_time is not None:
-                self.jobs.record_start(
-                    job.id, job.app.name, job.nodes, job.start_time,
-                    user=job.user,
-                )
-                self._tracked_jobs.add(job.id)
-            if job.id in self._tracked_jobs and job.end_time is not None:
-                self.jobs.record_end(job.id, job.end_time)
-                self.sql.upsert_job(
-                    job.id, job.app.name, job.n_nodes, job.submit_time,
-                    job.state.value, start_time=job.start_time,
-                    end_time=job.end_time, nodes=job.nodes,
-                )
-                self._known_done.add(job.id)
-                # CSCS post-job check: when a health gate is installed,
-                # every finished job's nodes are re-validated and
-                # failures drained before anything else lands on them
-                gate = getattr(self, "health_gate", None)
-                if gate is not None:
-                    gate.post_job(job)
 
     # -- main loop -------------------------------------------------------------------------
 
     def step(self, dt: float | None = None) -> None:
         """Advance the machine one tick and run the monitoring plane.
 
-        Every tick opens a root ``tick`` span with one child span per
-        stage, so the introspector can attribute wall time to exactly
-        the stage that spent it.
+        Every tick opens a root ``tick`` span and iterates the stage
+        list, one child span per stage, so the introspector can
+        attribute wall time to exactly the stage that spent it.
+        Requests returned by a stage accumulate and are executed by the
+        response stage at its position in the order.
         """
         dt = self.tick_s if dt is None else dt
         tracer = self.tracer
+        pending = self._pending_requests
         with tracer.span("tick"):
             self.machine.step(dt)
             now = self.machine.now
-
-            # event plane: machine events -> router -> decoded -> log
-            # store + SEC
-            with tracer.span("event-plane"):
-                self.router.pump(self.machine)
-                fresh_events = self.tap.drain()
-                for ev in fresh_events:
-                    self.bus.publish(f"events.{ev.kind.value}", ev,
-                                     source="erd")
-                requests = self.sec.feed(fresh_events)
-                requests += self.sec.tick(now)
-
-            # metric plane: due collectors sweep the machine; events they
-            # emit (benchmark DEGRADED, health failures) also feed the SEC
-            # rules — "triggered based on arbitrary locations in the data
-            # and analysis pathways" (Table I)
-            with tracer.span("metric-plane"):
-                collected = self.scheduler.poll(self.machine, now)
-                if collected.events:
-                    requests += self.sec.feed(collected.events)
-
-            # job tenancy
-            with tracer.span("job-tracking"):
-                self._track_jobs(now)
-
-            # streaming detectors saw the sweeps at ingest; drain them now
-            with tracer.span("streaming"):
-                for det in self._streaming:
-                    drain = getattr(det, "drain", None)
-                    if drain is not None:
-                        found = drain()
-                        if found:
-                            requests += detections_to_requests(
-                                list(found), rule_prefix="stream"
-                            )
-
-            # analysis hooks on their cadence
-            with tracer.span("analysis-hooks"):
-                for i, (interval, next_due, hook) in enumerate(
-                    self._analysis_hooks
-                ):
-                    if now >= next_due:
-                        detections = hook(self, now)
-                        if detections:
-                            requests += detections_to_requests(
-                                list(detections)
-                            )
-                        self._analysis_hooks[i] = (
-                            interval, now + interval, hook
-                        )
-
-            # response plane
-            with tracer.span("response"):
-                if requests:
-                    self.actions.execute(requests)
-
-            # the stack's own vitals, on their cadence
-            if self.selfmon is not None:
-                with tracer.span("selfmon"):
-                    self.selfmon.maybe_emit(now)
+            for stage in self.stages:
+                with tracer.span(stage.name):
+                    raised = stage.run(self, now)
+                    if raised:
+                        pending.extend(raised)
 
     def run(
         self,
@@ -324,14 +275,34 @@ def default_pipeline(
     metric_interval_s: float = 60.0,
     with_health_gate: bool = True,
     seed: int = 0,
+    transport: Transport | str | None = None,
+    tsdb=None,
+    shards: int | None = None,
     **kw,
 ) -> MonitoringPipeline:
-    """Assemble the full stack against ``machine`` (CSCS gate included)."""
+    """Assemble the full stack against ``machine`` (CSCS gate included).
+
+    ``transport`` picks the data-movement tier: ``None``/``"flat"`` is
+    the single bus, ``"partitioned"`` the topic-hash partitioned bus,
+    ``"tree"`` the LDMS-style aggregator tree — or pass any
+    :class:`~repro.transport.base.Transport` instance.  ``shards=K``
+    swaps the numeric store for a
+    :class:`~repro.storage.sharded.ShardedTimeSeriesStore` over K
+    shards (mutually exclusive with an explicit ``tsdb=``).
+    """
+    if transport is not None:
+        transport = make_transport(transport)
+    if shards is not None:
+        if tsdb is not None:
+            raise ValueError("pass either tsdb= or shards=, not both")
+        tsdb = ShardedTimeSeriesStore(shards=shards)
     pipeline = MonitoringPipeline(
         machine,
         collectors=default_collectors(
             machine, metric_interval_s=metric_interval_s, seed=seed
         ),
+        transport=transport,
+        tsdb=tsdb,
         **kw,
     )
     if with_health_gate and machine.scheduler.health_gate is None:

@@ -12,7 +12,9 @@ A :class:`Collector` reads one telemetry surface of a
 :class:`CollectionScheduler` fires every collector whose interval has
 elapsed — all due collectors observe the *same* machine state at the
 same timestamp (the synchronized-sweep property the analyses rely on) —
-and publishes results onto a :class:`~repro.transport.bus.MessageBus`.
+and publishes results onto any :class:`~repro.transport.base.Transport`
+(flat bus, partitioned bus, or aggregator tree — the scheduler only
+needs ``publish``).
 """
 
 from __future__ import annotations
@@ -29,7 +31,7 @@ from ..obs.hist import LatencyHistogram
 if TYPE_CHECKING:  # pragma: no cover
     from ..cluster.machine import Machine
     from ..obs.trace import Tracer
-    from ..transport.bus import MessageBus
+    from ..transport.base import Transport
 
 __all__ = ["CollectorOutput", "Collector", "CollectionScheduler"]
 
@@ -86,7 +88,7 @@ class CollectionScheduler:
 
     def __init__(
         self,
-        bus: "MessageBus",
+        bus: "Transport",
         registry: MetricRegistry | None = None,
         measure_overhead: bool = True,
         tracer: "Tracer | None" = None,

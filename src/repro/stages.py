@@ -1,0 +1,227 @@
+"""Pipeline stages: the tick loop's work units as swappable objects.
+
+``MonitoringPipeline.step()`` used to inline every stage of the data
+path; each is now a :class:`Stage` — a named object whose ``run``
+advances one plane of the monitoring system for one tick and returns
+any :class:`~repro.response.sec.ActionRequest`\\ s it raised.  The tick
+loop reduces to "iterate stages under trace spans", so stages are
+individually testable, reorderable, and replaceable (Table I:
+"Extensibility and modularity are fundamental").  Stage names match
+the per-tick child spans the introspector reports
+(:data:`repro.obs.introspect.STAGES`).
+
+Stages that publish onto the transport end by :meth:`~repro.transport.base.Transport.pump`\\ ing
+it, so deferred transports (partitioned bus, aggregator tree) deliver
+what is due before downstream stages read the stores.  This module
+must never import :mod:`repro.pipeline` at runtime — the import-cycle
+gate in ``scripts/check.py`` enforces that the extraction stays acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+from .response.policy import detections_to_requests
+from .response.sec import ActionRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pipeline import AnalysisHook, MonitoringPipeline
+
+__all__ = [
+    "Stage",
+    "EventPlaneStage",
+    "MetricPlaneStage",
+    "JobTrackingStage",
+    "StreamingStage",
+    "AnalysisHooksStage",
+    "ResponseStage",
+    "SelfMonStage",
+    "default_stages",
+]
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One plane of the monitoring system, advanced once per tick."""
+
+    name: str
+
+    def run(
+        self, pipeline: "MonitoringPipeline", now: float
+    ) -> Sequence[ActionRequest]:
+        """Advance this stage; returned requests flow to the response
+        stage at the end of the same tick."""
+        ...
+
+
+class EventPlaneStage:
+    """Machine events -> router -> decoded -> log store + SEC."""
+
+    name = "event-plane"
+
+    def run(self, pipeline, now):
+        pipeline.router.pump(pipeline.machine)
+        fresh = pipeline.tap.drain()
+        for ev in fresh:
+            pipeline.bus.publish(f"events.{ev.kind.value}", ev, source="erd")
+        pipeline.bus.pump(now)
+        requests = pipeline.sec.feed(fresh)
+        requests += pipeline.sec.tick(now)
+        return requests
+
+
+class MetricPlaneStage:
+    """Due collectors sweep the machine; their events also feed the SEC
+    rules — "triggered based on arbitrary locations in the data and
+    analysis pathways" (Table I)."""
+
+    name = "metric-plane"
+
+    def run(self, pipeline, now):
+        collected = pipeline.scheduler.poll(pipeline.machine, now)
+        pipeline.bus.pump(now)
+        if collected.events:
+            return pipeline.sec.feed(collected.events)
+        return ()
+
+
+class JobTrackingStage:
+    """Job tenancy: start/end records into the job index + SQL store."""
+
+    name = "job-tracking"
+
+    def __init__(self) -> None:
+        self._tracked: set[int] = set()
+        self._done: set[int] = set()
+
+    def run(self, pipeline, now):
+        sched = pipeline.machine.scheduler
+        for job in sched.running:
+            if job.id not in self._tracked and job.start_time is not None:
+                pipeline.jobs.record_start(
+                    job.id, job.app.name, job.nodes, job.start_time,
+                    user=job.user,
+                )
+                pipeline.sql.upsert_job(
+                    job.id, job.app.name, job.n_nodes, job.submit_time,
+                    "running", start_time=job.start_time, nodes=job.nodes,
+                )
+                self._tracked.add(job.id)
+        for job in sched.completed:
+            if job.id in self._done:
+                continue
+            if job.id not in self._tracked and job.start_time is not None:
+                pipeline.jobs.record_start(
+                    job.id, job.app.name, job.nodes, job.start_time,
+                    user=job.user,
+                )
+                self._tracked.add(job.id)
+            if job.id in self._tracked and job.end_time is not None:
+                pipeline.jobs.record_end(job.id, job.end_time)
+                pipeline.sql.upsert_job(
+                    job.id, job.app.name, job.n_nodes, job.submit_time,
+                    job.state.value, start_time=job.start_time,
+                    end_time=job.end_time, nodes=job.nodes,
+                )
+                self._done.add(job.id)
+                # CSCS post-job check: when a health gate is installed,
+                # every finished job's nodes are re-validated and
+                # failures drained before anything else lands on them
+                gate = getattr(pipeline, "health_gate", None)
+                if gate is not None:
+                    gate.post_job(job)
+        return ()
+
+
+class StreamingStage:
+    """Streaming detectors saw the sweeps at ingest; drain them now."""
+
+    name = "streaming"
+
+    def __init__(self) -> None:
+        self.detectors: list = []
+
+    def run(self, pipeline, now):
+        requests: list[ActionRequest] = []
+        for det in self.detectors:
+            drain = getattr(det, "drain", None)
+            if drain is not None:
+                found = drain()
+                if found:
+                    requests += detections_to_requests(
+                        list(found), rule_prefix="stream"
+                    )
+        return requests
+
+
+class AnalysisHooksStage:
+    """User-supplied analyses on their cadence over the live stores.
+
+    Rescheduling is phase-locked: a hook due at ``next_due`` that fires
+    on a late tick reschedules from the *due time* (``next_due +
+    k*interval``, skipping missed slots), not from ``now`` — so long-run
+    figure scripts keep their cadence phase no matter how late the
+    ticks land.
+    """
+
+    name = "analysis-hooks"
+
+    def __init__(self) -> None:
+        self.hooks: list[tuple[float, float, "AnalysisHook"]] = []
+
+    def add(self, interval_s: float, hook: "AnalysisHook") -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.hooks.append((float(interval_s), 0.0, hook))
+
+    def run(self, pipeline, now):
+        requests: list[ActionRequest] = []
+        for i, (interval, next_due, hook) in enumerate(self.hooks):
+            if now + 1e-9 < next_due:
+                continue
+            detections = hook(pipeline, now)
+            if detections:
+                requests += detections_to_requests(list(detections))
+            # reschedule strictly forward from the DUE time, skipping
+            # missed slots — never from `now`, which would drift phase
+            while next_due <= now + 1e-9:
+                next_due += interval
+            self.hooks[i] = (interval, next_due, hook)
+        return requests
+
+
+class ResponseStage:
+    """Execute every request the earlier stages raised this tick."""
+
+    name = "response"
+
+    def run(self, pipeline, now):
+        requests = pipeline.take_pending()
+        if requests:
+            pipeline.actions.execute(requests)
+        return ()
+
+
+class SelfMonStage:
+    """The stack's own vitals, on their cadence, into the same bus."""
+
+    name = "selfmon"
+
+    def run(self, pipeline, now):
+        if pipeline.selfmon is not None:
+            pipeline.selfmon.maybe_emit(now)
+            pipeline.bus.pump(now)
+        return ()
+
+
+def default_stages() -> list[Stage]:
+    """The full data path in Table I order."""
+    return [
+        EventPlaneStage(),
+        MetricPlaneStage(),
+        JobTrackingStage(),
+        StreamingStage(),
+        AnalysisHooksStage(),
+        ResponseStage(),
+        SelfMonStage(),
+    ]

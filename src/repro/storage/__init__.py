@@ -1,10 +1,18 @@
-"""Storage backends: TSDB, relational, log index, tiering, job index."""
+"""Storage backends: TSDB (plain or sharded), relational, log index,
+tiering, job index."""
 
 from .hierarchy import ArchiveEntry, TieredStore
 from .jobstore import Allocation, JobIndex
 from .logstore import LogStore, tokenize
+from .sharded import ShardedTimeSeriesStore
 from .sqlstore import JobRow, SqlStore, TestResultRow
-from .tsdb import StoreStats, TimeSeriesStore, compress_chunk, decompress_chunk
+from .tsdb import (
+    SeriesQueryMixin,
+    StoreStats,
+    TimeSeriesStore,
+    compress_chunk,
+    decompress_chunk,
+)
 
 __all__ = [
     "ArchiveEntry",
@@ -13,9 +21,11 @@ __all__ = [
     "JobIndex",
     "LogStore",
     "tokenize",
+    "ShardedTimeSeriesStore",
     "JobRow",
     "SqlStore",
     "TestResultRow",
+    "SeriesQueryMixin",
     "StoreStats",
     "TimeSeriesStore",
     "compress_chunk",

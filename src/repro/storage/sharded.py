@@ -1,0 +1,137 @@
+"""Sharded time-series store: K independent TSDBs behind one store API.
+
+One :class:`~repro.storage.tsdb.TimeSeriesStore` eventually serializes
+every ingest on one series map — the same wall the paper's sites hit
+with single-instance PMDB/InfluxDB deployments before sharding their
+stores.  :class:`ShardedTimeSeriesStore` partitions the series space
+across K plain stores with *stable* series->shard hashing
+(CRC-32 of ``metric@component``, so a series lands on the same shard in
+every run and only an explicit shard-count change repartitions),
+fans ingest batches out by shard, fans ``query``/``keys`` back in, and
+merges per-shard counters into one O(1) ``stats()``.  The query layer
+(``query_components`` / ``downsample`` / ``aggregate_across``) is the
+shared :class:`~repro.storage.tsdb.SeriesQueryMixin`, so callers cannot
+tell K shards from one store — the acceptance oracle the sharding
+tests enforce.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..core.hashing import stable_bucket
+from ..core.metric import MetricKey, SeriesBatch
+from .tsdb import SeriesQueryMixin, StoreStats, TimeSeriesStore
+
+__all__ = ["ShardedTimeSeriesStore"]
+
+
+class ShardedTimeSeriesStore(SeriesQueryMixin):
+    """K :class:`TimeSeriesStore` shards behind the single-store API."""
+
+    def __init__(self, shards: int = 4, chunk_size: int = 512) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.n_shards = int(shards)
+        self.shards = [
+            TimeSeriesStore(chunk_size=chunk_size)
+            for _ in range(self.n_shards)
+        ]
+
+    # -- routing ------------------------------------------------------------
+
+    def shard_of(self, metric: str, component: str) -> int:
+        """Stable series -> shard mapping (the repartitioning contract:
+        the answer changes only when ``n_shards`` does)."""
+        return stable_bucket(f"{metric}@{component}", self.n_shards)
+
+    def _owner(self, metric: str, component: str) -> TimeSeriesStore:
+        return self.shards[self.shard_of(metric, component)]
+
+    # -- ingest ---------------------------------------------------------------
+
+    def append(self, batch: SeriesBatch) -> int:
+        """Split a batch by owning shard and ingest each piece."""
+        n = len(batch)
+        if n == 0:
+            return 0
+        idx = np.fromiter(
+            (self.shard_of(batch.metric, str(c)) for c in batch.components),
+            dtype=np.int64,
+            count=n,
+        )
+        stored = 0
+        for shard_i in np.unique(idx):
+            mask = idx == shard_i
+            stored += self.shards[int(shard_i)].append(
+                SeriesBatch(
+                    batch.metric,
+                    batch.components[mask],
+                    batch.times[mask],
+                    batch.values[mask],
+                )
+            )
+        return stored
+
+    def append_many(self, batches: Iterable[SeriesBatch]) -> int:
+        return sum(self.append(b) for b in batches)
+
+    def flush(self) -> None:
+        """Seal every open head chunk on every shard."""
+        for s in self.shards:
+            s.flush()
+
+    # -- query (fan-out) ------------------------------------------------------
+
+    def keys(self, metric: str | None = None) -> list[MetricKey]:
+        """Series names across every shard, in single-store order."""
+        out: list[MetricKey] = []
+        for s in self.shards:
+            out.extend(s.keys(metric))
+        return sorted(out, key=str)
+
+    def components(self, metric: str) -> list[str]:
+        return [k.component for k in self.keys(metric)]
+
+    def query(
+        self,
+        metric: str,
+        component: str,
+        t0: float = -np.inf,
+        t1: float = np.inf,
+    ) -> SeriesBatch:
+        """Range query: one series lives on exactly one shard."""
+        return self._owner(metric, component).query(metric, component, t0, t1)
+
+    # -- maintenance / stats ---------------------------------------------------
+
+    def drop_series(self, metric: str, component: str) -> bool:
+        return self._owner(metric, component).drop_series(metric, component)
+
+    def stats(self) -> StoreStats:
+        """Merged O(1) stats: a sum of K O(1) per-shard counters."""
+        per = [s.stats() for s in self.shards]
+        return StoreStats(
+            series=sum(p.series for p in per),
+            samples=sum(p.samples for p in per),
+            sealed_chunks=sum(p.sealed_chunks for p in per),
+            compressed_bytes=sum(p.compressed_bytes for p in per),
+            raw_bytes=sum(p.raw_bytes for p in per),
+        )
+
+    def per_shard_stats(self) -> list[StoreStats]:
+        """Per-shard counters (the ``selfmon.store.shard_*`` surface)."""
+        return [s.stats() for s in self.shards]
+
+    # hooks used by the hierarchical tier manager -------------------------------
+
+    def export_series(self, key: MetricKey):
+        return self.shards[self.shard_of(key.metric, key.component)].export_series(key)
+
+    def evict_chunks_before(self, key: MetricKey, t_cut: float) -> int:
+        return self._owner(key.metric, key.component).evict_chunks_before(key, t_cut)
+
+    def import_chunks(self, key, chunks, spans) -> None:
+        self._owner(key.metric, key.component).import_chunks(key, chunks, spans)

@@ -29,6 +29,7 @@ from ..core.metric import MetricKey, SeriesBatch
 __all__ = [
     "compress_chunk",
     "decompress_chunk",
+    "SeriesQueryMixin",
     "TimeSeriesStore",
     "StoreStats",
 ]
@@ -263,78 +264,15 @@ class _Series:
         return self.sealed_bytes + 16 * len(self.head_t)
 
 
-class TimeSeriesStore:
-    """In-memory TSDB over (metric, component)-keyed series."""
+class SeriesQueryMixin:
+    """Query-layer methods shared by every store with the series API.
 
-    def __init__(self, chunk_size: int = 512) -> None:
-        if chunk_size < 2:
-            raise ValueError("chunk_size must be >= 2")
-        self.chunk_size = int(chunk_size)
-        self._series: dict[MetricKey, _Series] = {}
-        # aggregate counters so stats() is O(1), not a walk over every
-        # series — the self-monitoring plane reads it on a cadence
-        self._samples = 0
-        self._sealed_samples = 0
-        self._sealed_chunks = 0
-        self._sealed_bytes = 0
-
-    def _note_seal(self, sealed: tuple[int, int] | None) -> None:
-        if sealed is not None:
-            self._sealed_samples += sealed[0]
-            self._sealed_chunks += 1
-            self._sealed_bytes += sealed[1]
-
-    # -- ingest ---------------------------------------------------------------
-
-    def append(self, batch: SeriesBatch) -> int:
-        """Ingest a batch; returns the number of samples stored."""
-        n = 0
-        cs = self.chunk_size
-        for c, t, v in zip(batch.components, batch.times, batch.values):
-            key = MetricKey(batch.metric, str(c))
-            series = self._series.get(key)
-            if series is None:
-                series = self._series[key] = _Series()
-            sealed = series.append(float(t), float(v), cs)
-            if sealed is not None:
-                self._note_seal(sealed)
-            n += 1
-        self._samples += n
-        return n
-
-    def append_many(self, batches: Iterable[SeriesBatch]) -> int:
-        return sum(self.append(b) for b in batches)
-
-    def flush(self) -> None:
-        """Seal every open head chunk (checkpoint before archiving)."""
-        for s in self._series.values():
-            self._note_seal(s.seal())
-
-    # -- query ---------------------------------------------------------------
-
-    def keys(self, metric: str | None = None) -> list[MetricKey]:
-        if metric is None:
-            return sorted(self._series, key=str)
-        return sorted(
-            (k for k in self._series if k.metric == metric), key=str
-        )
-
-    def components(self, metric: str) -> list[str]:
-        return [k.component for k in self.keys(metric)]
-
-    def query(
-        self,
-        metric: str,
-        component: str,
-        t0: float = -np.inf,
-        t1: float = np.inf,
-    ) -> SeriesBatch:
-        """Range query one series -> time-sorted batch."""
-        series = self._series.get(MetricKey(metric, component))
-        if series is None:
-            return SeriesBatch.empty(metric)
-        t, v = series.read(t0, t1)
-        return SeriesBatch.for_component(metric, component, t, v)
+    Anything exposing ``query(metric, component, t0, t1)`` and
+    ``components(metric)`` gets multi-series queries, server-side
+    downsampling, and cross-component aggregation for free — this is
+    what lets :class:`~repro.storage.sharded.ShardedTimeSeriesStore`
+    present the exact single-store query surface over K shards.
+    """
 
     def query_components(
         self,
@@ -422,6 +360,80 @@ class TimeSeriesStore:
             out_t.append(lo + b_id * step)
             out_v.append(fn(v[mask]))
         return SeriesBatch.for_component(metric, f"agg({agg})", out_t, out_v)
+
+
+class TimeSeriesStore(SeriesQueryMixin):
+    """In-memory TSDB over (metric, component)-keyed series."""
+
+    def __init__(self, chunk_size: int = 512) -> None:
+        if chunk_size < 2:
+            raise ValueError("chunk_size must be >= 2")
+        self.chunk_size = int(chunk_size)
+        self._series: dict[MetricKey, _Series] = {}
+        # aggregate counters so stats() is O(1), not a walk over every
+        # series — the self-monitoring plane reads it on a cadence
+        self._samples = 0
+        self._sealed_samples = 0
+        self._sealed_chunks = 0
+        self._sealed_bytes = 0
+
+    def _note_seal(self, sealed: tuple[int, int] | None) -> None:
+        if sealed is not None:
+            self._sealed_samples += sealed[0]
+            self._sealed_chunks += 1
+            self._sealed_bytes += sealed[1]
+
+    # -- ingest ---------------------------------------------------------------
+
+    def append(self, batch: SeriesBatch) -> int:
+        """Ingest a batch; returns the number of samples stored."""
+        n = 0
+        cs = self.chunk_size
+        for c, t, v in zip(batch.components, batch.times, batch.values):
+            key = MetricKey(batch.metric, str(c))
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _Series()
+            sealed = series.append(float(t), float(v), cs)
+            if sealed is not None:
+                self._note_seal(sealed)
+            n += 1
+        self._samples += n
+        return n
+
+    def append_many(self, batches: Iterable[SeriesBatch]) -> int:
+        return sum(self.append(b) for b in batches)
+
+    def flush(self) -> None:
+        """Seal every open head chunk (checkpoint before archiving)."""
+        for s in self._series.values():
+            self._note_seal(s.seal())
+
+    # -- query ---------------------------------------------------------------
+
+    def keys(self, metric: str | None = None) -> list[MetricKey]:
+        if metric is None:
+            return sorted(self._series, key=str)
+        return sorted(
+            (k for k in self._series if k.metric == metric), key=str
+        )
+
+    def components(self, metric: str) -> list[str]:
+        return [k.component for k in self.keys(metric)]
+
+    def query(
+        self,
+        metric: str,
+        component: str,
+        t0: float = -np.inf,
+        t1: float = np.inf,
+    ) -> SeriesBatch:
+        """Range query one series -> time-sorted batch."""
+        series = self._series.get(MetricKey(metric, component))
+        if series is None:
+            return SeriesBatch.empty(metric)
+        t, v = series.read(t0, t1)
+        return SeriesBatch.for_component(metric, component, t, v)
 
     # -- maintenance / stats ---------------------------------------------------
 

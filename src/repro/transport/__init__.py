@@ -1,6 +1,24 @@
-"""Data transport: pub/sub bus, LDMS-style pull tree, syslog forwarding."""
+"""Data transport: pluggable tiers from flat bus to aggregator tree.
 
-from .bus import BusStats, MessageBus, Subscription
+Every mover implements :class:`~repro.transport.base.Transport`:
+``MessageBus`` (flat synchronous fan-out, the RabbitMQ class),
+``PartitionedBus`` (topic-hash partitions with bounded lanes, the
+Kafka class), and ``AggregatorTree`` (LDMS-style multi-level
+coalescing fan-in).  The LDMS pull-tree *model* (samplers pulled on a
+schedule) lives in :mod:`repro.transport.ldms`; syslog forwarding with
+storm loss in :mod:`repro.transport.syslogfwd`.
+"""
+
+from .aggtree import AggregatorTree, TreeTransportStats
+from .base import (
+    BusStats,
+    MatchCacheInfo,
+    PatternMatcher,
+    Subscription,
+    Transport,
+    make_transport,
+)
+from .bus import MessageBus
 from .ldms import Aggregator, Sampler, TreeStats, build_tree
 from .message import (
     Envelope,
@@ -9,12 +27,21 @@ from .message import (
     encode_binary,
     encode_json,
 )
+from .partitioned import PartitionedBus, PartitionedBusStats
 from .syslogfwd import ForwarderStats, SyslogForwarder
 
 __all__ = [
+    "AggregatorTree",
+    "TreeTransportStats",
     "BusStats",
-    "MessageBus",
+    "MatchCacheInfo",
+    "PatternMatcher",
     "Subscription",
+    "Transport",
+    "make_transport",
+    "MessageBus",
+    "PartitionedBus",
+    "PartitionedBusStats",
     "Aggregator",
     "Sampler",
     "TreeStats",

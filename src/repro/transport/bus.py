@@ -6,107 +6,47 @@ fanning data from many producers to many consumers.  Table I
 to multiple consumers" with "multiple flexible data paths ... easily
 configured and changed".
 
-This bus provides topic-based routing with ``*`` wildcards, per-consumer
-bounded queues with a drop-oldest overflow policy (backpressure during
-event storms is exactly the Splunk-cost scenario the paper mentions),
-and delivery statistics the transport-comparison bench and the
-self-monitoring plane read.  A raising subscriber callback never aborts
-the fan-out: the exception is isolated, counted on the subscription,
-and delivery continues to the remaining consumers.
+This bus is the flat (single-broker) :class:`~repro.transport.base.Transport`:
+topic-based routing with ``*`` wildcards, per-consumer bounded queues
+with a drop-oldest overflow policy (backpressure during event storms is
+exactly the Splunk-cost scenario the paper mentions), synchronous
+delivery inside ``publish``, and delivery statistics the
+transport-comparison bench and the self-monitoring plane read.  A
+raising subscriber callback never aborts the fan-out: the exception is
+isolated, counted on the subscription, and delivery continues to the
+remaining consumers.  Topic/pattern matching is memoized through a
+bounded :class:`~repro.transport.base.PatternMatcher` — the same
+(topic, pattern) pairs recur on every publish, so the glob evaluation
+happens once per pair, not once per message.
 """
 
 from __future__ import annotations
 
-import fnmatch
-import logging
-from collections import deque
-from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from .base import (
+    BusStats,
+    MatchCacheInfo,
+    PatternMatcher,
+    Subscription,
+    Transport,
+)
 from .message import Envelope
 
 __all__ = ["Subscription", "MessageBus", "BusStats"]
 
-_log = logging.getLogger(__name__)
 
-
-@dataclass(frozen=True, slots=True)
-class BusStats:
-    published: int
-    delivered: int
-    dropped: int
-    subscriptions: int
-    errors: int = 0
-    queue_depths: dict[str, int] = field(default_factory=dict)
-
-
-class Subscription:
-    """One consumer's bounded queue over a topic pattern."""
+class MessageBus(Transport):
+    """Topic router with wildcard subscriptions and synchronous fan-out."""
 
     def __init__(
         self,
-        pattern: str,
-        maxlen: int,
-        callback: Callable[[Envelope], None] | None = None,
-        name: str = "",
+        default_queue_len: int = 10_000,
+        match_cache_size: int = 4096,
     ) -> None:
-        self.pattern = pattern
-        self.name = name or pattern
-        self.callback = callback
-        self._queue: deque[Envelope] = deque()
-        self.maxlen = maxlen
-        self.received = 0
-        self.dropped = 0
-        self.errors = 0
-        self.last_error: BaseException | None = None
-
-    def matches(self, topic: str) -> bool:
-        return fnmatch.fnmatchcase(topic, self.pattern)
-
-    def offer(self, env: Envelope) -> bool:
-        """Deliver one envelope; returns True on successful hand-off.
-
-        A raising callback is isolated here — counted in ``errors``,
-        logged, and reported as a failed delivery — so one misbehaving
-        consumer cannot starve the rest of the fan-out.
-        """
-        if self.callback is not None:
-            try:
-                self.callback(env)
-            except Exception as exc:
-                self.errors += 1
-                self.last_error = exc
-                _log.warning(
-                    "subscriber %r raised on topic %r: %r",
-                    self.name, env.topic, exc,
-                )
-                return False
-            self.received += 1
-            return True
-        if len(self._queue) >= self.maxlen:
-            self._queue.popleft()      # drop-oldest under storm
-            self.dropped += 1
-        self._queue.append(env)
-        self.received += 1
-        return True
-
-    def drain(self, max_items: int | None = None) -> list[Envelope]:
-        """Pull queued messages (consumer-paced pull path)."""
-        out: list[Envelope] = []
-        while self._queue and (max_items is None or len(out) < max_items):
-            out.append(self._queue.popleft())
-        return out
-
-    def __len__(self) -> int:
-        return len(self._queue)
-
-
-class MessageBus:
-    """Topic router with wildcard subscriptions."""
-
-    def __init__(self, default_queue_len: int = 10_000) -> None:
         self.default_queue_len = int(default_queue_len)
         self._subs: list[Subscription] = []
+        self._matcher = PatternMatcher(match_cache_size)
         self._published = 0
         self._delivered = 0
         self._seq = 0
@@ -145,14 +85,19 @@ class MessageBus:
                        seq=self._seq)
         self._published += 1
         hits = 0
+        matches = self._matcher.matches
         for sub in self._subs:
-            if sub.matches(topic) and sub.offer(env):
+            if matches(topic, sub.pattern) and sub.offer(env):
                 hits += 1
         self._delivered += hits
         return hits
 
     def publish_many(self, topic: str, payloads: Iterable, source: str = "") -> int:
         return sum(self.publish(topic, p, source) for p in payloads)
+
+    def match_cache_info(self) -> MatchCacheInfo:
+        """Hit/miss accounting of the memoized topic/pattern matcher."""
+        return self._matcher.info()
 
     def queue_depths(self) -> dict[str, int]:
         """Current backlog per subscription (self-monitoring surface).

@@ -1,0 +1,179 @@
+"""Partitioned pub/sub transport (the Kafka class).
+
+CSC runs a Kafka-style partitioned log in front of its stores: a flat
+broker stops scaling when every publish contends on one router, so the
+topic space is hashed into partitions, each an independent bounded
+queue with its own backpressure accounting.  :class:`PartitionedBus`
+models that tier: ``publish`` only appends to the owning partition
+(stable topic hash, so a topic's messages always traverse the same
+partition and stay FIFO); delivery to subscribers happens when the
+pipeline :meth:`pump`\\ s the bus at stage boundaries.  Per-partition
+queues are bounded with drop-oldest overflow and per-partition drop
+counters, so a storm on one topic family saturates *its* partition
+while the others keep flowing — visible in ``selfmon.bus.partition_depth``
+and ``selfmon.bus.partition_dropped``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.hashing import stable_bucket
+from .base import BusStats, PatternMatcher, Subscription, Transport
+from .message import Envelope
+
+__all__ = ["PartitionedBus", "PartitionedBusStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionedBusStats(BusStats):
+    """BusStats plus the per-partition loss/backlog breakdown."""
+
+    partitions: int = 0
+    partition_dropped: tuple[int, ...] = ()
+    partition_depths: tuple[int, ...] = ()
+
+
+class _Partition:
+    """One bounded FIFO of undelivered envelopes."""
+
+    __slots__ = ("queue", "maxlen", "dropped", "enqueued")
+
+    def __init__(self, maxlen: int) -> None:
+        self.queue: deque[Envelope] = deque()
+        self.maxlen = maxlen
+        self.dropped = 0
+        self.enqueued = 0
+
+    def offer(self, env: Envelope) -> None:
+        if len(self.queue) >= self.maxlen:
+            self.queue.popleft()       # drop-oldest under storm
+            self.dropped += 1
+        self.queue.append(env)
+        self.enqueued += 1
+
+
+class PartitionedBus(Transport):
+    """N independent partitions by topic hash, delivered on ``pump``."""
+
+    def __init__(
+        self,
+        partitions: int = 4,
+        partition_queue_len: int = 100_000,
+        default_queue_len: int = 10_000,
+        match_cache_size: int = 4096,
+    ) -> None:
+        if partitions < 1:
+            raise ValueError("partitions must be >= 1")
+        self.n_partitions = int(partitions)
+        self.default_queue_len = int(default_queue_len)
+        self._parts = [
+            _Partition(int(partition_queue_len))
+            for _ in range(self.n_partitions)
+        ]
+        self._subs: list[Subscription] = []
+        self._matcher = PatternMatcher(match_cache_size)
+        self._published = 0
+        self._delivered = 0
+        self._seq = 0
+
+    # -- routing ------------------------------------------------------------
+
+    def partition_of(self, topic: str) -> int:
+        """Stable topic -> partition mapping (same topic, same lane)."""
+        return stable_bucket(topic, self.n_partitions)
+
+    # -- Transport surface --------------------------------------------------
+
+    def subscribe(
+        self,
+        pattern: str,
+        callback: Callable[[Envelope], None] | None = None,
+        maxlen: int | None = None,
+        name: str = "",
+    ) -> Subscription:
+        """Register a consumer; patterns may span partitions (a wildcard
+        such as ``metrics.*`` sees matching envelopes from every lane)."""
+        sub = Subscription(
+            pattern,
+            maxlen if maxlen is not None else self.default_queue_len,
+            callback,
+            name,
+        )
+        self._subs.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        self._subs.remove(sub)
+
+    def publish(self, topic: str, payload, source: str = "") -> int:
+        """Append to the owning partition; delivery waits for ``pump``.
+
+        Returns 0: no consumer has been reached yet.  An envelope that
+        overflows the partition evicts the oldest one there (counted in
+        that partition's ``dropped``).
+        """
+        self._seq += 1
+        env = Envelope(topic=topic, payload=payload, source=source,
+                       seq=self._seq)
+        self._published += 1
+        self._parts[self.partition_of(topic)].offer(env)
+        return 0
+
+    def pump(self, now: float | None = None) -> int:
+        """Drain every partition in order, fanning out to subscribers."""
+        moved = 0
+        matches = self._matcher.matches
+        for part in self._parts:
+            queue = part.queue
+            while queue:
+                env = queue.popleft()
+                hits = 0
+                for sub in self._subs:
+                    if matches(env.topic, sub.pattern) and sub.offer(env):
+                        hits += 1
+                self._delivered += hits
+                moved += 1
+        return moved
+
+    # -- self-monitoring surfaces -------------------------------------------
+
+    def partition_depths(self) -> dict[str, int]:
+        """Undelivered backlog per partition."""
+        return {
+            f"partition-{i}": len(p.queue)
+            for i, p in enumerate(self._parts)
+        }
+
+    def partition_drops(self) -> dict[str, int]:
+        """Cumulative drop-oldest evictions per partition."""
+        return {
+            f"partition-{i}": p.dropped
+            for i, p in enumerate(self._parts)
+        }
+
+    def queue_depths(self) -> dict[str, int]:
+        """Partition backlogs plus per-subscription queue depths."""
+        depths: dict[str, int] = self.partition_depths()
+        for i, sub in enumerate(self._subs):
+            key = sub.name
+            if key in depths:
+                key = f"{key}#{i}"
+            depths[key] = len(sub)
+        return depths
+
+    def stats(self) -> PartitionedBusStats:
+        part_dropped = sum(p.dropped for p in self._parts)
+        return PartitionedBusStats(
+            published=self._published,
+            delivered=self._delivered,
+            dropped=part_dropped + sum(s.dropped for s in self._subs),
+            subscriptions=len(self._subs),
+            errors=sum(s.errors for s in self._subs),
+            queue_depths=self.queue_depths(),
+            partitions=self.n_partitions,
+            partition_dropped=tuple(p.dropped for p in self._parts),
+            partition_depths=tuple(len(p.queue) for p in self._parts),
+        )

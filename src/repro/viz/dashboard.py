@@ -54,6 +54,8 @@ class Dashboard:
     """Builds at-a-glance tiles from a time-series store."""
 
     def __init__(self, tsdb: TimeSeriesStore) -> None:
+        # any store exposing query()/components() works (plain, sharded,
+        # or tiered) — the annotation names the canonical one
         self.tsdb = tsdb
 
     def _latest_sweep(self, metric: str, window_s: float,
@@ -157,6 +159,29 @@ class Dashboard:
             out.append(
                 Tile("tsdb ingest", val, " samples/s",
                      max(val * 1.5, 1.0), "ok")
+            )
+        # tiered-transport / sharded-store panels degrade away when the
+        # stack runs the flat bus + single store (no such series exist)
+        part = self._latest_sweep("selfmon.bus.partition_depth",
+                                  window_s, now)
+        if len(part):
+            backlog = float(part.values.sum())
+            out.append(
+                Tile(f"partition backlog ({len(part)} parts)", backlog,
+                     " msgs", max(backlog * 2, 10.0),
+                     "ok" if backlog == 0 else "warn")
+            )
+        shard = self._latest_sweep("selfmon.store.shard_points",
+                                   window_s, now)
+        if len(shard):
+            total = float(shard.values.sum())
+            hottest = float(shard.values.max())
+            even = total / len(shard) if len(shard) else 0.0
+            skew = hottest / even if even > 0 else 1.0
+            out.append(
+                Tile(f"shard skew ({len(shard)} shards)", skew, "x",
+                     max(skew * 1.5, 2.0),
+                     "ok" if skew < 1.5 else "warn")
             )
         return out
 

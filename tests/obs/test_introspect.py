@@ -139,3 +139,25 @@ class TestIntrospectorWithSwappedStore:
         report = p.introspect().report()
         assert report.stores["tsdb_points"] > 0
         assert p.introspect().render()
+
+
+class TestTieredStackReport:
+    def test_flat_stack_reports_no_partitions_or_shards(self, monitored_run):
+        report = monitored_run.introspect().report()
+        assert report.partitions == {}
+        assert report.shards == {}
+
+    def test_partitioned_sharded_stack_reports_both(self):
+        m = make_machine()
+        p = default_pipeline(m, seed=1, transport="partitioned", shards=4)
+        p.run(duration_s=600.0, dt=10.0)
+        report = p.introspect().report()
+        assert sorted(report.partitions) == [
+            f"partition-{i}" for i in range(4)
+        ]
+        assert sorted(report.shards) == [f"shard-{i}" for i in range(4)]
+        assert (sum(s["points"] for s in report.shards.values())
+                == p.tsdb.stats().samples)
+        text = p.introspect().render()
+        assert "partitions:" in text
+        assert "shards:" in text

@@ -127,3 +127,53 @@ class TestSelfMonitor:
         mon.maybe_emit(0.0)
         emitted = {b.metric for b in mon.sample(60.0, elapsed_s=60.0)}
         assert emitted <= set(SELFMON_METRICS)
+
+
+class TestTieredSurfaces:
+    """Per-partition / per-shard gauges appear exactly when the tiered
+    backends are installed, and are registered like everything else."""
+
+    def test_flat_stack_omits_partition_and_shard_gauges(self):
+        p = small_pipeline()
+        p.selfmon.maybe_emit(0.0)
+        emitted = {b.metric for b in p.selfmon.sample(60.0, elapsed_s=60.0)}
+        assert "selfmon.bus.partition_depth" not in emitted
+        assert "selfmon.store.shard_points" not in emitted
+
+    def test_partitioned_bus_emits_partition_gauges(self):
+        from repro.transport.partitioned import PartitionedBus
+
+        p = small_pipeline(transport=PartitionedBus(partitions=4))
+        p.run(duration_s=200.0, dt=10.0)
+        comps = p.tsdb.components("selfmon.bus.partition_depth")
+        assert comps == [f"partition-{i}" for i in range(4)]
+        drops = p.tsdb.components("selfmon.bus.partition_dropped")
+        assert drops == comps
+
+    def test_sharded_store_emits_shard_gauges(self):
+        from repro.storage.sharded import ShardedTimeSeriesStore
+
+        p = small_pipeline(tsdb=ShardedTimeSeriesStore(shards=3))
+        p.run(duration_s=200.0, dt=10.0)
+        for metric in ("selfmon.store.shard_points",
+                       "selfmon.store.shard_series",
+                       "selfmon.store.shard_bytes"):
+            assert (p.tsdb.components(metric)
+                    == [f"shard-{i}" for i in range(3)]), metric
+        # the per-shard gauges sum to the whole-store gauge
+        t = p.machine.now
+        total = sum(
+            p.tsdb.query("selfmon.store.shard_points", c).values[-1]
+            for c in p.tsdb.components("selfmon.store.shard_points")
+        )
+        whole = p.tsdb.query("selfmon.store.tsdb_points", "tsdb").values[-1]
+        assert total <= whole <= p.tsdb.stats().samples
+        assert t > 0
+
+    def test_aggtree_reports_leaf_depths_as_partition_gauge(self):
+        from repro.transport.aggtree import AggregatorTree
+
+        p = small_pipeline(transport=AggregatorTree(leaves=4))
+        p.run(duration_s=200.0, dt=10.0)
+        comps = p.tsdb.components("selfmon.bus.partition_depth")
+        assert comps == [f"leaf-{i}" for i in range(4)]

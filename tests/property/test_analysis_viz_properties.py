@@ -29,8 +29,13 @@ class TestStatsProperties:
         z2 = robust_zscores(x + 1024.0)
         assert np.allclose(z1, z2, rtol=1e-6, atol=1e-6)
 
-    @given(st.lists(finite, min_size=2, max_size=200),
-           st.floats(min_value=0.1, max_value=100.0))
+    # power-of-two scales: float multiplication is exact, so the
+    # invariance is about the algorithm, not rounding of x * scale
+    # (arbitrary scales perturb near-cancelling spreads, e.g. two
+    # values at 1e12 differing by ~1 ulp-of-spread)
+    pow2 = st.integers(-8, 8).map(lambda k: 2.0 ** k)
+
+    @given(st.lists(finite, min_size=2, max_size=200), pow2)
     @settings(max_examples=200, deadline=None)
     def test_robust_z_scale_invariant(self, values, scale):
         x = np.asarray(values)

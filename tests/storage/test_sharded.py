@@ -1,0 +1,107 @@
+"""Unit tests for the sharded time-series store."""
+
+import numpy as np
+import pytest
+
+from repro.core.metric import MetricKey, SeriesBatch
+from repro.storage.sharded import ShardedTimeSeriesStore
+from repro.storage.tsdb import TimeSeriesStore
+
+
+def fill(store, n_metrics=3, n_components=16, n_sweeps=5):
+    for metric_i in range(n_metrics):
+        metric = f"m{metric_i}.value"
+        comps = [f"c{j}" for j in range(n_components)]
+        for s in range(n_sweeps):
+            store.append(SeriesBatch.sweep(
+                metric, 10.0 * s, comps,
+                [float(metric_i * 100 + j + s) for j in range(n_components)],
+            ))
+
+
+class TestRouting:
+    def test_shard_assignment_is_stable(self):
+        a = ShardedTimeSeriesStore(shards=4)
+        b = ShardedTimeSeriesStore(shards=4)
+        for j in range(50):
+            assert (a.shard_of("node.power_w", f"n{j}")
+                    == b.shard_of("node.power_w", f"n{j}"))
+
+    def test_series_spread_across_shards(self):
+        store = ShardedTimeSeriesStore(shards=4)
+        hit = {store.shard_of("node.power_w", f"n{j}") for j in range(100)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_shard_count_validation(self):
+        with pytest.raises(ValueError):
+            ShardedTimeSeriesStore(shards=0)
+
+
+class TestSingleStoreEquivalence:
+    def test_query_matches_single_store(self):
+        sharded = ShardedTimeSeriesStore(shards=4)
+        single = TimeSeriesStore()
+        fill(sharded)
+        fill(single)
+        for key in single.keys():
+            a = sharded.query(key.metric, key.component)
+            b = single.query(key.metric, key.component)
+            assert np.array_equal(a.times, b.times)
+            assert np.array_equal(a.values, b.values)
+
+    def test_keys_and_components_match(self):
+        sharded = ShardedTimeSeriesStore(shards=4)
+        single = TimeSeriesStore()
+        fill(sharded)
+        fill(single)
+        assert sharded.keys() == single.keys()
+        assert sharded.keys("m1.value") == single.keys("m1.value")
+        assert sharded.components("m1.value") == single.components("m1.value")
+
+    def test_query_layer_rides_the_mixin(self):
+        sharded = ShardedTimeSeriesStore(shards=4)
+        single = TimeSeriesStore()
+        fill(sharded)
+        fill(single)
+        a = sharded.aggregate_across("m0.value", None, 0.0, 50.0, step=10.0)
+        b = single.aggregate_across("m0.value", None, 0.0, 50.0, step=10.0)
+        assert np.array_equal(a.values, b.values)
+
+    def test_stats_merge_across_shards(self):
+        sharded = ShardedTimeSeriesStore(shards=4)
+        single = TimeSeriesStore()
+        fill(sharded)
+        fill(single)
+        a, b = sharded.stats(), single.stats()
+        assert a.series == b.series
+        assert a.samples == b.samples
+
+    def test_drop_series_routes_to_owner(self):
+        sharded = ShardedTimeSeriesStore(shards=4)
+        fill(sharded)
+        assert sharded.drop_series("m0.value", "c3")
+        assert not sharded.drop_series("m0.value", "c3")
+        assert MetricKey("m0.value", "c3") not in sharded.keys()
+
+
+class TestPerShardSurfaces:
+    def test_per_shard_stats_sum_to_total(self):
+        sharded = ShardedTimeSeriesStore(shards=4)
+        fill(sharded)
+        per = sharded.per_shard_stats()
+        assert len(per) == 4
+        assert sum(p.samples for p in per) == sharded.stats().samples
+        assert sum(p.series for p in per) == sharded.stats().series
+
+    def test_hierarchy_hooks_delegate_to_owner(self):
+        sharded = ShardedTimeSeriesStore(shards=4)
+        fill(sharded)
+        sharded.flush()
+        key = sharded.keys()[0]
+        chunks, spans = sharded.export_series(key)
+        assert chunks
+        n = sharded.evict_chunks_before(key, 1e9)
+        assert n == len(chunks)
+        sharded.import_chunks(key, chunks, spans)
+        restored = sharded.query(key.metric, key.component)
+        assert len(restored) > 0

@@ -43,6 +43,16 @@ class TestCli:
         assert "selfmon.bus.completeness" in proc.stdout
         assert "selfmon.collector.sweep_p95_ms" in proc.stdout
 
+    def test_scale_compares_transport_tiers(self):
+        proc = run_cli("scale", "--hours", "0.1")
+        assert proc.returncode == 0
+        for tier in ("flat", "partitioned", "tree"):
+            assert tier in proc.stdout
+        for column in ("published", "upstream", "delivered", "dropped",
+                       "complete", "samples", "wall s"):
+            assert column in proc.stdout
+        assert "upstream reduction" in proc.stdout
+
     def test_unknown_scenario_rejected(self):
         proc = run_cli("nonsense")
         assert proc.returncode != 0

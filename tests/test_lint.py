@@ -66,3 +66,49 @@ class TestLintGate:
         # Thing is module-level-invisible but used in the annotation;
         # the word-level fallback must not flag it
         assert check_mod.check_file(f) == []
+
+
+def _write_pkg(root, name, files):
+    pkg = root / name
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    for mod, body in files.items():
+        (pkg / f"{mod}.py").write_text(body)
+    return pkg
+
+
+class TestImportCycles:
+    def test_src_repro_is_acyclic(self):
+        """The stage extraction's load-bearing invariant: no runtime
+        import cycles anywhere in src/repro (in particular, no
+        pipeline <-> stages cycle)."""
+        assert check_mod.check_import_cycles() == []
+
+    def test_stages_never_imports_pipeline_at_runtime(self):
+        graph = check_mod.import_graph(REPO / "src")
+        assert "repro.pipeline" not in graph["repro.stages"]
+        # ...while the pipeline does consume the stages (the edge the
+        # TYPE_CHECKING exclusion must not erase by accident)
+        assert "repro.stages" in graph["repro.pipeline"]
+
+    def test_detects_synthetic_cycle(self, tmp_path):
+        _write_pkg(tmp_path, "repro", {
+            "a": "from .b import thing\nthing\n",
+            "b": "from .a import other\nother\n",
+        })
+        graph = check_mod.import_graph(tmp_path)
+        cycle = check_mod.find_import_cycle(graph)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {"repro.a", "repro.b"}
+
+    def test_type_checking_imports_are_not_cycle_edges(self, tmp_path):
+        _write_pkg(tmp_path, "repro", {
+            "a": ("from typing import TYPE_CHECKING\n"
+                  "if TYPE_CHECKING:\n"
+                  "    from .b import B\n"
+                  "def f(b: 'B'): ...\n"),
+            "b": "from .a import f\nf\n",
+        })
+        graph = check_mod.import_graph(tmp_path)
+        assert check_mod.find_import_cycle(graph) is None

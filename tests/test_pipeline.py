@@ -30,15 +30,23 @@ def make_machine(**kw):
     return Machine(topo, **defaults)
 
 
-@pytest.fixture(scope="module")
-def faulty_run():
-    """One shared hour-long run with a hung node and a slow OST."""
+@pytest.fixture(scope="module", params=["flat", "partitioned"])
+def faulty_run(request):
+    """One shared hour-long run with a hung node and a slow OST.
+
+    Parametrized over transport tiers: the same scenario must pass on
+    the default stack (flat bus + single store) and on the tiered one
+    (partitioned bus + 4-shard store) — the acceptance oracle for the
+    transport/storage refactor.
+    """
     m = make_machine()
     m.faults.add(HungNode(start=900.0, duration=1200.0,
                           node=m.topo.nodes[5]))
     m.faults.add(SlowOst(start=1800.0, duration=1200.0, ost=0,
                          bw_factor=0.1))
-    p = default_pipeline(m, seed=1)
+    kw = ({} if request.param == "flat"
+          else dict(transport="partitioned", shards=4))
+    p = default_pipeline(m, seed=1, **kw)
     p.run(hours=1.0, dt=10.0)
     return p
 
@@ -131,8 +139,31 @@ class TestAnalysisHooks:
 
         p.add_analysis(60.0, hook)
         p.run(duration_s=300.0, dt=10.0)
-        assert len(calls) == 5
+        # phase-locked cadence: first fire on the first tick (due at 0),
+        # then every interval on the interval — no drift from tick phase
+        assert calls == [10.0, 60.0, 120.0, 180.0, 240.0, 300.0]
         assert any(a.rule.startswith("stat.x.y") for a in p.alerts.alerts)
+
+    def test_hook_cadence_phase_locked_under_late_ticks(self):
+        """A hook serviced by a late tick reschedules from its due time,
+        not from the tick time — cadence phase never drifts."""
+        m = make_machine(job_generator=None)
+        p = MonitoringPipeline(m, selfmon_interval_s=None)
+        calls = []
+        p.add_analysis(60.0, lambda pipeline, now: calls.append(now) or [])
+        # ticks land at 70, 140, 210, ... — never on a multiple of 60
+        p.run(duration_s=420.0, dt=70.0)
+        # due times stay on the 60 s grid: serviced at the first tick at
+        # or after each due point, skipping slots a >1-interval gap misses
+        assert calls == [70.0, 140.0, 210.0, 280.0, 350.0, 420.0]
+        stage = p.stage("analysis-hooks")
+        interval, next_due, _ = stage.hooks[0]
+        assert next_due % 60.0 == 0.0    # still on the original grid
+
+    def test_hook_rejects_nonpositive_interval(self):
+        p = MonitoringPipeline(make_machine(job_generator=None))
+        with pytest.raises(ValueError):
+            p.add_analysis(0.0, lambda pipeline, now: [])
 
     def test_run_argument_validation(self):
         p = MonitoringPipeline(make_machine(job_generator=None))
