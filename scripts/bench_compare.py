@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Diff two pytest-benchmark JSON runs and flag mean-time regressions.
+
+Gives PRs a perf trajectory for the storage data plane (and any other
+benchmark): save a baseline, make a change, save again, diff::
+
+    PYTHONPATH=src pytest benchmarks --benchmark-json=base.json
+    ...change...
+    PYTHONPATH=src pytest benchmarks --benchmark-json=new.json
+    python scripts/bench_compare.py base.json new.json
+
+Benchmarks are matched by ``fullname`` and compared on ``stats.mean``.
+Exit status is 1 when any shared benchmark slowed down by more than
+``--threshold`` (default 0.25 = 25%); new or removed benchmarks are
+reported but never fatal.  ``--selftest`` exercises the comparison
+logic on synthetic runs (the ``scripts/check.py`` smoke hook).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["load_means", "compare", "render"]
+
+
+def load_means(path: str | Path) -> dict[str, float]:
+    """``fullname -> stats.mean`` for one ``--benchmark-json`` file."""
+    data = json.loads(Path(path).read_text())
+    return {
+        b["fullname"]: float(b["stats"]["mean"])
+        for b in data.get("benchmarks", [])
+    }
+
+
+def compare(
+    base: dict[str, float],
+    new: dict[str, float],
+    threshold: float = 0.25,
+) -> tuple[list[tuple[str, float | None, float | None, str]], list[str]]:
+    """Rows of (name, base_mean, new_mean, verdict) plus regressed names."""
+    rows: list[tuple[str, float | None, float | None, str]] = []
+    regressions: list[str] = []
+    for name in sorted(set(base) | set(new)):
+        b, n = base.get(name), new.get(name)
+        if b is None:
+            rows.append((name, None, n, "new"))
+        elif n is None:
+            rows.append((name, b, None, "removed"))
+        else:
+            ratio = n / b
+            if ratio > 1.0 + threshold:
+                verdict = f"REGRESSION {ratio:.2f}x"
+                regressions.append(name)
+            elif ratio < 1.0 - threshold:
+                verdict = f"improved {1.0 / ratio:.2f}x"
+            else:
+                verdict = "ok"
+            rows.append((name, b, n, verdict))
+    return rows, regressions
+
+
+def render(rows) -> str:
+    def ms(x: float | None) -> str:
+        return f"{1e3 * x:10.3f}" if x is not None else "         -"
+
+    width = max((len(r[0]) for r in rows), default=4)
+    lines = [f"{'benchmark':<{width}}  {'base ms':>10}  {'new ms':>10}  verdict"]
+    for name, b, n, verdict in rows:
+        lines.append(f"{name:<{width}}  {ms(b)}  {ms(n)}  {verdict}")
+    return "\n".join(lines)
+
+
+def selftest() -> int:
+    base = {"codec/seal": 0.010, "codec/decompress": 0.020,
+            "query/warm": 0.001, "gone": 0.5}
+    new = {"codec/seal": 0.0135, "codec/decompress": 0.019,
+           "query/warm": 0.0004, "added": 0.1}
+    rows, regressions = compare(base, new, threshold=0.25)
+    assert regressions == ["codec/seal"], regressions        # 1.35x > 1.25x
+    verdicts = {name: v for name, _, _, v in rows}
+    assert verdicts["codec/decompress"] == "ok"              # within band
+    assert verdicts["query/warm"].startswith("improved")
+    assert verdicts["added"] == "new"
+    assert verdicts["gone"] == "removed"
+    _, none = compare(base, base, threshold=0.25)
+    assert none == []                                        # self-diff clean
+    print("bench_compare selftest: ok (5 comparisons, 1 planted regression "
+          "caught)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("base", nargs="?", help="baseline --benchmark-json file")
+    ap.add_argument("new", nargs="?", help="candidate --benchmark-json file")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="fractional slowdown that counts as a regression "
+                         "(default 0.25)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="verify the comparison logic on synthetic runs")
+    args = ap.parse_args(argv)
+    if args.selftest:
+        return selftest()
+    if not args.base or not args.new:
+        ap.error("base and new JSON files are required (or --selftest)")
+    rows, regressions = compare(
+        load_means(args.base), load_means(args.new), args.threshold
+    )
+    print(render(rows))
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{100 * args.threshold:.0f}%: " + ", ".join(regressions))
+        return 1
+    print("\nno regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -247,12 +247,24 @@ def tests() -> int:
     ).returncode
 
 
+def bench_tooling_smoke() -> int:
+    """Exercise the benchmark-diff tool's logic on synthetic runs, so a
+    broken comparator is caught here rather than the first time a PR
+    needs a perf verdict."""
+    return subprocess.run(
+        [sys.executable, "scripts/bench_compare.py", "--selftest"], cwd=REPO
+    ).returncode
+
+
 def main(argv: list[str]) -> int:
     rc = lint()
     if rc != 0:
         return rc
     if "--lint" in argv:
         return 0
+    rc = bench_tooling_smoke()
+    if rc != 0:
+        return rc
     return tests()
 
 

@@ -20,7 +20,9 @@ Scenarios:
 * ``scale``       — run the same machine on all three transport tiers
                   (flat bus, partitioned bus, aggregator tree) and
                   print a comparison table: message volumes, drops,
-                  completeness, stored samples, and wall time.
+                  completeness, stored samples, and wall time — plus a
+                  storage-plane section (columnar ingest rate, cold vs
+                  warm query latency, compression ratio).
 """
 
 from __future__ import annotations
@@ -188,7 +190,61 @@ def cmd_scale(args) -> int:
         print(f"\naggregator tree upstream reduction: "
               f"{flat_up / tree_up:.1f}x fewer messages than flat "
               f"fan-out")
+    _scale_storage_plane(args)
     return 0
+
+
+def _scale_storage_plane(args) -> None:
+    """The storage-plane rows of ``scale``: ingest rate, cold/warm query
+    latency, and compression ratio of the vectorized TSDB data plane."""
+    import time as _time
+
+    import numpy as np
+
+    from .core.metric import SeriesBatch
+    from .storage.chunkcache import ChunkCache
+    from .storage.tsdb import TimeSeriesStore
+
+    n_comps, n_sweeps, chunk_size = 256, 2048, 512
+    comps = np.array([f"n{i:04d}" for i in range(n_comps)])
+    rng = np.random.default_rng(args.seed)
+    store = TimeSeriesStore(chunk_size=chunk_size)
+    t0 = _time.perf_counter()
+    for s in range(n_sweeps):
+        store.append(SeriesBatch("node.power_w", comps,
+                                 np.full(n_comps, 60.0 * s),
+                                 rng.normal(250.0, 15.0, n_comps)))
+    ingest_wall = _time.perf_counter() - t0
+    store.flush()
+    stats = store.stats()
+    span = n_sweeps * 60.0
+    step = chunk_size * 60.0 * 2    # buckets swallow whole chunks
+
+    def timed(prune, cache):
+        st = TimeSeriesStore(chunk_size=chunk_size, cache=cache)
+        st._series = store._series    # share the sealed data read-only
+        best = float("inf")
+        for _ in range(5):
+            w0 = _time.perf_counter()
+            for c in comps[:8]:
+                st.downsample("node.power_w", str(c), 0.0, span, step,
+                              "mean", prune=prune)
+            best = min(best, _time.perf_counter() - w0)
+        return best / 8.0
+
+    cold = timed(prune=False, cache=ChunkCache(max_bytes=0))
+    warm = timed(prune=True, cache=ChunkCache())
+    print(f"\nstorage plane ({n_comps} series x {n_sweeps} sweeps, "
+          f"chunk_size={chunk_size}):")
+    print(f"  ingest rate       {stats.samples / ingest_wall:12,.0f} "
+          f"samples/s (batch append)")
+    print(f"  cold query        {1e3 * cold:12.3f} ms/series "
+          f"(decompress every chunk)")
+    print(f"  warm query        {1e3 * warm:12.3f} ms/series "
+          f"(chunk summaries, {cold / warm:.1f}x faster)")
+    print(f"  compression ratio {stats.compression_ratio:12.1f}x "
+          f"({stats.compressed_bytes:,} B for "
+          f"{stats.raw_bytes:,} B raw)")
 
 
 COMMANDS = {

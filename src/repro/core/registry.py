@@ -279,6 +279,18 @@ def _builtin_specs() -> Iterable[MetricSpec]:
                      "Resident series count of one TSDB shard.")
     yield MetricSpec("selfmon.store.shard_bytes", "B", G, "monitor",
                      "Compressed footprint of one TSDB shard.")
+    yield MetricSpec("selfmon.store.cache_hits", "count", C, "monitor",
+                     "Cumulative decompressed-chunk cache hits (reads "
+                     "served without decoding a sealed chunk).")
+    yield MetricSpec("selfmon.store.cache_misses", "count", C, "monitor",
+                     "Cumulative decompressed-chunk cache misses (reads "
+                     "that had to decode a sealed chunk).")
+    yield MetricSpec("selfmon.store.cache_evictions", "count", C, "monitor",
+                     "Cumulative LRU evictions from the decompressed-chunk "
+                     "cache under its byte bound.", higher_is_worse=True)
+    yield MetricSpec("selfmon.store.cache_bytes", "B", G, "monitor",
+                     "Resident bytes of decompressed chunks held by the "
+                     "cache.")
     yield MetricSpec("selfmon.store.log_events", "count", C, "monitor",
                      "Events resident in the indexed log store.")
     yield MetricSpec("selfmon.store.sql_bytes", "B", G, "monitor",

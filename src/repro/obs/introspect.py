@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from .selfmetrics import _tsdb_stats, completeness_ratio
+from .selfmetrics import _cache_stats, _tsdb_stats, completeness_ratio
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..pipeline import MonitoringPipeline
@@ -61,6 +61,8 @@ class HealthReport:
     partitions: dict[str, int] = field(default_factory=dict)
     #: per-shard store counters when the TSDB is sharded
     shards: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: decompressed-chunk cache counters when the store carries a cache
+    chunk_cache: dict[str, float] = field(default_factory=dict)
 
     @property
     def backpressured(self) -> list[str]:
@@ -143,6 +145,16 @@ class PipelineIntrospector:
                 }
                 for i, s in enumerate(per_shard())
             }
+        chunk_cache: dict[str, float] = {}
+        cstats = _cache_stats(p.tsdb)
+        if cstats is not None:
+            chunk_cache = {
+                "hits": float(cstats.hits),
+                "misses": float(cstats.misses),
+                "evictions": float(cstats.evictions),
+                "bytes": float(cstats.bytes),
+                "hit_ratio": cstats.hit_ratio,
+            }
         return HealthReport(
             ticks=ticks,
             stages=stages,
@@ -168,6 +180,7 @@ class PipelineIntrospector:
             },
             partitions=partitions,
             shards=shards,
+            chunk_cache=chunk_cache,
         )
 
     def render(self, slowest_n: int = 5) -> str:
@@ -234,6 +247,15 @@ class PipelineIntrospector:
             f"logs {int(r.stores['log_events'])} events; "
             f"sql {int(r.stores['sql_bytes'])} B"
         )
+        if r.chunk_cache:
+            c = r.chunk_cache
+            lines.append(
+                f"chunk cache: hits={int(c['hits'])} "
+                f"misses={int(c['misses'])} "
+                f"evictions={int(c['evictions'])} "
+                f"resident={int(c['bytes'])} B "
+                f"(hit ratio {c['hit_ratio']:.2f})"
+            )
         lines.append(
             f"response: {r.counts['sec_rule_fires']} rule fires over "
             f"{r.counts['sec_events_seen']} events, "

@@ -50,6 +50,10 @@ SELFMON_METRICS: tuple[str, ...] = (
     "selfmon.store.shard_points",
     "selfmon.store.shard_series",
     "selfmon.store.shard_bytes",
+    "selfmon.store.cache_hits",
+    "selfmon.store.cache_misses",
+    "selfmon.store.cache_evictions",
+    "selfmon.store.cache_bytes",
     "selfmon.store.log_events",
     "selfmon.store.sql_bytes",
     "selfmon.sec.rule_fires",
@@ -72,6 +76,22 @@ def _tsdb_stats(tsdb):
     hot = getattr(tsdb, "hot", None)
     if hot is not None and callable(getattr(hot, "stats", None)):
         return hot.stats()
+    return None
+
+
+def _cache_stats(tsdb):
+    """Chunk-cache counters of the numeric store, if it has any.
+
+    Duck-typed like :func:`_tsdb_stats`: plain, sharded, and tiered
+    stores all expose ``cache_stats()``; anything else (or a store
+    built without a cache) simply reports nothing.
+    """
+    cache_stats = getattr(tsdb, "cache_stats", None)
+    if callable(cache_stats):
+        return cache_stats()
+    hot = getattr(tsdb, "hot", None)
+    if hot is not None and callable(getattr(hot, "cache_stats", None)):
+        return hot.cache_stats()
     return None
 
 
@@ -260,6 +280,15 @@ class SelfMonitor:
                 "selfmon.store.shard_bytes", now, names,
                 [float(s.compressed_bytes) for s in shard_stats],
             ))
+        cstats = _cache_stats(p.tsdb)
+        if cstats is not None:
+            one("selfmon.store.cache_hits", "chunk-cache", float(cstats.hits))
+            one("selfmon.store.cache_misses", "chunk-cache",
+                float(cstats.misses))
+            one("selfmon.store.cache_evictions", "chunk-cache",
+                float(cstats.evictions))
+            one("selfmon.store.cache_bytes", "chunk-cache",
+                float(cstats.bytes))
         one("selfmon.store.log_events", "logstore", float(len(p.logs)))
         one("selfmon.store.sql_bytes", "sqlstore",
             float(p.sql.footprint_bytes()))

@@ -1,12 +1,14 @@
 """Storage backends: TSDB (plain or sharded), relational, log index,
 tiering, job index."""
 
+from .chunkcache import ChunkCache, ChunkCacheStats
 from .hierarchy import ArchiveEntry, TieredStore
 from .jobstore import Allocation, JobIndex
 from .logstore import LogStore, tokenize
 from .sharded import ShardedTimeSeriesStore
 from .sqlstore import JobRow, SqlStore, TestResultRow
 from .tsdb import (
+    ChunkSummary,
     SeriesQueryMixin,
     StoreStats,
     TimeSeriesStore,
@@ -21,6 +23,9 @@ __all__ = [
     "JobIndex",
     "LogStore",
     "tokenize",
+    "ChunkCache",
+    "ChunkCacheStats",
+    "ChunkSummary",
     "ShardedTimeSeriesStore",
     "JobRow",
     "SqlStore",

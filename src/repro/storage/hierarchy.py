@@ -160,6 +160,10 @@ class TieredStore:
             (e.t_min, e.t_max) for e in self.catalog if e.key == key
         )
 
+    def cache_stats(self):
+        """Counters of the hot tier's decompressed-chunk cache."""
+        return self.hot.cache_stats()
+
     def cold_bytes(self) -> int:
         total = 0
         for e in self.catalog:

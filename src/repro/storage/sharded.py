@@ -23,20 +23,28 @@ import numpy as np
 
 from ..core.hashing import stable_bucket
 from ..core.metric import MetricKey, SeriesBatch
+from .chunkcache import ChunkCache, ChunkCacheStats
 from .tsdb import SeriesQueryMixin, StoreStats, TimeSeriesStore
 
 __all__ = ["ShardedTimeSeriesStore"]
 
 
 class ShardedTimeSeriesStore(SeriesQueryMixin):
-    """K :class:`TimeSeriesStore` shards behind the single-store API."""
+    """K :class:`TimeSeriesStore` shards behind the single-store API.
 
-    def __init__(self, shards: int = 4, chunk_size: int = 512) -> None:
+    All shards share one decompressed-chunk cache, so the cache memory
+    bound is global rather than K× per-shard (chunk ids are
+    process-unique, so shards can never alias each other's entries).
+    """
+
+    def __init__(self, shards: int = 4, chunk_size: int = 512,
+                 cache: ChunkCache | None = None) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self.n_shards = int(shards)
+        self.cache = cache if cache is not None else ChunkCache()
         self.shards = [
-            TimeSeriesStore(chunk_size=chunk_size)
+            TimeSeriesStore(chunk_size=chunk_size, cache=self.cache)
             for _ in range(self.n_shards)
         ]
 
@@ -105,6 +113,10 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
         """Range query: one series lives on exactly one shard."""
         return self._owner(metric, component).query(metric, component, t0, t1)
 
+    def _series_view(self, metric: str, component: str):
+        """Chunk-level surface for the summary-pruned downsample path."""
+        return self._owner(metric, component)._series_view(metric, component)
+
     # -- maintenance / stats ---------------------------------------------------
 
     def drop_series(self, metric: str, component: str) -> bool:
@@ -124,6 +136,10 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
     def per_shard_stats(self) -> list[StoreStats]:
         """Per-shard counters (the ``selfmon.store.shard_*`` surface)."""
         return [s.stats() for s in self.shards]
+
+    def cache_stats(self) -> ChunkCacheStats:
+        """Counters of the shared decompressed-chunk cache."""
+        return self.cache.stats()
 
     # hooks used by the hierarchical tier manager -------------------------------
 

@@ -6,10 +6,23 @@ series data compared to Cray's PMDB".  This store provides the behaviours
 that comparison turns on:
 
 * append-optimized ingest of :class:`~repro.core.metric.SeriesBatch`es,
+  grouped by component and appended columnarly (no per-sample Python
+  conversion on the hot path),
 * per-series columnar chunks sealed at a fixed size and compressed with
   delta-of-delta timestamps + XOR float packing (the Facebook Gorilla
-  scheme, the same family InfluxDB's TSM files use),
-* range queries and server-side downsampling,
+  scheme, the same family InfluxDB's TSM files use).  The codec is
+  vectorized: the Python-level loops are over byte-length *classes*
+  (a handful), not samples.  The original scalar implementation is kept
+  as ``_compress_chunk_slow``/``_decompress_chunk_slow`` — a reference
+  oracle the property tests hold the vectorized codec byte-identical to,
+* range queries and server-side downsampling.  Sealing also records a
+  :class:`ChunkSummary` (count/min/max/sum/first/last + span), so
+  ``downsample`` answers from summaries for chunks wholly inside a
+  bucket and decompresses only boundary chunks — the immutable-block
+  summary trick InfluxDB TSM and Gorilla both lean on,
+* a bounded LRU :class:`~repro.storage.chunkcache.ChunkCache` of
+  decompressed sealed chunks (sealed chunks are immutable, so
+  cacheability is exact) serving repeated drill-down reads,
 * footprint/compression statistics for the storage-comparison bench.
 
 Chunks are transparently decompressed on query; the open (mutable) head
@@ -18,6 +31,7 @@ chunk is queried in place.
 
 from __future__ import annotations
 
+import itertools
 import struct
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
@@ -25,10 +39,12 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from ..core.metric import MetricKey, SeriesBatch
+from .chunkcache import ChunkCache, ChunkCacheStats
 
 __all__ = [
     "compress_chunk",
     "decompress_chunk",
+    "ChunkSummary",
     "SeriesQueryMixin",
     "TimeSeriesStore",
     "StoreStats",
@@ -37,6 +53,10 @@ __all__ = [
 
 # --------------------------------------------------------------------------
 # chunk codec: delta-of-delta timestamps (varint) + XOR-packed float values
+#
+# Two implementations of the identical byte format: the vectorized one
+# (the production path) and the original scalar one (the `_slow`
+# reference oracle).  Property tests assert byte-for-byte equality.
 # --------------------------------------------------------------------------
 
 def _zigzag(n: int) -> int:
@@ -71,16 +91,8 @@ def _read_varint(buf: bytes, pos: int) -> tuple[int, int]:
         shift += 7
 
 
-def compress_chunk(times: np.ndarray, values: np.ndarray) -> bytes:
-    """Compress one sealed chunk.
-
-    Timestamps are stored at millisecond resolution as zig-zag varint
-    delta-of-deltas — regular collection intervals (the common case:
-    synchronized sweeps every 60 s) collapse to one byte per sample.
-    Values are stored XOR-ed against the previous value with a
-    byte-aligned (leading-zero-bytes, significant-bytes) header; runs of
-    identical values (idle gauges) cost two bytes each.
-    """
+def _compress_chunk_slow(times: np.ndarray, values: np.ndarray) -> bytes:
+    """Scalar reference encoder (one Python iteration per sample)."""
     n = len(times)
     if n == 0:
         return struct.pack("<I", 0)
@@ -120,8 +132,8 @@ def compress_chunk(times: np.ndarray, values: np.ndarray) -> bytes:
     return bytes(out)
 
 
-def decompress_chunk(blob: bytes) -> tuple[np.ndarray, np.ndarray]:
-    """Inverse of :func:`compress_chunk`."""
+def _decompress_chunk_slow(blob: bytes) -> tuple[np.ndarray, np.ndarray]:
+    """Scalar reference decoder (inverse of :func:`_compress_chunk_slow`)."""
     (n,) = struct.unpack_from("<I", blob, 0)
     pos = 4
     if n == 0:
@@ -160,6 +172,251 @@ def decompress_chunk(blob: bytes) -> tuple[np.ndarray, np.ndarray]:
     return ts_ms.astype(np.float64) / 1000.0, vals.view(np.float64).copy()
 
 
+# varint byte-length thresholds: z needs k+1 bytes when z >= 2**(7k)
+_VARINT_THRESH = (np.uint64(1) << (np.uint64(7) * np.arange(1, 10,
+                                                            dtype=np.uint64)))
+# significant-byte-length thresholds: x needs k+1 bytes when x >= 2**(8k)
+_BYTELEN_THRESH = (np.uint64(1) << (np.uint64(8) * np.arange(1, 8,
+                                                             dtype=np.uint64)))
+
+
+def _encode_varints(dod: np.ndarray) -> bytes:
+    """Zig-zag varint encode an int64 array, stream-concatenated."""
+    z = (dod.astype(np.uint64) << np.uint64(1)) ^ (
+        dod >> np.int64(63)
+    ).astype(np.uint64)
+    nbytes = np.searchsorted(_VARINT_THRESH, z, side="right") + 1  # 1..10
+    width = int(nbytes.max())
+    if width == 1:             # every dod in [-64, 63] (regular cadence)
+        return z.astype(np.uint8).tobytes()
+    cols = np.arange(width)
+    shifts = np.uint64(7) * cols.astype(np.uint64)
+    groups = ((z[:, None] >> shifts[None, :]).astype(np.uint8)
+              & np.uint8(0x7F))
+    cont = cols[None, :] < (nbytes - 1)[:, None]
+    groups = np.where(cont, groups | np.uint8(0x80), groups)
+    sel = cols[None, :] < nbytes[:, None]
+    return groups[sel].tobytes()
+
+
+_COLS9 = np.arange(9, dtype=np.uint8)
+
+
+def _encode_xor(bits: np.ndarray) -> bytes:
+    """XOR-pack consecutive float bit patterns (all but the first).
+
+    One byteswap yields the big-endian byte matrix of every XOR value;
+    row i's significant bytes are its last ``blen[i]`` columns, already
+    in stream order.  Scattering each header byte immediately *before*
+    its significant bytes makes the whole token a row suffix, so a
+    single broadcast compare + boolean take emits the packed stream.
+    """
+    x = bits[1:] ^ bits[:-1]
+    n = len(x)
+    blen = (x != np.uint64(0)).astype(np.uint8)
+    for thresh in _BYTELEN_THRESH:          # compare-sum beats searchsorted
+        blen += x >= thresh
+    lead = np.uint8(8) - blen
+    # (lead & 7) << 4 | blen is 0x00 exactly when x == 0 — no where()
+    header = ((lead & np.uint8(7)) << np.uint8(4)) | blen
+    tok = np.empty((n, 9), dtype=np.uint8)
+    tok[:, 1:] = x.byteswap().view(np.uint8).reshape(n, 8)
+    tok[np.arange(n), lead] = header
+    sel = _COLS9[None, :] >= lead[:, None]
+    return tok[sel].tobytes()
+
+
+def compress_chunk(times: np.ndarray, values: np.ndarray) -> bytes:
+    """Compress one sealed chunk (vectorized; byte-identical to
+    :func:`_compress_chunk_slow`).
+
+    Timestamps are stored at millisecond resolution as zig-zag varint
+    delta-of-deltas — regular collection intervals (the common case:
+    synchronized sweeps every 60 s) collapse to one byte per sample.
+    Values are stored XOR-ed against the previous value with a
+    byte-aligned (leading-zero-bytes, significant-bytes) header; runs of
+    identical values (idle gauges) cost two bytes each.
+    """
+    n = len(times)
+    if n == 0:
+        return struct.pack("<I", 0)
+    ts_ms = np.round(np.asarray(times, dtype=np.float64) * 1000.0).astype(
+        np.int64
+    )
+    bits = np.ascontiguousarray(values, dtype=np.float64).view(np.uint64)
+    parts = [struct.pack("<I", n), struct.pack("<q", int(ts_ms[0]))]
+    if n > 1:
+        deltas = np.diff(ts_ms)
+        # the first delta-of-delta IS the first delta — typically one
+        # whole collection interval, far larger than the rest — so emit
+        # it scalarly to keep the vector path's byte-width uniform
+        first = bytearray()
+        _write_varint(first, int(deltas[0]))
+        parts.append(bytes(first))
+        if n > 2:
+            parts.append(_encode_varints(np.diff(deltas)))
+    parts.append(struct.pack("<Q", int(bits[0])))
+    if n > 1:
+        parts.append(_encode_xor(bits))
+    return b"".join(parts)
+
+
+def _token_starts(sec: np.ndarray, n_tok: int) -> np.ndarray:
+    """Byte offsets of the ``n_tok`` XOR tokens in ``sec``.
+
+    Token boundaries form a linked chain (each header byte encodes its
+    token's length), which resists naive vectorization.  Two tiers:
+
+    1. speculative uniform stride — if every token has the same length
+       (constant gauges: all ``0x00``; fully noisy floats: all 9-byte)
+       the starts are an arange, verified with one O(n) gather;
+    2. otherwise pointer-doubled jump tables are squared only until
+       anchors are cheap to walk scalarly (the anchor count balances
+       ~1 ns/elem table squaring against ~100 ns/step Python walking),
+       then the gaps fill by halving strides through the saved
+       intermediate tables — O(m·log(n/anchors)) gather work instead of
+       O(m·log n).
+    """
+    m = len(sec)
+    nib = (sec & np.uint8(0x0F)).astype(np.int64)   # token len - 1
+    stride = int(nib[0]) + 1
+    if m == n_tok * stride:
+        idx = np.arange(n_tok, dtype=np.int64) * stride
+        if stride == 1 or bool((nib[idx] == stride - 1).all()):
+            return idx
+    jump = np.arange(1, m + 18, dtype=np.int64)
+    jump[:m] += nib
+    jump[m:] = m                          # sentinel zone: chains park here
+    tables = [jump]
+    step = 1
+    anchors = max(512, m >> 5)
+    while n_tok // step > anchors:
+        jump = jump[jump]
+        tables.append(jump)
+        step *= 2
+    top = tables[-1]
+    tok = np.empty(n_tok, dtype=np.int64)
+    item = top.item
+    p = 0
+    for i in range(0, n_tok, step):
+        tok[i] = p
+        p = item(p)
+    for k in range(len(tables) - 2, -1, -1):
+        s = 1 << k
+        base = np.arange(0, n_tok - s, 2 * s, dtype=np.int64)
+        tok[base + s] = tables[k][tok[base]]
+    return tok
+
+
+def _xor_token_lens(values: np.ndarray) -> np.ndarray | None:
+    """Per-token byte lengths of a chunk's XOR section (the block index).
+
+    The one irreducibly sequential part of decoding is walking the XOR
+    token chain, so the store keeps this 1-byte-per-sample index for
+    each sealed chunk — the same role as the block index in an InfluxDB
+    TSM file.  Returns None when every token has the same length (the
+    decoder's uniform-stride check recovers that case in O(n) anyway),
+    which covers constant gauges for free.
+    """
+    bits = np.ascontiguousarray(values, dtype=np.float64).view(np.uint64)
+    if len(bits) < 2:
+        return None
+    x = bits[1:] ^ bits[:-1]
+    blen = (x != np.uint64(0)).astype(np.uint8)
+    for thresh in _BYTELEN_THRESH:
+        blen += x >= thresh
+    lens = blen + np.uint8(1)
+    if bool((lens == lens[0]).all()):
+        return None
+    return lens
+
+
+def decompress_chunk(
+    blob: bytes, lens_hint: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`compress_chunk` (vectorized).
+
+    Variable-length token boundaries are recovered without a per-sample
+    Python loop: varint ends are the bytes with a clear continuation
+    bit, and XOR-token starts come from the chunk's
+    :func:`_xor_token_lens` block index when the caller has one (one
+    cumsum), else from a pointer-doubled chase over the per-byte skip
+    table.
+    """
+    (n,) = struct.unpack_from("<I", blob, 0)
+    if n == 0:
+        return np.empty(0), np.empty(0)
+    buf = np.frombuffer(blob, dtype=np.uint8)
+    pos = 4
+    (first_ts,) = struct.unpack_from("<q", blob, pos)
+    pos += 8
+    ts_ms = np.empty(n, dtype=np.int64)
+    ts_ms[0] = first_ts
+    if n > 1:
+        dod = np.empty(n - 1, dtype=np.int64)
+        # the first delta-of-delta IS the first delta — typically large
+        # (one collection interval), so parse it scalarly and fast-path
+        # the rest, which is all zeros on a regular cadence
+        dod[0], off = _read_varint(blob, pos)
+        rest = buf[off : off + n - 2]
+        if len(rest) == n - 2 and bool((rest < 0x80).all()):
+            z = rest.astype(np.uint64)        # every varint is one byte
+            pos = off + n - 2
+        else:
+            sec = buf[off : off + 10 * (n - 2)]   # varints <= 10 bytes each
+            ends = np.flatnonzero(sec < 0x80)[: n - 2]
+            starts = np.empty(n - 2, dtype=np.int64)
+            starts[0] = 0
+            starts[1:] = ends[:-1] + 1
+            lens = ends - starts + 1
+            cols = np.arange(int(lens.max()))
+            idx = np.minimum(starts[:, None] + cols[None, :], len(sec) - 1)
+            mat = sec[idx].astype(np.uint64) & np.uint64(0x7F)
+            valid = cols[None, :] < lens[:, None]
+            shifts = np.uint64(7) * cols.astype(np.uint64)
+            z = ((mat << shifts[None, :]) * valid).sum(axis=1,
+                                                       dtype=np.uint64)
+            pos = off + int(ends[-1]) + 1
+        dod[1:] = ((z >> np.uint64(1))
+                   ^ (np.uint64(0) - (z & np.uint64(1)))).view(np.int64)
+        deltas = np.cumsum(dod)
+        ts_ms[1:] = first_ts + np.cumsum(deltas)
+
+    (first_val,) = struct.unpack_from("<Q", blob, pos)
+    pos += 8
+    bits = np.empty(n, dtype=np.uint64)
+    bits[0] = first_val
+    if n > 1:
+        sec = buf[pos:]
+        m = len(sec)
+        if (
+            lens_hint is not None
+            and lens_hint.size == n - 1
+            and int(lens_hint.sum(dtype=np.int64)) == m
+        ):
+            tok = np.empty(n - 1, dtype=np.int64)
+            tok[0] = 0
+            np.cumsum(lens_hint[:-1], dtype=np.int64, out=tok[1:])
+        else:
+            tok = _token_starts(sec, n - 1)
+        hdr = sec[tok].astype(np.int64)
+        slen = hdr & 0x0F                    # hdr == 0 -> slen = 0 (x == 0)
+        lead = hdr >> 4
+        # read 8 raw bytes after each header (zero-padded past the end)
+        # as a big-endian word: its top slen bytes are the significant
+        # bytes, repositioned with two shifts
+        padded = np.concatenate([sec, np.zeros(8, dtype=np.uint8)])
+        windows = np.lib.stride_tricks.sliding_window_view(padded, 8)
+        raw = windows[tok + 1]               # (n-1, 8) row gather
+        words = np.ascontiguousarray(raw).view(np.uint64).ravel().byteswap()
+        drop = np.minimum(8 * (8 - slen), 63).astype(np.uint64)
+        place = np.maximum(8 * (8 - lead - slen), 0).astype(np.uint64)
+        x = (words >> drop) << place
+        bits[1:] = np.where(slen == 0, np.uint64(0), x)
+        np.bitwise_xor.accumulate(bits, out=bits)
+    return ts_ms.astype(np.float64) / 1000.0, bits.view(np.float64)
+
+
 # --------------------------------------------------------------------------
 # the store
 # --------------------------------------------------------------------------
@@ -172,6 +429,59 @@ _AGGS: dict[str, Callable[[np.ndarray], float]] = {
     "last": lambda a: float(a[-1]),
     "count": lambda a: float(len(a)),
 }
+
+#: process-wide chunk ids: unique across every store, so one shared
+#: cache can never alias chunks from different stores or shards
+_chunk_ids = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkSummary:
+    """Seal-time aggregates of one immutable chunk.
+
+    Computed from the exact arrays the chunk decompresses back to
+    (timestamps at millisecond resolution, values bit-exact), so a
+    summary-served bucket is indistinguishable from a decompress-served
+    one up to float summation order.
+    """
+
+    count: int
+    t_min: float
+    t_max: float
+    v_min: float
+    v_max: float
+    v_sum: float
+    v_first: float
+    v_last: float
+
+
+def _summarize(t: np.ndarray, v: np.ndarray) -> ChunkSummary:
+    return ChunkSummary(
+        count=len(t),
+        t_min=float(t[0]),
+        t_max=float(t[-1]),
+        v_min=float(np.min(v)),
+        v_max=float(np.max(v)),
+        v_sum=float(np.sum(v)),
+        v_first=float(v[0]),
+        v_last=float(v[-1]),
+    )
+
+
+def _cached_decompress(
+    cache: ChunkCache | None,
+    chunk_id: int,
+    blob: bytes,
+    lens_hint: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    if cache is not None:
+        hit = cache.get(chunk_id)
+        if hit is not None:
+            return hit
+    t, v = decompress_chunk(blob, lens_hint)
+    if cache is not None:
+        cache.put(chunk_id, t, v)
+    return t, v
 
 
 @dataclass(frozen=True, slots=True)
@@ -190,26 +500,51 @@ class StoreStats:
 
 
 class _Series:
-    """One (metric, component) series: sealed chunks + open head."""
+    """One (metric, component) series: sealed chunks + open head.
 
-    __slots__ = ("chunks", "chunk_spans", "head_t", "head_v",
-                 "n_sealed_samples", "sealed_bytes")
+    Parallel to ``chunks``: ``chunk_spans`` (rounded-ms time span),
+    ``chunk_ids`` (cache keys), ``summaries`` (seal-time aggregates) and
+    ``chunk_hints`` (XOR block index for fast decode, or None).
+    """
+
+    __slots__ = ("chunks", "chunk_spans", "chunk_ids", "summaries",
+                 "chunk_hints", "head_t", "head_v", "n_sealed_samples",
+                 "sealed_bytes")
 
     def __init__(self) -> None:
         self.chunks: list[bytes] = []
         self.chunk_spans: list[tuple[float, float]] = []  # (t_min, t_max)
+        self.chunk_ids: list[int] = []
+        self.summaries: list[ChunkSummary] = []
+        self.chunk_hints: list[np.ndarray | None] = []
         self.head_t: list[float] = []
         self.head_v: list[float] = []
         self.n_sealed_samples = 0
         self.sealed_bytes = 0       # running sum(len(c) for c in chunks)
 
-    def append(self, t: float, v: float, chunk_size: int) -> tuple[int, int] | None:
-        """Append one sample; returns the seal delta when a chunk sealed."""
-        self.head_t.append(t)
-        self.head_v.append(v)
-        if len(self.head_t) >= chunk_size:
-            return self.seal()
-        return None
+    def append_array(
+        self, t: np.ndarray, v: np.ndarray, chunk_size: int
+    ) -> tuple[int, int, int]:
+        """Columnar append; seals every time the head fills.
+
+        Returns ``(chunks_sealed, samples_sealed, bytes_sealed)`` so the
+        owning store maintains O(1) aggregate counters.
+        """
+        chunks = samples = nbytes = 0
+        i, n = 0, len(t)
+        while i < n:
+            space = chunk_size - len(self.head_t)
+            take = min(space, n - i)
+            self.head_t.extend(t[i : i + take].tolist())
+            self.head_v.extend(v[i : i + take].tolist())
+            i += take
+            if len(self.head_t) >= chunk_size:
+                sealed = self.seal()
+                if sealed is not None:
+                    chunks += 1
+                    samples += sealed[0]
+                    nbytes += sealed[1]
+        return chunks, samples, nbytes
 
     def seal(self) -> tuple[int, int] | None:
         """Seal the open head; returns (samples, bytes) sealed, or None.
@@ -224,22 +559,32 @@ class _Series:
         order = np.argsort(t, kind="stable")
         t, v = t[order], v[order]
         blob = compress_chunk(t, v)
+        # span + summary use the codec's ms rounding, so they describe
+        # exactly what the chunk decompresses back to
+        t_r = np.round(t * 1000.0).astype(np.int64).astype(np.float64) / 1000.0
         self.chunks.append(blob)
-        self.chunk_spans.append((float(t[0]), float(t[-1])))
+        self.chunk_spans.append((float(t_r[0]), float(t_r[-1])))
+        self.chunk_ids.append(next(_chunk_ids))
+        self.summaries.append(_summarize(t_r, v))
+        self.chunk_hints.append(_xor_token_lens(v))
         self.n_sealed_samples += len(t)
         self.sealed_bytes += len(blob)
         self.head_t = []
         self.head_v = []
         return len(t), len(blob)
 
-    def read(self, t0: float, t1: float) -> tuple[np.ndarray, np.ndarray]:
+    def read(
+        self, t0: float, t1: float, cache: ChunkCache | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """All samples with ``t0 <= t < t1``, time-sorted."""
         ts: list[np.ndarray] = []
         vs: list[np.ndarray] = []
-        for blob, (lo, hi) in zip(self.chunks, self.chunk_spans):
+        for i, (lo, hi) in enumerate(self.chunk_spans):
             if hi < t0 or lo >= t1:
                 continue
-            ct, cv = decompress_chunk(blob)
+            ct, cv = _cached_decompress(cache, self.chunk_ids[i],
+                                        self.chunks[i],
+                                        self.chunk_hints[i])
             mask = (ct >= t0) & (ct < t1)
             ts.append(ct[mask])
             vs.append(cv[mask])
@@ -264,6 +609,42 @@ class _Series:
         return self.sealed_bytes + 16 * len(self.head_t)
 
 
+# --------------------------------------------------------------------------
+# vectorized bucketing helpers (shared by downsample / aggregate_across)
+# --------------------------------------------------------------------------
+
+def _bucket_starts(t: np.ndarray, t0: float,
+                   step: float) -> tuple[np.ndarray, np.ndarray]:
+    """Bucket ids and segment starts of a time-sorted array."""
+    buckets = np.floor((t - t0) / step).astype(np.int64)
+    cuts = np.flatnonzero(buckets[1:] != buckets[:-1]) + 1
+    starts = np.concatenate(([0], cuts))
+    return buckets, starts
+
+
+def _bucket_agg(
+    t: np.ndarray, v: np.ndarray, t0: float, step: float, agg: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """One reduceat pass over a time-sorted series -> (bucket_t, agg_v)."""
+    buckets, starts = _bucket_starts(t, t0, step)
+    out_t = t0 + buckets[starts] * step
+    if agg == "sum":
+        out_v = np.add.reduceat(v, starts)
+    elif agg == "mean":
+        counts = np.diff(np.append(starts, len(v)))
+        out_v = np.add.reduceat(v, starts) / counts
+    elif agg == "min":
+        out_v = np.minimum.reduceat(v, starts)
+    elif agg == "max":
+        out_v = np.maximum.reduceat(v, starts)
+    elif agg == "last":
+        ends = np.append(starts[1:], len(v))
+        out_v = v[ends - 1]
+    else:                              # count
+        out_v = np.diff(np.append(starts, len(v))).astype(np.float64)
+    return out_t, out_v
+
+
 class SeriesQueryMixin:
     """Query-layer methods shared by every store with the series API.
 
@@ -272,6 +653,12 @@ class SeriesQueryMixin:
     downsampling, and cross-component aggregation for free — this is
     what lets :class:`~repro.storage.sharded.ShardedTimeSeriesStore`
     present the exact single-store query surface over K shards.
+
+    Stores that additionally expose ``_series_view(metric, component)``
+    (the chunk-level surface: a :class:`_Series` plus its cache) get the
+    summary-pruned ``downsample`` fast path: chunks wholly inside one
+    bucket are answered from their seal-time :class:`ChunkSummary` and
+    never decompressed.
     """
 
     def query_components(
@@ -297,30 +684,144 @@ class SeriesQueryMixin:
         t1: float,
         step: float,
         agg: str = "mean",
+        prune: bool = True,
     ) -> SeriesBatch:
         """Server-side downsampling into fixed buckets of ``step`` seconds.
 
         Empty buckets are omitted (not NaN-filled); bucket timestamps are
-        the bucket start.
+        the bucket start.  With ``prune=True`` (default) sealed chunks
+        wholly inside one bucket are answered from chunk summaries
+        without decompression; ``prune=False`` forces the decompress
+        path (the equivalence oracle and the cold-vs-warm benchmark).
         """
         if agg not in _AGGS:
             raise ValueError(f"unknown agg {agg!r}; choose from {sorted(_AGGS)}")
         if step <= 0:
             raise ValueError("step must be positive")
+        view = getattr(self, "_series_view", None)
+        if prune and view is not None and np.isfinite(t0):
+            sv = view(metric, component)
+            if sv is None:
+                return SeriesBatch.empty(metric)
+            return self._downsample_pruned(metric, component, sv[0], sv[1],
+                                           t0, t1, step, agg)
         raw = self.query(metric, component, t0, t1)
         if not len(raw):
             return SeriesBatch.empty(metric)
-        fn = _AGGS[agg]
-        buckets = np.floor((raw.times - t0) / step).astype(np.int64)
-        out_t: list[float] = []
-        out_v: list[float] = []
-        # buckets are non-decreasing because raw is time-sorted
-        start = 0
-        for i in range(1, len(buckets) + 1):
-            if i == len(buckets) or buckets[i] != buckets[start]:
-                out_t.append(t0 + buckets[start] * step)
-                out_v.append(fn(raw.values[start:i]))
-                start = i
+        out_t, out_v = _bucket_agg(raw.times, raw.values, t0, step, agg)
+        return SeriesBatch.for_component(metric, component, out_t, out_v)
+
+    def _downsample_pruned(
+        self,
+        metric: str,
+        component: str,
+        series: "_Series",
+        cache: ChunkCache | None,
+        t0: float,
+        t1: float,
+        step: float,
+        agg: str,
+    ) -> SeriesBatch:
+        """Chunk-summary-pruned downsample.
+
+        Per overlapping chunk: if it sits wholly inside the window *and*
+        inside one bucket, contribute its summary; otherwise decompress
+        (through the cache) and bucket its windowed samples.  ``seq``
+        numbers reproduce the stable time-sort of the decompress path,
+        so order-sensitive aggs (``last``) agree exactly.
+        """
+        # per-contribution columns (one row per whole chunk, one row per
+        # bucket of each boundary piece)
+        rows_b: list[np.ndarray] = []      # bucket id
+        rows_n: list[np.ndarray] = []      # count
+        rows_s: list[np.ndarray] = []      # sum
+        rows_lo: list[np.ndarray] = []     # min
+        rows_hi: list[np.ndarray] = []     # max
+        rows_tl: list[np.ndarray] = []     # time of last sample
+        rows_vl: list[np.ndarray] = []     # value of last sample
+        rows_sq: list[np.ndarray] = []     # seq of last sample
+
+        def add_piece(t: np.ndarray, v: np.ndarray, seq: np.ndarray) -> None:
+            buckets, starts = _bucket_starts(t, t0, step)
+            ends = np.append(starts[1:], len(t))
+            rows_b.append(buckets[starts])
+            rows_n.append(ends - starts)
+            rows_s.append(np.add.reduceat(v, starts))
+            rows_lo.append(np.minimum.reduceat(v, starts))
+            rows_hi.append(np.maximum.reduceat(v, starts))
+            rows_tl.append(t[ends - 1])
+            rows_vl.append(v[ends - 1])
+            rows_sq.append(seq[ends - 1])
+
+        seq_base = 0
+        for i, (lo, hi) in enumerate(series.chunk_spans):
+            summ = series.summaries[i]
+            if hi < t0 or lo >= t1:
+                seq_base += summ.count
+                continue
+            whole = lo >= t0 and hi < t1
+            if whole and (np.floor((lo - t0) / step)
+                          == np.floor((hi - t0) / step)):
+                rows_b.append(np.asarray(
+                    [np.int64(np.floor((lo - t0) / step))]))
+                rows_n.append(np.asarray([summ.count]))
+                rows_s.append(np.asarray([summ.v_sum]))
+                rows_lo.append(np.asarray([summ.v_min]))
+                rows_hi.append(np.asarray([summ.v_max]))
+                rows_tl.append(np.asarray([summ.t_max]))
+                rows_vl.append(np.asarray([summ.v_last]))
+                rows_sq.append(np.asarray([seq_base + summ.count - 1]))
+            else:
+                ct, cv = _cached_decompress(cache, series.chunk_ids[i],
+                                            series.chunks[i],
+                                            series.chunk_hints[i])
+                mask = (ct >= t0) & (ct < t1)
+                if mask.any():
+                    add_piece(ct[mask], cv[mask],
+                              seq_base + np.flatnonzero(mask))
+            seq_base += summ.count
+        if series.head_t:
+            ht = np.asarray(series.head_t)
+            hv = np.asarray(series.head_v)
+            mask = (ht >= t0) & (ht < t1)
+            if mask.any():
+                seq = seq_base + np.flatnonzero(mask)
+                ht, hv = ht[mask], hv[mask]
+                order = np.argsort(ht, kind="stable")
+                add_piece(ht[order], hv[order], seq[order])
+
+        if not rows_b:
+            return SeriesBatch.empty(metric)
+        b = np.concatenate(rows_b)
+        cnt = np.concatenate(rows_n)
+        vsum = np.concatenate(rows_s)
+        vmin = np.concatenate(rows_lo)
+        vmax = np.concatenate(rows_hi)
+        t_last = np.concatenate(rows_tl)
+        v_last = np.concatenate(rows_vl)
+        seq = np.concatenate(rows_sq)
+        # rows sorted by bucket, then (t_last, seq): the last row of each
+        # bucket group is the stable-sort winner for agg="last"
+        order = np.lexsort((seq, t_last, b))
+        b, cnt, vsum = b[order], cnt[order], vsum[order]
+        vmin, vmax, v_last = vmin[order], vmax[order], v_last[order]
+        cuts = np.flatnonzero(b[1:] != b[:-1]) + 1
+        starts = np.concatenate(([0], cuts))
+        ends = np.append(starts[1:], len(b))
+        out_t = t0 + b[starts] * step
+        if agg == "sum":
+            out_v = np.add.reduceat(vsum, starts)
+        elif agg == "mean":
+            out_v = (np.add.reduceat(vsum, starts)
+                     / np.add.reduceat(cnt, starts))
+        elif agg == "min":
+            out_v = np.minimum.reduceat(vmin, starts)
+        elif agg == "max":
+            out_v = np.maximum.reduceat(vmax, starts)
+        elif agg == "last":
+            out_v = v_last[ends - 1]
+        else:                          # count
+            out_v = np.add.reduceat(cnt, starts).astype(np.float64)
         return SeriesBatch.for_component(metric, component, out_t, out_v)
 
     def aggregate_across(
@@ -335,40 +836,42 @@ class SeriesQueryMixin:
         """Aggregate a metric across components into one series.
 
         This is the Figure 4 "system aggregate" view: e.g. ``fs.read_bps``
-        summed over all OSTs per time bucket.
+        summed over all OSTs per time bucket.  Samples are time-sorted
+        across components before bucketing, so order-sensitive aggs
+        (``last``) see the true latest sample, not whichever component
+        iterated last.
         """
         if agg not in _AGGS:
             raise ValueError(f"unknown agg {agg!r}")
         per_comp = self.query_components(metric, components, t0, t1)
         ts: list[np.ndarray] = []
         vs: list[np.ndarray] = []
-        for b in per_comp.values():
-            if len(b):
-                ts.append(b.times)
-                vs.append(b.values)
+        for batch in per_comp.values():
+            if len(batch):
+                ts.append(batch.times)
+                vs.append(batch.values)
         if not ts:
             return SeriesBatch.empty(metric)
         t = np.concatenate(ts)
         v = np.concatenate(vs)
-        lo = float(t.min()) if t0 == -np.inf else t0
-        buckets = np.floor((t - lo) / step).astype(np.int64)
-        fn = _AGGS[agg]
-        out_t: list[float] = []
-        out_v: list[float] = []
-        for b_id in np.unique(buckets):
-            mask = buckets == b_id
-            out_t.append(lo + b_id * step)
-            out_v.append(fn(v[mask]))
+        order = np.argsort(t, kind="stable")
+        t, v = t[order], v[order]
+        lo = float(t[0]) if not np.isfinite(t0) else t0
+        out_t, out_v = _bucket_agg(t, v, lo, step, agg)
         return SeriesBatch.for_component(metric, f"agg({agg})", out_t, out_v)
 
 
 class TimeSeriesStore(SeriesQueryMixin):
     """In-memory TSDB over (metric, component)-keyed series."""
 
-    def __init__(self, chunk_size: int = 512) -> None:
+    def __init__(self, chunk_size: int = 512,
+                 cache: ChunkCache | None = None) -> None:
         if chunk_size < 2:
             raise ValueError("chunk_size must be >= 2")
         self.chunk_size = int(chunk_size)
+        # the decompressed-chunk cache may be shared (the sharded store
+        # passes one instance to every shard for a global memory bound)
+        self.cache = cache if cache is not None else ChunkCache()
         self._series: dict[MetricKey, _Series] = {}
         # aggregate counters so stats() is O(1), not a walk over every
         # series — the self-monitoring plane reads it on a cadence
@@ -386,18 +889,59 @@ class TimeSeriesStore(SeriesQueryMixin):
     # -- ingest ---------------------------------------------------------------
 
     def append(self, batch: SeriesBatch) -> int:
-        """Ingest a batch; returns the number of samples stored."""
-        n = 0
+        """Ingest a batch; returns the number of samples stored.
+
+        Rows are grouped by component and appended columnarly — one
+        ``append_array`` per series per batch, not one Python-level
+        ``float()`` conversion per sample.
+        """
+        n = len(batch)
+        if n == 0:
+            return 0
         cs = self.chunk_size
-        for c, t, v in zip(batch.components, batch.times, batch.values):
-            key = MetricKey(batch.metric, str(c))
+        comps = batch.components.tolist()
+        if len(set(comps)) == n:
+            # sweep shape (every row its own series): grouping would
+            # produce n single-sample slices, so append scalars instead
+            get = self._series.get
+            t_list = np.asarray(batch.times, dtype=np.float64).tolist()
+            v_list = np.asarray(batch.values, dtype=np.float64).tolist()
+            for c, t, v in zip(comps, t_list, v_list):
+                key = MetricKey(batch.metric, str(c))
+                series = get(key)
+                if series is None:
+                    series = self._series[key] = _Series()
+                series.head_t.append(t)
+                series.head_v.append(v)
+                if len(series.head_t) >= cs:
+                    self._note_seal(series.seal())
+            self._samples += n
+            return n
+        times = np.asarray(batch.times, dtype=np.float64)
+        values = np.asarray(batch.values, dtype=np.float64)
+        uniq, inv = np.unique(batch.components.astype(str),
+                              return_inverse=True)
+        order = np.argsort(inv, kind="stable")
+        bounds = np.concatenate(
+            ([0], np.cumsum(np.bincount(inv, minlength=len(uniq))))
+        )
+        st, sv = times[order], values[order]
+        chunks = samples = nbytes = 0
+        for g in range(len(uniq)):
+            key = MetricKey(batch.metric, str(uniq[g]))
             series = self._series.get(key)
             if series is None:
                 series = self._series[key] = _Series()
-            sealed = series.append(float(t), float(v), cs)
-            if sealed is not None:
-                self._note_seal(sealed)
-            n += 1
+            c, smp, byt = series.append_array(
+                st[bounds[g] : bounds[g + 1]],
+                sv[bounds[g] : bounds[g + 1]], cs,
+            )
+            chunks += c
+            samples += smp
+            nbytes += byt
+        self._sealed_chunks += chunks
+        self._sealed_samples += samples
+        self._sealed_bytes += nbytes
         self._samples += n
         return n
 
@@ -432,8 +976,17 @@ class TimeSeriesStore(SeriesQueryMixin):
         series = self._series.get(MetricKey(metric, component))
         if series is None:
             return SeriesBatch.empty(metric)
-        t, v = series.read(t0, t1)
+        t, v = series.read(t0, t1, self.cache)
         return SeriesBatch.for_component(metric, component, t, v)
+
+    def _series_view(
+        self, metric: str, component: str
+    ) -> tuple[_Series, ChunkCache] | None:
+        """Chunk-level surface for the summary-pruned query path."""
+        series = self._series.get(MetricKey(metric, component))
+        if series is None:
+            return None
+        return series, self.cache
 
     # -- maintenance / stats ---------------------------------------------------
 
@@ -441,6 +994,7 @@ class TimeSeriesStore(SeriesQueryMixin):
         s = self._series.pop(MetricKey(metric, component), None)
         if s is None:
             return False
+        self.cache.invalidate(s.chunk_ids)
         self._samples -= s.n_samples
         self._sealed_samples -= s.n_sealed_samples
         self._sealed_chunks -= len(s.chunks)
@@ -460,6 +1014,10 @@ class TimeSeriesStore(SeriesQueryMixin):
             raw_bytes=self._samples * 16,  # float64 time + float64 value
         )
 
+    def cache_stats(self) -> ChunkCacheStats:
+        """Counters of the decompressed-chunk cache (selfmon surface)."""
+        return self.cache.stats()
+
     # hooks used by the hierarchical tier manager -------------------------------
 
     def export_series(self, key: MetricKey) -> tuple[list[bytes], list[tuple[float, float]]]:
@@ -469,27 +1027,38 @@ class TimeSeriesStore(SeriesQueryMixin):
         return list(s.chunks), list(s.chunk_spans)
 
     def evict_chunks_before(self, key: MetricKey, t_cut: float) -> int:
-        """Drop sealed chunks wholly before ``t_cut``; returns count evicted."""
+        """Drop sealed chunks wholly before ``t_cut``; returns count evicted.
+
+        Summaries, chunk ids, and cache entries stay consistent: the
+        parallel lists are pruned together and evicted ids are
+        invalidated from the shared cache.
+        """
         s = self._series.get(key)
         if s is None:
             return 0
-        keep_c, keep_s = [], []
-        evicted = 0
-        for blob, span in zip(s.chunks, s.chunk_spans):
+        keep: list[tuple] = []
+        gone_ids = []
+        for row in zip(s.chunks, s.chunk_spans, s.chunk_ids,
+                       s.summaries, s.chunk_hints):
+            blob, span, cid, summ, _ = row
             if span[1] < t_cut:
-                evicted += 1
-                n_in, = struct.unpack_from("<I", blob, 0)
-                s.n_sealed_samples -= n_in
+                gone_ids.append(cid)
+                s.n_sealed_samples -= summ.count
                 s.sealed_bytes -= len(blob)
-                self._samples -= n_in
-                self._sealed_samples -= n_in
+                self._samples -= summ.count
+                self._sealed_samples -= summ.count
                 self._sealed_chunks -= 1
                 self._sealed_bytes -= len(blob)
             else:
-                keep_c.append(blob)
-                keep_s.append(span)
-        s.chunks, s.chunk_spans = keep_c, keep_s
-        return evicted
+                keep.append(row)
+        s.chunks = [r[0] for r in keep]
+        s.chunk_spans = [r[1] for r in keep]
+        s.chunk_ids = [r[2] for r in keep]
+        s.summaries = [r[3] for r in keep]
+        s.chunk_hints = [r[4] for r in keep]
+        if gone_ids:
+            self.cache.invalidate(gone_ids)
+        return len(gone_ids)
 
     def import_chunks(
         self,
@@ -497,18 +1066,36 @@ class TimeSeriesStore(SeriesQueryMixin):
         chunks: list[bytes],
         spans: list[tuple[float, float]],
     ) -> None:
-        """Reload archived chunks (hierarchical storage reload path)."""
+        """Reload archived chunks (hierarchical storage reload path).
+
+        Summaries and block-index hints are rebuilt from one decompress
+        pass per incoming chunk, so the summary-pruned query path covers
+        reloaded history exactly like natively sealed data.
+        """
         s = self._series.get(key)
         if s is None:
             s = self._series[key] = _Series()
+        incoming = []
+        n_in = b_in = 0
+        for blob, span in zip(chunks, spans):
+            ct, cv = decompress_chunk(blob)
+            summ = _summarize(ct, cv) if len(ct) else ChunkSummary(
+                0, span[0], span[1], np.nan, np.nan, 0.0, np.nan, np.nan
+            )
+            hint = _xor_token_lens(cv) if len(cv) else None
+            incoming.append((blob, span, next(_chunk_ids), summ, hint))
+            n_in += summ.count
+            b_in += len(blob)
         merged = sorted(
-            zip(chunks + s.chunks, spans + s.chunk_spans),
-            key=lambda cs: cs[1][0],
+            incoming + list(zip(s.chunks, s.chunk_spans, s.chunk_ids,
+                                s.summaries, s.chunk_hints)),
+            key=lambda row: row[1][0],
         )
-        s.chunks = [c for c, _ in merged]
-        s.chunk_spans = [sp for _, sp in merged]
-        n_in = sum(struct.unpack_from("<I", c, 0)[0] for c in chunks)
-        b_in = sum(len(c) for c in chunks)
+        s.chunks = [r[0] for r in merged]
+        s.chunk_spans = [r[1] for r in merged]
+        s.chunk_ids = [r[2] for r in merged]
+        s.summaries = [r[3] for r in merged]
+        s.chunk_hints = [r[4] for r in merged]
         s.n_sealed_samples += n_in
         s.sealed_bytes += b_in
         self._samples += n_in

@@ -125,6 +125,18 @@ class TestHealthReport:
             assert stage in text
         assert "slowest spans" in text
         assert "stores:" in text
+        assert "chunk cache:" in text
+
+    def test_chunk_cache_counters_reported(self, monitored_run):
+        p = monitored_run
+        p.tsdb.flush()
+        comp = p.tsdb.components("node.cpu_util")[0]
+        for _ in range(2):
+            p.tsdb.query("node.cpu_util", comp)
+        report = p.introspect().report()
+        assert report.chunk_cache["misses"] > 0
+        assert report.chunk_cache["hits"] > 0
+        assert 0.0 < report.chunk_cache["hit_ratio"] <= 1.0
 
 
 class TestIntrospectorWithSwappedStore:

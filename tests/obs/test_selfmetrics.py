@@ -177,3 +177,45 @@ class TestTieredSurfaces:
         p.run(duration_s=200.0, dt=10.0)
         comps = p.tsdb.components("selfmon.bus.partition_depth")
         assert comps == [f"leaf-{i}" for i in range(4)]
+
+
+class TestCacheGauges:
+    """The decompressed-chunk cache is a selfmon surface like any other."""
+
+    CACHE_METRICS = ("selfmon.store.cache_hits",
+                     "selfmon.store.cache_misses",
+                     "selfmon.store.cache_evictions",
+                     "selfmon.store.cache_bytes")
+
+    def test_cache_gauges_emitted_for_plain_store(self):
+        p = small_pipeline()
+        p.selfmon.maybe_emit(0.0)
+        batches = {b.metric: b for b in p.selfmon.sample(60.0,
+                                                         elapsed_s=60.0)}
+        for m in self.CACHE_METRICS:
+            assert m in batches, m
+            assert batches[m].components[0] == "chunk-cache"
+
+    def test_cache_counters_reflect_query_traffic(self):
+        p = small_pipeline()
+        p.run(duration_s=400.0, dt=10.0)
+        p.tsdb.flush()
+        comp = p.tsdb.components("node.cpu_util")[0]
+        for _ in range(3):
+            p.tsdb.query("node.cpu_util", comp)
+        mon = p.selfmon
+        batches = {b.metric: b for b in mon.sample(500.0, elapsed_s=100.0)}
+        hits = batches["selfmon.store.cache_hits"].values[0]
+        misses = batches["selfmon.store.cache_misses"].values[0]
+        assert misses > 0          # the cold read decompressed chunks
+        assert hits > 0            # the repeats were served from cache
+        s = p.tsdb.cache_stats()
+        assert (hits, misses) == (float(s.hits), float(s.misses))
+
+    def test_cache_gauges_emitted_for_sharded_store(self):
+        from repro.storage.sharded import ShardedTimeSeriesStore
+
+        p = small_pipeline(tsdb=ShardedTimeSeriesStore(shards=3))
+        p.selfmon.maybe_emit(0.0)
+        emitted = {b.metric for b in p.selfmon.sample(60.0, elapsed_s=60.0)}
+        assert set(self.CACHE_METRICS) <= emitted

@@ -9,6 +9,9 @@ from repro.core.metric import SeriesBatch
 from repro.storage.logstore import LogStore, tokenize
 from repro.storage.tsdb import (
     TimeSeriesStore,
+    _compress_chunk_slow,
+    _decompress_chunk_slow,
+    _xor_token_lens,
     compress_chunk,
     decompress_chunk,
 )
@@ -51,6 +54,54 @@ class TestChunkCodecProperties:
         blob = compress_chunk(times, values)
         # worst case per sample: varint ts (<=10 B) + header+8 B value
         assert len(blob) <= 20 + len(times) * 19
+
+
+# adversarial values for the vectorized-vs-scalar equivalence: specials
+# (NaN, ±inf, −0.0, denormals) and identical-value runs, in any mix
+special_floats = st.sampled_from(
+    [0.0, -0.0, float("nan"), float("inf"), float("-inf"),
+     5e-324, 2.2250738585072014e-308, 1.0, 230.0]
+)
+adversarial_values = st.lists(
+    st.tuples(
+        st.one_of(special_floats,
+                  st.floats(width=64, allow_nan=True, allow_infinity=True)),
+        st.integers(min_value=1, max_value=8),    # run length
+    ),
+    min_size=0,
+    max_size=60,
+).map(lambda runs: np.repeat([v for v, _ in runs],
+                             [n for _, n in runs]).astype(np.float64))
+
+# irregular, duplicate, and out-of-order timestamps — seal() sorts its
+# input, but the codec itself must round-trip any order byte-exactly
+unsorted_times_ms = st.lists(
+    st.integers(min_value=0, max_value=10**10),
+    min_size=0,
+    max_size=120,
+)
+
+
+class TestVectorizedCodecEquivalence:
+    """The numpy codec against the `_slow` scalar reference oracle."""
+
+    @given(times_ms=unsorted_times_ms, data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_byte_identical_and_bit_exact(self, times_ms, data):
+        values = data.draw(adversarial_values)
+        n = min(len(times_ms), len(values))
+        times = np.asarray(times_ms[:n], dtype=np.float64) / 1000.0
+        values = values[:n]
+        blob = compress_chunk(times, values)
+        assert blob == _compress_chunk_slow(times, values)
+        st_, sv = _decompress_chunk_slow(blob)
+        for hint in (None, _xor_token_lens(values)):
+            vt, vv = decompress_chunk(blob, lens_hint=hint)
+            assert np.array_equal(vt, st_)
+            # bit-level equality survives NaN payloads and -0.0
+            assert np.array_equal(vv.view(np.uint64), sv.view(np.uint64))
+            assert np.array_equal(vv.view(np.uint64),
+                                  values.view(np.uint64))
 
 
 # -- store query semantics ------------------------------------------------------
@@ -105,6 +156,30 @@ class TestStoreProperties:
                                agg="sum")
         total_in = sum(v for _, v in samples)
         assert np.isclose(out.values.sum(), total_in, rtol=1e-9, atol=1e-6)
+
+    @given(samples=samples_strategy, data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_pruned_downsample_equals_cold_path(self, samples, data):
+        """Summary-served buckets are indistinguishable from decompression."""
+        store = TimeSeriesStore(chunk_size=data.draw(
+            st.integers(min_value=2, max_value=32)))
+        for t_ms, v in samples:
+            store.append(SeriesBatch.sweep("m", t_ms / 1000.0, ["c"], [v]))
+        if data.draw(st.booleans()):
+            store.flush()
+        step = data.draw(st.integers(1, 2000))
+        agg = data.draw(st.sampled_from(
+            ["mean", "sum", "min", "max", "last", "count"]))
+        warm = store.downsample("m", "c", 0.0, 10**4 + 1.0, float(step),
+                                agg=agg)
+        cold = store.downsample("m", "c", 0.0, 10**4 + 1.0, float(step),
+                                agg=agg, prune=False)
+        assert np.array_equal(warm.times, cold.times)
+        if agg in ("min", "max", "last", "count"):
+            assert np.array_equal(warm.values, cold.values)
+        else:   # sums reassociate across chunk summaries: ulp-level drift
+            assert np.allclose(warm.values, cold.values,
+                               rtol=1e-9, atol=1e-9)
 
 
 # -- log store: index agrees with the naive scan oracle --------------------------

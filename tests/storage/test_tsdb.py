@@ -4,8 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core.metric import MetricKey, SeriesBatch
+from repro.storage.chunkcache import ChunkCache
 from repro.storage.tsdb import (
     TimeSeriesStore,
+    _compress_chunk_slow,
+    _decompress_chunk_slow,
+    _xor_token_lens,
     compress_chunk,
     decompress_chunk,
 )
@@ -67,6 +71,36 @@ class TestChunkCodec:
         t, v = self.round_trip(times, values)
         assert np.allclose(t, times, atol=5e-4)
         assert np.array_equal(v, values)
+
+
+class TestVectorizedMatchesSlow:
+    """The vectorized codec against its retained scalar reference."""
+
+    def cases(self):
+        rng = np.random.default_rng(7)
+        yield np.arange(0, 512 * 60, 60, dtype=float), rng.normal(size=512)
+        yield np.arange(5, dtype=float), np.array(
+            [0.0, -0.0, np.nan, np.inf, -np.inf])
+        # duplicate + out-of-order timestamps (seal sorts, codec must not)
+        yield (np.array([3.0, 1.0, 1.0, 2.0, 0.5]),
+               np.array([1.0, 1.0, 1.0, 2.0, 5e-324]))
+        yield np.array([]), np.array([])
+        yield np.array([1.5]), np.array([42.0])
+
+    def test_compress_byte_identical(self):
+        for times, values in self.cases():
+            assert (compress_chunk(times, values)
+                    == _compress_chunk_slow(times, values))
+
+    def test_decompress_matches_slow_with_and_without_hint(self):
+        for times, values in self.cases():
+            blob = compress_chunk(times, values)
+            st, sv = _decompress_chunk_slow(blob)
+            for hint in (None, _xor_token_lens(values)):
+                vt, vv = decompress_chunk(blob, lens_hint=hint)
+                assert np.array_equal(vt, st)
+                assert np.array_equal(vv.view(np.uint64),
+                                      sv.view(np.uint64))
 
 
 @pytest.fixture()
@@ -173,6 +207,100 @@ class TestAggregateAcross:
     def test_empty_store_empty_aggregate(self, store):
         assert len(store.aggregate_across("m")) == 0
 
+    def test_last_is_time_ordered_not_component_ordered(self, store):
+        # regression: "a" iterates first but holds the LATEST sample; a
+        # concatenate-without-sort implementation returns b's 2.0
+        store.append(sweep("m", 10.0, ["a"], [1.0]))
+        store.append(sweep("m", 5.0, ["b"], [2.0]))
+        out = store.aggregate_across("m", step=60.0, agg="last")
+        assert list(out.values) == [1.0]
+
+    def test_matches_naive_mask_scan_oracle(self, store):
+        rng = np.random.default_rng(3)
+        times = np.round(np.sort(rng.uniform(0, 900, 200)), 3)
+        for comp in ("a", "b", "c"):
+            vals = rng.normal(size=len(times))
+            for t, v in zip(times, vals):
+                store.append(sweep("m", float(t), [comp], [float(v)]))
+        store.flush()
+        full = store.query_components("m")
+        t = np.concatenate([b.times for b in full.values()])
+        v = np.concatenate([b.values for b in full.values()])
+        order = np.argsort(t, kind="stable")
+        t, v = t[order], v[order]
+        for agg, fn in (("sum", np.sum), ("mean", np.mean),
+                        ("min", np.min), ("max", np.max),
+                        ("last", lambda a: a[-1]),
+                        ("count", len)):
+            out = store.aggregate_across("m", step=60.0, agg=agg)
+            buckets = np.floor((t - t[0]) / 60.0).astype(int)
+            expect = [float(fn(v[buckets == b]))
+                      for b in np.unique(buckets)]
+            assert np.allclose(out.values, expect, rtol=1e-12), agg
+
+    def test_single_component_aggregate_equals_downsample(self, store):
+        for i in range(100):
+            store.append(sweep("m", float(i), ["a"], [float(i % 7)]))
+        store.flush()
+        for agg in ("sum", "mean", "min", "max", "last", "count"):
+            via_agg = store.aggregate_across("m", ["a"], t0=0.0, t1=100.0,
+                                             step=13.0, agg=agg)
+            via_ds = store.downsample("m", "a", 0.0, 100.0, step=13.0,
+                                      agg=agg, prune=False)
+            assert np.array_equal(via_agg.times, via_ds.times), agg
+            assert np.allclose(via_agg.values, via_ds.values,
+                               rtol=1e-12), agg
+
+
+class TestSummaryPrunedDownsample:
+    """prune=True (summaries + cache) against prune=False (decompress)."""
+
+    def fill(self, store, n=400, seed=11):
+        rng = np.random.default_rng(seed)
+        times = np.round(np.sort(rng.uniform(0, 3600, n)), 3)
+        vals = rng.normal(50.0, 20.0, n)
+        for t, v in zip(times, vals):
+            store.append(sweep("m", float(t), ["a"], [float(v)]))
+        store.flush()
+
+    @pytest.mark.parametrize("agg", ["mean", "sum", "min", "max",
+                                     "last", "count"])
+    def test_pruned_equals_cold(self, agg):
+        store = TimeSeriesStore(chunk_size=16)
+        self.fill(store)
+        warm = store.downsample("m", "a", 0.0, 3600.0, step=300.0, agg=agg)
+        cold = store.downsample("m", "a", 0.0, 3600.0, step=300.0, agg=agg,
+                                prune=False)
+        assert np.array_equal(warm.times, cold.times)
+        if agg in ("min", "max", "last", "count"):
+            assert np.array_equal(warm.values, cold.values)
+        else:   # sum/mean may differ in ulps (reassociated additions)
+            assert np.allclose(warm.values, cold.values, rtol=1e-9)
+
+    def test_pruned_covers_open_head_and_window_edges(self):
+        store = TimeSeriesStore(chunk_size=16)
+        self.fill(store, n=100)
+        store.append(sweep("m", 3599.5, ["a"], [7.0]))   # unsealed head
+        warm = store.downsample("m", "a", 100.0, 3500.0, step=77.0)
+        cold = store.downsample("m", "a", 100.0, 3500.0, step=77.0,
+                                prune=False)
+        assert np.array_equal(warm.times, cold.times)
+        assert np.allclose(warm.values, cold.values, rtol=1e-9)
+
+    def test_pruned_path_avoids_decompression(self):
+        cache = ChunkCache()
+        store = TimeSeriesStore(chunk_size=16, cache=cache)
+        for i in range(160):
+            store.append(sweep("m", float(i), ["a"], [float(i)]))
+        store.flush()
+        # chunks span 16 s each; 160-s buckets swallow chunks whole, so
+        # the summary path never touches the cache at all
+        store.downsample("m", "a", 0.0, 160.0, step=160.0, agg="sum")
+        assert cache.stats().misses == 0
+        # misaligned buckets force boundary chunks through the cache
+        store.downsample("m", "a", 0.0, 160.0, step=24.0, agg="sum")
+        assert cache.stats().misses > 0
+
 
 class TestStats:
     def test_counts(self, store):
@@ -212,3 +340,41 @@ class TestEvictImport:
         out = store.query("m", "a")
         assert len(out) == 64
         assert list(out.values) == [float(i) for i in range(64)]
+
+    def test_evict_keeps_summaries_and_cache_consistent(self):
+        cache = ChunkCache()
+        store = TimeSeriesStore(chunk_size=16, cache=cache)
+        for i in range(64):
+            store.append(sweep("m", float(i), ["a"], [float(i)]))
+        store.flush()
+        store.query("m", "a")                      # warm the cache
+        assert len(cache) == 4
+        key = MetricKey("m", "a")
+        assert store.evict_chunks_before(key, 32.0) == 2
+        # evicted chunks' cache entries are invalidated, survivors stay
+        assert len(cache) == 2
+        assert cache.stats().invalidations == 2
+        # the parallel per-chunk lists stay aligned
+        series, _ = store._series_view("m", "a")
+        n = len(series.chunks)
+        assert (len(series.chunk_spans) == len(series.chunk_ids)
+                == len(series.summaries) == len(series.chunk_hints) == n)
+        # summary-pruned queries over the survivors agree with cold reads
+        warm = store.downsample("m", "a", 0.0, 64.0, step=64.0, agg="sum")
+        cold = store.downsample("m", "a", 0.0, 64.0, step=64.0, agg="sum",
+                                prune=False)
+        assert np.array_equal(warm.times, cold.times)
+        assert np.allclose(warm.values, cold.values, rtol=1e-12)
+        assert warm.values[0] == pytest.approx(sum(range(32, 64)))
+
+    def test_import_rebuilds_summaries_for_pruned_queries(self):
+        store = TimeSeriesStore(chunk_size=16)
+        for i in range(64):
+            store.append(sweep("m", float(i), ["a"], [float(i)]))
+        store.flush()
+        key = MetricKey("m", "a")
+        chunks, spans = store.export_series(key)
+        store.evict_chunks_before(key, 64.0)
+        store.import_chunks(key, chunks, spans)
+        warm = store.downsample("m", "a", 0.0, 64.0, step=64.0, agg="sum")
+        assert warm.values[0] == pytest.approx(sum(range(64)))

@@ -42,6 +42,8 @@ class TestCli:
         assert "stage timings" in proc.stdout
         assert "selfmon.bus.completeness" in proc.stdout
         assert "selfmon.collector.sweep_p95_ms" in proc.stdout
+        assert "chunk cache:" in proc.stdout
+        assert "selfmon.store.cache_hits" in proc.stdout
 
     def test_scale_compares_transport_tiers(self):
         proc = run_cli("scale", "--hours", "0.1")
@@ -52,6 +54,10 @@ class TestCli:
                        "complete", "samples", "wall s"):
             assert column in proc.stdout
         assert "upstream reduction" in proc.stdout
+        assert "storage plane" in proc.stdout
+        for row in ("ingest rate", "cold query", "warm query",
+                    "compression ratio"):
+            assert row in proc.stdout
 
     def test_unknown_scenario_rejected(self):
         proc = run_cli("nonsense")
