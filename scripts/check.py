@@ -20,6 +20,13 @@ blocks are excluded — they vanish at runtime).  The stage extraction
 relies on this: ``repro.stages`` must never import ``repro.pipeline``
 at runtime, and the check keeps the whole package honest, not just that
 pair.
+
+Both paths also gate on **per-sample loops over batch columns** inside
+``src/repro/analysis``: the streaming analysis plane is columnar, so a
+``for ... in zip(batch.components, ...)`` loop (or direct iteration
+over ``.components`` / ``.times`` / ``.values``) on the hot plane is a
+regression.  The retained scalar reference implementations mark their
+loops with ``# per-sample: allowed``.
 """
 
 from __future__ import annotations
@@ -208,11 +215,75 @@ def check_import_cycles() -> list[str]:
     return []
 
 
+#: SeriesBatch per-sample columns; iterating them in analysis code is a
+#: columnar-plane regression
+_BATCH_COLUMNS = frozenset({"components", "times", "values"})
+_PER_SAMPLE_MARKER = "# per-sample: allowed"
+
+
+def _is_batch_column(node: ast.expr) -> bool:
+    return isinstance(node, ast.Attribute) and node.attr in _BATCH_COLUMNS
+
+
+def check_columnar(path: Path) -> list[str]:
+    """Flag per-sample loops over batch columns in one analysis module.
+
+    Catches ``for ... in zip(batch.components, ...)`` (any batch column
+    among the zip arguments) and direct ``for x in batch.values`` style
+    iteration, in both statement loops and comprehensions.  A loop whose
+    source line carries ``# per-sample: allowed`` is exempt — that is
+    how the retained scalar reference implementations opt out.
+    """
+    src = path.read_text()
+    try:
+        tree = ast.parse(src, filename=str(path))
+    except SyntaxError:
+        return []                    # surfaced by check_file already
+    lines = src.splitlines()
+    problems: list[str] = []
+    loops: list[tuple[int, ast.expr]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            loops.append((node.lineno, node.iter))
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                loops.append((gen.iter.lineno, gen.iter))
+    for lineno, it in loops:
+        hit = _is_batch_column(it) or (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id in ("zip", "enumerate")
+            and any(_is_batch_column(a) for a in it.args)
+        )
+        if not hit:
+            continue
+        span = lines[lineno - 1: getattr(it, "end_lineno", lineno)]
+        if any(_PER_SAMPLE_MARKER in line for line in span):
+            continue
+        problems.append(
+            f"{path}:{lineno}: per-sample loop over batch columns in the "
+            f"streaming analysis plane; vectorize it or mark the line "
+            f"'{_PER_SAMPLE_MARKER}'"
+        )
+    return problems
+
+
+def check_columnar_analysis() -> list[str]:
+    """Run :func:`check_columnar` over the whole analysis package."""
+    root = REPO / "src" / "repro" / "analysis"
+    problems: list[str] = []
+    if root.is_dir():
+        for path in sorted(root.rglob("*.py")):
+            problems.extend(check_columnar(path))
+    return problems
+
+
 def lint() -> int:
-    cycle_problems = check_import_cycles()
-    for p in cycle_problems:
+    gate_problems = check_import_cycles() + check_columnar_analysis()
+    for p in gate_problems:
         print(p)
-    if cycle_problems:
+    if gate_problems:
         return 1
     ruff = subprocess.run(
         [sys.executable, "-m", "ruff", "--version"],

@@ -22,7 +22,9 @@ Scenarios:
                   print a comparison table: message volumes, drops,
                   completeness, stored samples, and wall time — plus a
                   storage-plane section (columnar ingest rate, cold vs
-                  warm query latency, compression ratio).
+                  warm query latency, compression ratio) and an
+                  analysis-plane section (streaming-detector sweep
+                  throughput at 27,648 components, columnar vs scalar).
 """
 
 from __future__ import annotations
@@ -118,12 +120,24 @@ def cmd_dashboard(args) -> int:
 
 
 def cmd_obs(args) -> int:
+    from .analysis.streaming import (
+        StreamingOutlierDetector,
+        StreamingRateWatch,
+        StreamingStats,
+    )
     from .pipeline import default_pipeline
 
     machine = _build_machine(args.seed)
     print(f"simulating {len(machine.topo.nodes)} nodes for "
           f"{args.hours:g} h, monitoring the monitoring...")
     pipeline = default_pipeline(machine, seed=args.seed)
+    # streaming detectors on the hot sweeps, so the analysis plane has
+    # something to self-report (selfmon.analysis.* gauges below)
+    pipeline.add_streaming(StreamingStats())
+    pipeline.add_streaming(
+        StreamingOutlierDetector(("node.power_w",), z_threshold=6.0))
+    pipeline.add_streaming(
+        StreamingRateWatch("gpu.ecc_dbe", max_rate_per_s=0.01))
     pipeline.run(hours=args.hours, dt=10.0)
     print()
     print(pipeline.introspect().render())
@@ -191,6 +205,7 @@ def cmd_scale(args) -> int:
               f"{flat_up / tree_up:.1f}x fewer messages than flat "
               f"fan-out")
     _scale_storage_plane(args)
+    _scale_analysis_plane(args)
     return 0
 
 
@@ -245,6 +260,81 @@ def _scale_storage_plane(args) -> None:
     print(f"  compression ratio {stats.compression_ratio:12.1f}x "
           f"({stats.compressed_bytes:,} B for "
           f"{stats.raw_bytes:,} B raw)")
+
+
+def _scale_analysis_plane(args) -> None:
+    """The analysis-plane rows of ``scale``: streaming-detector sweep
+    throughput at Trinity scale, columnar kernels vs the retained
+    scalar references."""
+    import time as _time
+
+    import numpy as np
+
+    from .analysis.anomaly import _sweep_outliers_slow, sweep_outliers
+    from .analysis.streaming import (
+        ScalarStreamingRateWatch,
+        ScalarStreamingStats,
+        StreamingRateWatch,
+        StreamingStats,
+    )
+    from .core.metric import SeriesBatch
+
+    n, n_sweeps = 27648, 3
+    comps = np.array([f"n{i:05d}" for i in range(n)], dtype=object)
+    rng = np.random.default_rng(args.seed)
+    power = [SeriesBatch("node.power_w", comps, np.full(n, 60.0 * k),
+                         rng.normal(250.0, 15.0, n))
+             for k in range(n_sweeps)]
+    base = rng.integers(0, 3, n).astype(float)
+    counter = [SeriesBatch("gpu.ecc_dbe", comps, np.full(n, 60.0 * k),
+                           base + 0.05 * k)
+               for k in range(n_sweeps)]
+
+    def best_of(fn, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = _time.perf_counter()
+            fn()
+            best = min(best, _time.perf_counter() - t0)
+        return best
+
+    def run_stats(cls):
+        st = cls()
+        for b in power:
+            st.observe(b)
+
+    def run_outliers(fn):
+        for b in power:
+            fn(b, z_threshold=5.0)
+
+    def run_watch(cls):
+        w = cls("gpu.ecc_dbe", max_rate_per_s=0.5)
+        for b in counter:
+            w.observe(b)
+
+    pairs = [
+        ("streaming stats",
+         lambda: run_stats(ScalarStreamingStats),
+         lambda: run_stats(StreamingStats)),
+        ("sweep outliers",
+         lambda: run_outliers(_sweep_outliers_slow),
+         lambda: run_outliers(sweep_outliers)),
+        ("rate watch",
+         lambda: run_watch(ScalarStreamingRateWatch),
+         lambda: run_watch(StreamingRateWatch)),
+    ]
+    total = n * n_sweeps
+    print(f"\nanalysis plane ({n:,}-component sweeps x {n_sweeps}):")
+    slow_sum = fast_sum = 0.0
+    for label, slow_fn, fast_fn in pairs:
+        slow = best_of(slow_fn)
+        fast = best_of(fast_fn)
+        slow_sum += slow
+        fast_sum += fast
+        print(f"  {label:<17} scalar {total / slow:11,.0f} samples/s"
+              f" -> columnar {total / fast:12,.0f} samples/s"
+              f" ({slow / fast:5.1f}x)")
+    print(f"  combined detector speedup: {slow_sum / fast_sum:.1f}x")
 
 
 COMMANDS = {

@@ -41,6 +41,7 @@ from .powersig import (
     match,
 )
 from .queueing import QueueEpisode, characterize, estimate_wait
+from .soa import ComponentTable
 from .stats import (
     coefficient_of_variation,
     ewma,
@@ -50,6 +51,8 @@ from .stats import (
 )
 from .streaming import (
     RunningMoments,
+    ScalarStreamingRateWatch,
+    ScalarStreamingStats,
     StreamingOutlierDetector,
     StreamingRateWatch,
     StreamingStats,
@@ -97,12 +100,15 @@ __all__ = [
     "QueueEpisode",
     "characterize",
     "estimate_wait",
+    "ComponentTable",
     "coefficient_of_variation",
     "ewma",
     "mad",
     "robust_zscores",
     "rolling_mean",
     "RunningMoments",
+    "ScalarStreamingRateWatch",
+    "ScalarStreamingStats",
     "StreamingOutlierDetector",
     "StreamingRateWatch",
     "StreamingStats",

@@ -13,6 +13,13 @@ shapes:
 
 All detectors return :class:`Detection` records so the response layer
 can treat them uniformly.
+
+Every detector is columnar: masks and cumulative statistics are
+computed over whole value arrays and :class:`Detection` objects are
+materialized only for ``np.flatnonzero`` hit indices.  The per-sample
+originals are retained as ``*_slow`` paths — the reference
+implementations the hypothesis property tests hold the kernels
+equivalent to.
 """
 
 from __future__ import annotations
@@ -53,13 +60,43 @@ def sweep_outliers(
 
     The workhorse for "one of 10,000 like components is misbehaving":
     hung nodes in power sweeps, one slow OST in a latency sweep, one hot
-    link in a stall sweep.
+    link in a stall sweep.  The finite+threshold mask is computed over
+    the whole sweep first; ``Detection`` objects exist only for the
+    (rare) hits, already ordered by descending |z|.
     """
     if len(batch) < 4:
         return []
     z = robust_zscores(batch.values)
+    az = np.abs(z)
+    idx = np.flatnonzero(np.isfinite(z) & (az >= z_threshold))
+    if not len(idx):
+        return []
+    idx = idx[np.argsort(-az[idx], kind="stable")]
+    t = batch.times
+    v = batch.values
+    comps = batch.components
+    return [
+        Detection(
+            time=float(t[i]),
+            metric=batch.metric,
+            component=str(comps[i]),
+            score=float(z[i]),
+            kind="outlier",
+            detail=f"value={v[i]:.4g} z={z[i]:.1f}",
+        )
+        for i in idx
+    ]
+
+
+def _sweep_outliers_slow(
+    batch: SeriesBatch, z_threshold: float = 4.0
+) -> list[Detection]:
+    """Per-sample reference for :func:`sweep_outliers`."""
+    if len(batch) < 4:
+        return []
+    z = robust_zscores(batch.values)
     out = []
-    for c, t, v, zi in zip(batch.components, batch.times, batch.values, z):
+    for c, t, v, zi in zip(batch.components, batch.times, batch.values, z):  # per-sample: allowed
         if np.isfinite(zi) and abs(zi) >= z_threshold:
             out.append(
                 Detection(
@@ -96,8 +133,54 @@ class ThresholdDetector:
     def check(self, batch: SeriesBatch) -> list[Detection]:
         if batch.metric != self.metric:
             return []
+        comps = batch.components
+        clist = comps.tolist()
+        if len(set(clist)) != len(clist):
+            # repeated components interleave breach/clear per sample;
+            # only the scalar walk preserves that ordering
+            return self._check_slow(batch)
+        v = batch.values
+        if self.above:
+            breached = v > self.threshold
+            cleared = v < self.clear_level
+        else:
+            breached = v < self.threshold
+            cleared = v > self.clear_level
+        firing = self._firing
+        if firing:
+            f0 = np.fromiter((c in firing for c in clist),
+                             dtype=bool, count=len(clist))
+        else:
+            f0 = np.zeros(len(clist), dtype=bool)
+        t = batch.times
         out = []
-        for c, t, v in zip(batch.components, batch.times, batch.values):
+        for i in np.flatnonzero(breached & ~f0).tolist():
+            comp = str(comps[i])
+            firing.add(comp)
+            out.append(
+                Detection(
+                    time=float(t[i]),
+                    metric=self.metric,
+                    component=comp,
+                    score=float(v[i] - self.threshold)
+                    if self.above
+                    else float(self.threshold - v[i]),
+                    kind="threshold",
+                    detail=f"value={v[i]:.4g} threshold={self.threshold:g}",
+                )
+            )
+        if firing:
+            # scalar elif semantics: a comp already firing is discarded
+            # whenever it clears, breached or not (the elif is only
+            # skipped when the comp was *added* by this very sample)
+            for i in np.flatnonzero(f0 & cleared).tolist():
+                firing.discard(str(comps[i]))
+        return out
+
+    def _check_slow(self, batch: SeriesBatch) -> list[Detection]:
+        """Per-sample reference for :meth:`check`."""
+        out = []
+        for c, t, v in zip(batch.components, batch.times, batch.values):  # per-sample: allowed
             comp = str(c)
             breached = v > self.threshold if self.above else v < self.threshold
             cleared = v < self.clear_level if self.above else v > self.clear_level
@@ -145,15 +228,53 @@ class EwmaDetector:
         self.band_sigmas = band_sigmas
         self.warmup = warmup
 
+    def _sigma(self, v: np.ndarray) -> float:
+        return mad(np.diff(v[: self.warmup])) or float(
+            np.std(v[: self.warmup]) or 1e-12
+        )
+
     def detect(self, batch: SeriesBatch) -> list[Detection]:
         n = len(batch)
         if n <= self.warmup:
             return []
         v = batch.values
         smooth = ewma(v, self.alpha)
-        sigma = mad(np.diff(v[: self.warmup])) or float(
-            np.std(v[: self.warmup]) or 1e-12
-        )
+        sigma = self._sigma(v)
+        # residual of each post-warmup sample vs the smooth one step back
+        # (warmup=0 wraps to smooth[-1], matching the scalar reference's
+        # Python negative-index semantics)
+        if self.warmup == 0:
+            prev = np.r_[smooth[-1], smooth[:-1]]
+        else:
+            prev = smooth[self.warmup - 1: n - 1]
+        resid = v[self.warmup:] - prev
+        with np.errstate(invalid="ignore"):
+            breach = np.abs(resid) > self.band_sigmas * sigma
+        rising = breach.copy()
+        rising[1:] &= ~breach[:-1]      # fire on not-breach -> breach edges
+        out = []
+        for j in np.flatnonzero(rising).tolist():
+            i = self.warmup + j
+            out.append(
+                Detection(
+                    time=float(batch.times[i]),
+                    metric=batch.metric,
+                    component=str(batch.components[i]),
+                    score=float(resid[j] / sigma),
+                    kind="shift",
+                    detail=f"resid={resid[j]:.4g} sigma={sigma:.4g}",
+                )
+            )
+        return out
+
+    def _detect_slow(self, batch: SeriesBatch) -> list[Detection]:
+        """Per-sample reference for :meth:`detect`."""
+        n = len(batch)
+        if n <= self.warmup:
+            return []
+        v = batch.values
+        smooth = ewma(v, self.alpha)
+        sigma = self._sigma(v)
         out = []
         firing = False
         for i in range(self.warmup, n):
@@ -180,22 +301,93 @@ class CusumDetector:
     Flags sustained mean shifts (benchmark-FOM degradation onsets in
     Figure 2) rather than single spikes; ``k`` is the slack and ``h``
     the decision threshold, both in units of the series' robust sigma.
+
+    The clamped recurrence ``s = max(0, s + z - k)`` is a reflected
+    random walk, so over any segment it equals
+    ``max(s0 + c_j, c_j - min_{l<=j} c_l)`` where ``c`` is the running
+    sum of ``z - k`` — one ``cumsum`` plus one ``minimum.accumulate``
+    per side instead of a Python loop.  Segments restart after each
+    detection (``mu`` is re-estimated) and at every NaN sample (the
+    scalar ``max(0.0, nan)`` collapses to 0.0, i.e. a reset).
     """
+
+    # block size bounds the rescan cost after each detection/NaN restart
+    _BLOCK = 4096
 
     def __init__(self, k: float = 0.5, h: float = 5.0, warmup: int = 10) -> None:
         self.k = k
         self.h = h
         self.warmup = warmup
 
+    def _estimate(self, v: np.ndarray) -> tuple[float, float]:
+        mu = float(np.median(v[: self.warmup]))
+        sigma = mad(v[: self.warmup])
+        if not np.isfinite(sigma) or sigma == 0:
+            sigma = float(np.std(v[: self.warmup])) or 1e-12
+        return mu, sigma
+
     def detect(self, batch: SeriesBatch) -> list[Detection]:
         n = len(batch)
         if n <= self.warmup:
             return []
         v = batch.values
-        mu = float(np.median(v[: self.warmup]))
-        sigma = mad(v[: self.warmup])
-        if not np.isfinite(sigma) or sigma == 0:
-            sigma = float(np.std(v[: self.warmup])) or 1e-12
+        mu, sigma = self._estimate(v)
+        nan_v = np.isnan(v)
+        out: list[Detection] = []
+        s_hi = s_lo = 0.0
+        i = self.warmup
+        while i < n:
+            if not (np.isfinite(mu) and np.isfinite(sigma)):
+                break               # z stays NaN forever: nothing can fire
+            if nan_v[i]:
+                s_hi = s_lo = 0.0
+                i += 1
+                continue
+            block = v[i: i + self._BLOCK]
+            with np.errstate(invalid="ignore"):
+                z = np.clip((block - mu) / sigma, -4.0, 4.0)
+            nan_rel = np.flatnonzero(np.isnan(z))
+            limit = int(nan_rel[0]) if len(nan_rel) else len(z)
+            seg = z[:limit]
+            c = np.cumsum(seg - self.k)
+            hi = np.maximum(s_hi + c, c - np.minimum.accumulate(c))
+            c = np.cumsum(-seg - self.k)
+            lo = np.maximum(s_lo + c, c - np.minimum.accumulate(c))
+            trip = np.flatnonzero((hi > self.h) | (lo > self.h))
+            if len(trip):
+                j = int(trip[0])
+                gi = i + j
+                direction = "up" if hi[j] > self.h else "down"
+                out.append(
+                    Detection(
+                        time=float(batch.times[gi]),
+                        metric=batch.metric,
+                        component=str(batch.components[gi]),
+                        score=float(max(hi[j], lo[j])),
+                        kind="changepoint",
+                        detail=f"direction={direction}",
+                    )
+                )
+                s_hi = s_lo = 0.0   # restart after signalling
+                mu = float(np.median(v[max(0, gi - self.warmup): gi + 1]))
+                i = gi + 1
+                continue
+            s_hi = float(hi[-1])
+            s_lo = float(lo[-1])
+            if limit < len(z):      # NaN inside the block: reset there
+                s_hi = s_lo = 0.0
+                i += limit + 1
+            else:
+                i += len(z)
+        return out
+
+    def _detect_slow(self, batch: SeriesBatch) -> list[Detection]:
+        """Per-sample reference for :meth:`detect`."""
+        n = len(batch)
+        if n <= self.warmup:
+            return []
+        v = batch.values
+        mu, sigma = self._estimate(v)
         s_hi = 0.0
         s_lo = 0.0
         out = []

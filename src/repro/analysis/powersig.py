@@ -140,7 +140,7 @@ def detect_load_imbalance(
     exceeds ``spread_threshold`` and names the hot and cold cabinets.
     """
     vals = cabinet_sweep.values
-    comps = [str(c) for c in cabinet_sweep.components]
+    comps = [str(c) for c in cabinet_sweep.components.tolist()]
     finite = np.isfinite(vals) & (vals > 0)
     v = vals[finite]
     names = [c for c, ok in zip(comps, finite) if ok]

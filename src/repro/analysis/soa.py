@@ -1,0 +1,104 @@
+"""Struct-of-arrays state for streaming detectors.
+
+The streaming analysis plane consumes whole synchronized sweeps
+(27,648-component batches at Trinity scale), so per-series detector
+state must be addressable as arrays, not as one Python object per
+series.  :class:`ComponentTable` mirrors the
+:class:`~repro.cluster.node.NodeStore` design: a ``component -> row``
+index plus parallel float64 state columns, grown amortized-doubling as
+new components appear.  Detectors fancy-index whole sweeps against the
+columns in a handful of numpy operations.
+
+The only irreducibly per-component work is the string -> row mapping;
+the table memoizes it by the *identity* of the components array, so
+collectors that republish the same component array (the common steady
+state) pay for the mapping once.  Component arrays must therefore be
+treated as immutable once published — the same rule
+:class:`~repro.core.metric.SeriesBatch` already implies by exposing
+views, not copies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ComponentTable"]
+
+
+class ComponentTable:
+    """Component -> row index plus parallel float64 state columns.
+
+    ``columns`` maps column name -> fill value for newly added rows
+    (e.g. ``n=0.0, mean=0.0, minimum=math.inf``).  Columns are exposed
+    as attributes; rows beyond :attr:`size` are uninitialized capacity.
+    """
+
+    def __init__(self, **columns: float) -> None:
+        if not columns:
+            raise ValueError("ComponentTable needs at least one column")
+        self._fill = {k: float(v) for k, v in columns.items()}
+        self.index: dict[str, int] = {}
+        self.size = 0
+        self._cap = 0
+        for name, fill in self._fill.items():
+            setattr(self, name, np.empty(0, dtype=np.float64))
+        # identity-memoized mapping of the most recent components array
+        self._memo_comps: np.ndarray | None = None
+        self._memo_rows: np.ndarray | None = None
+        self._memo_unique = True
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return tuple(self._fill)
+
+    def _ensure(self, need: int) -> None:
+        """Grow every column to hold ``need`` rows (amortized doubling)."""
+        if need <= self._cap:
+            return
+        cap = max(16, self._cap)
+        while cap < need:
+            cap *= 2
+        for name, fill in self._fill.items():
+            old = getattr(self, name)
+            new = np.full(cap, fill, dtype=np.float64)
+            new[: len(old)] = old
+            setattr(self, name, new)
+        self._cap = cap
+
+    def rows(self, components: np.ndarray) -> tuple[np.ndarray, bool]:
+        """Row index per component, registering new components.
+
+        Returns ``(rows, unique)`` where ``unique`` is True when no
+        component repeats within ``components`` — the signal detectors
+        use to take the sort-free fancy-indexing fast path.  The result
+        is memoized by array identity, so repeated sweeps over the same
+        component array skip the per-component mapping entirely.
+        """
+        if components is self._memo_comps:
+            return self._memo_rows, self._memo_unique
+        comps = components.tolist()
+        index = self.index
+        before = self.size
+        size = before
+        rows = np.empty(len(comps), dtype=np.intp)
+        for i, c in enumerate(comps):
+            r = index.get(c)
+            if r is None:
+                r = index[c] = size
+                size += 1
+            rows[i] = r
+        self.size = size
+        self._ensure(size)
+        # all-new components are unique by construction; otherwise check
+        unique = (size - before == len(comps)) or len(set(comps)) == len(comps)
+        self._memo_comps = components
+        self._memo_rows = rows
+        self._memo_unique = unique
+        return rows, unique
+
+    def row(self, component: str) -> int | None:
+        """Row of one component, or None when it was never observed."""
+        return self.index.get(component)

@@ -55,7 +55,48 @@ def robust_zscores(x: np.ndarray) -> np.ndarray:
 
 
 def ewma(x: np.ndarray, alpha: float) -> np.ndarray:
-    """Exponentially weighted moving average (vectorized recurrence)."""
+    """Exponentially weighted moving average (vectorized recurrence).
+
+    The recurrence ``o_j = alpha*x_j + w*o_{j-1}`` (``w = 1 - alpha``)
+    has the closed form ``o_j = w^j * (w*acc + alpha * sum_l x_l w^-l)``
+    within a block, so it reduces to a scaled ``cumsum``.  ``w^-l``
+    grows without bound, so blocks are sized to keep it well inside
+    float64 range and the accumulator is carried across blocks.
+    """
+    if not (0 < alpha <= 1):
+        raise ValueError("alpha must be in (0, 1]")
+    x = np.asarray(x, dtype=float)
+    n = len(x)
+    if n == 0:
+        return np.empty_like(x)
+    if alpha == 1.0:
+        # still `x[i] + 0*acc` in the recurrence: 0*(nan or inf) = nan,
+        # so a non-finite sample poisons every later output (and the
+        # seed term poisons out[0] itself)
+        out = x.copy()
+        bad = np.logical_or.accumulate(~np.isfinite(x))
+        prev_bad = np.concatenate(([~np.isfinite(x[0])], bad[:-1]))
+        out[prev_bad] = np.nan
+        return out
+    w = 1.0 - alpha
+    # keep w^-(block-1) below ~1e200 so cumsum terms cannot overflow
+    block = max(1, min(n, int(200.0 / -np.log10(w))))
+    out = np.empty_like(x)
+    powers = w ** np.arange(block)
+    acc = x[0]
+    for start in range(0, n, block):
+        xb = x[start: start + block]
+        m = len(xb)
+        p = powers[:m]
+        s = np.cumsum(xb / p)
+        ob = p * (w * acc + alpha * s)
+        out[start: start + m] = ob
+        acc = ob[-1]
+    return out
+
+
+def _ewma_slow(x: np.ndarray, alpha: float) -> np.ndarray:
+    """Per-sample reference for :func:`ewma`."""
     if not (0 < alpha <= 1):
         raise ValueError("alpha must be in (0, 1]")
     x = np.asarray(x, dtype=float)
@@ -70,6 +111,17 @@ def ewma(x: np.ndarray, alpha: float) -> np.ndarray:
 def rolling_mean(x: np.ndarray, window: int) -> np.ndarray:
     """Trailing rolling mean; the first ``window-1`` points use what's
     available (expanding head) rather than NaN."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    x = np.asarray(x, dtype=float)
+    csum = np.concatenate([[0.0], np.cumsum(x)])
+    idx = np.arange(len(x))
+    lo = np.maximum(0, idx + 1 - window)
+    return (csum[idx + 1] - csum[lo]) / (idx + 1 - lo)
+
+
+def _rolling_mean_slow(x: np.ndarray, window: int) -> np.ndarray:
+    """Per-sample reference for :func:`rolling_mean`."""
     if window < 1:
         raise ValueError("window must be >= 1")
     x = np.asarray(x, dtype=float)

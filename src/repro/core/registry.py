@@ -304,6 +304,23 @@ def _builtin_specs() -> Iterable[MetricSpec]:
     yield MetricSpec("selfmon.actions.executed", "count", C, "monitor",
                      "Cumulative action executions recorded in the audit "
                      "log.")
+    yield MetricSpec("selfmon.analysis.batches", "count", C, "monitor",
+                     "Cumulative SeriesBatches consumed by one streaming "
+                     "detector (component = detector name).")
+    yield MetricSpec("selfmon.analysis.detections", "count", C, "monitor",
+                     "Cumulative detections emitted by one streaming "
+                     "detector.", higher_is_worse=True)
+    yield MetricSpec("selfmon.analysis.sweep_p50_ms", "ms", L, "monitor",
+                     "Median wall time one streaming detector spends "
+                     "consuming a batch (windowed histogram).",
+                     higher_is_worse=True)
+    yield MetricSpec("selfmon.analysis.sweep_p95_ms", "ms", L, "monitor",
+                     "p95 wall time one streaming detector spends "
+                     "consuming a batch.", higher_is_worse=True)
+    yield MetricSpec("selfmon.analysis.sweep_max_ms", "ms", L, "monitor",
+                     "Worst batch-consumption wall time of one streaming "
+                     "detector in the histogram window.",
+                     higher_is_worse=True)
     yield MetricSpec("selfmon.pipeline.tick_ms", "ms", L, "monitor",
                      "Mean wall time of one full pipeline tick over the "
                      "self-monitor cadence (from the root trace span).",

@@ -63,6 +63,9 @@ class HealthReport:
     shards: dict[str, dict[str, float]] = field(default_factory=dict)
     #: decompressed-chunk cache counters when the store carries a cache
     chunk_cache: dict[str, float] = field(default_factory=dict)
+    #: per-detector streaming-analysis counters (batches, detections,
+    #: sweep-latency percentiles) when streaming detectors are installed
+    analysis: dict[str, dict[str, float]] = field(default_factory=dict)
 
     @property
     def backpressured(self) -> list[str]:
@@ -145,6 +148,23 @@ class PipelineIntrospector:
                 }
                 for i, s in enumerate(per_shard())
             }
+        analysis: dict[str, dict[str, float]] = {}
+        for stage_obj in p.stages:
+            if getattr(stage_obj, "name", "") != "streaming":
+                continue
+            for det in getattr(stage_obj, "detectors", ()):
+                entry = {
+                    "batches": float(getattr(det, "batches_observed", 0)),
+                    "samples": float(getattr(det, "samples_observed", 0)),
+                    "detections": float(getattr(det, "detections_total", 0)),
+                }
+                hist = getattr(det, "latency", None)
+                if hist is not None and len(hist):
+                    s = hist.summary()
+                    entry["p50_ms"] = 1000.0 * s["p50_s"]
+                    entry["p95_ms"] = 1000.0 * s["p95_s"]
+                    entry["max_ms"] = 1000.0 * s["max_s"]
+                analysis[getattr(det, "name", type(det).__name__)] = entry
         chunk_cache: dict[str, float] = {}
         cstats = _cache_stats(p.tsdb)
         if cstats is not None:
@@ -181,6 +201,7 @@ class PipelineIntrospector:
             partitions=partitions,
             shards=shards,
             chunk_cache=chunk_cache,
+            analysis=analysis,
         )
 
     def render(self, slowest_n: int = 5) -> str:
@@ -256,6 +277,19 @@ class PipelineIntrospector:
                 f"resident={int(c['bytes'])} B "
                 f"(hit ratio {c['hit_ratio']:.2f})"
             )
+        if r.analysis:
+            lines.append("streaming detectors:")
+            for name, a in sorted(r.analysis.items()):
+                row = (
+                    f"  {name:<26} batches={int(a['batches']):<6}"
+                    f" detections={int(a['detections']):<5}"
+                )
+                if "p50_ms" in a:
+                    row += (
+                        f" p50={a['p50_ms']:7.3f} ms"
+                        f" p95={a['p95_ms']:7.3f} ms"
+                    )
+                lines.append(row)
         lines.append(
             f"response: {r.counts['sec_rule_fires']} rule fires over "
             f"{r.counts['sec_events_seen']} events, "

@@ -59,6 +59,11 @@ SELFMON_METRICS: tuple[str, ...] = (
     "selfmon.sec.rule_fires",
     "selfmon.sec.events_seen",
     "selfmon.actions.executed",
+    "selfmon.analysis.batches",
+    "selfmon.analysis.detections",
+    "selfmon.analysis.sweep_p50_ms",
+    "selfmon.analysis.sweep_p95_ms",
+    "selfmon.analysis.sweep_max_ms",
     "selfmon.pipeline.tick_ms",
 )
 
@@ -137,6 +142,15 @@ class SelfMonitor:
         """Fail fast if any self-metric is undocumented (Table I)."""
         for m in self.metrics:
             registry.get(m)
+
+    def _streaming_detectors(self) -> list:
+        """Instrumented detectors on the streaming stage (duck-typed:
+        custom detectors without the self-report surface are skipped)."""
+        for stage in getattr(self.pipeline, "stages", ()):
+            if getattr(stage, "name", "") == "streaming":
+                return [d for d in getattr(stage, "detectors", ())
+                        if hasattr(d, "latency") and hasattr(d, "name")]
+        return []
 
     # -- cadence -----------------------------------------------------------
 
@@ -297,6 +311,30 @@ class SelfMonitor:
         one("selfmon.sec.rule_fires", "sec", float(len(p.sec.requests)))
         one("selfmon.sec.events_seen", "sec", float(p.sec.events_seen))
         one("selfmon.actions.executed", "actions", float(len(p.actions.audit)))
+
+        # -- streaming analysis plane --------------------------------------
+        dets = self._streaming_detectors()
+        if dets:
+            names = [d.name for d in dets]
+            out.append(SeriesBatch.sweep(
+                "selfmon.analysis.batches", now, names,
+                [float(d.batches_observed) for d in dets]))
+            out.append(SeriesBatch.sweep(
+                "selfmon.analysis.detections", now, names,
+                [float(d.detections_total) for d in dets]))
+            timed = [d for d in dets if len(d.latency)]
+            if timed:
+                tnames = [d.name for d in timed]
+                summaries = [d.latency.summary() for d in timed]
+                out.append(SeriesBatch.sweep(
+                    "selfmon.analysis.sweep_p50_ms", now, tnames,
+                    [1000.0 * s["p50_s"] for s in summaries]))
+                out.append(SeriesBatch.sweep(
+                    "selfmon.analysis.sweep_p95_ms", now, tnames,
+                    [1000.0 * s["p95_s"] for s in summaries]))
+                out.append(SeriesBatch.sweep(
+                    "selfmon.analysis.sweep_max_ms", now, tnames,
+                    [1000.0 * s["max_s"] for s in summaries]))
 
         # -- pipeline tick time (from the tracer's root spans) -------------
         agg = p.tracer.snapshot_counts().get("tick")

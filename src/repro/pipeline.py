@@ -187,9 +187,21 @@ class MonitoringPipeline:
         """Attach a streaming analysis operator (Table I's "streaming"
         analysis location): it observes every matching batch at ingest,
         and any detections it queues drain into the response path each
-        tick."""
+        tick.  Detector names are uniquified before attaching, so the
+        per-detector ``selfmon.analysis.*`` gauges stay unambiguous when
+        two detectors of the same class are installed."""
         stage = self.stage("streaming")
         assert isinstance(stage, StreamingStage)
+        base = getattr(detector, "name", type(detector).__name__)
+        taken = {getattr(d, "name", "") for d in stage.detectors}
+        name, k = base, 2
+        while name in taken:
+            name = f"{base}-{k}"
+            k += 1
+        try:
+            detector.name = name
+        except AttributeError:     # read-only / slotted custom detector
+            pass
         detector.attach(self.bus, pattern)
         stage.detectors.append(detector)
         return detector

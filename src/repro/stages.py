@@ -134,12 +134,28 @@ class JobTrackingStage:
 
 
 class StreamingStage:
-    """Streaming detectors saw the sweeps at ingest; drain them now."""
+    """Streaming detectors saw the sweeps at ingest; drain them now.
+
+    Detectors self-report (batches/samples consumed, detections,
+    sweep-latency histogram — see ``_BusAttached``); the selfmon plane
+    reads those counters off this stage's ``detectors`` list to emit
+    the ``selfmon.analysis.*`` gauges.
+    """
 
     name = "streaming"
 
     def __init__(self) -> None:
         self.detectors: list = []
+
+    def detector(self, name: str):
+        """Look up an installed detector by its (uniquified) name."""
+        for det in self.detectors:
+            if getattr(det, "name", None) == name:
+                return det
+        raise KeyError(
+            f"no streaming detector named {name!r}; installed: "
+            f"{[getattr(d, 'name', type(d).__name__) for d in self.detectors]}"
+        )
 
     def run(self, pipeline, now):
         requests: list[ActionRequest] = []

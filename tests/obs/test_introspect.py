@@ -173,3 +173,42 @@ class TestTieredStackReport:
         text = p.introspect().render()
         assert "partitions:" in text
         assert "shards:" in text
+
+
+class TestAnalysisSection:
+    """Streaming detectors surface in the health report and render."""
+
+    @pytest.fixture(scope="class")
+    def streaming_run(self):
+        from repro.analysis.streaming import (
+            StreamingOutlierDetector,
+            StreamingStats,
+        )
+
+        p = default_pipeline(make_machine(), seed=2)
+        p.add_streaming(StreamingStats())
+        p.add_streaming(
+            StreamingOutlierDetector(("node.power_w",), z_threshold=4.0)
+        )
+        p.run(duration_s=600.0, dt=10.0)
+        return p
+
+    def test_report_covers_every_detector(self, streaming_run):
+        report = streaming_run.introspect().report()
+        assert set(report.analysis) == {
+            "StreamingStats", "StreamingOutlierDetector"
+        }
+        for entry in report.analysis.values():
+            assert entry["batches"] > 0
+            assert entry["samples"] > 0
+            assert entry["p50_ms"] <= entry["p95_ms"] <= entry["max_ms"]
+
+    def test_render_lists_detectors(self, streaming_run):
+        text = streaming_run.introspect().render()
+        assert "streaming detectors:" in text
+        assert "StreamingStats" in text
+
+    def test_no_detectors_no_section(self, monitored_run):
+        report = monitored_run.introspect().report()
+        assert report.analysis == {}
+        assert "streaming detectors:" not in monitored_run.introspect().render()

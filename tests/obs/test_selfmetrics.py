@@ -219,3 +219,59 @@ class TestCacheGauges:
         p.selfmon.maybe_emit(0.0)
         emitted = {b.metric for b in p.selfmon.sample(60.0, elapsed_s=60.0)}
         assert set(self.CACHE_METRICS) <= emitted
+
+
+class TestAnalysisGauges:
+    """selfmon.analysis.* appears exactly when streaming detectors are
+    installed, one component per detector name."""
+
+    ANALYSIS_METRICS = (
+        "selfmon.analysis.batches",
+        "selfmon.analysis.detections",
+        "selfmon.analysis.sweep_p50_ms",
+        "selfmon.analysis.sweep_p95_ms",
+        "selfmon.analysis.sweep_max_ms",
+    )
+
+    def test_names_declared_and_registered(self):
+        reg = default_registry()
+        for m in self.ANALYSIS_METRICS:
+            assert m in SELFMON_METRICS
+            reg.get(m)
+
+    def test_no_detectors_no_gauges(self):
+        p = small_pipeline()
+        p.selfmon.maybe_emit(0.0)
+        emitted = {b.metric for b in p.selfmon.sample(60.0, elapsed_s=60.0)}
+        assert not any(m.startswith("selfmon.analysis.") for m in emitted)
+
+    def test_detector_gauges_land_in_tsdb(self):
+        from repro.analysis.streaming import (
+            StreamingOutlierDetector,
+            StreamingStats,
+        )
+
+        p = small_pipeline(selfmon_interval_s=60.0)
+        p.add_streaming(StreamingStats())
+        p.add_streaming(
+            StreamingOutlierDetector(("node.cpu_util",), z_threshold=4.0)
+        )
+        p.run(duration_s=300.0, dt=10.0)
+        comps = set(p.tsdb.components("selfmon.analysis.batches"))
+        assert {"StreamingStats", "StreamingOutlierDetector"} <= comps
+        b = p.tsdb.query("selfmon.analysis.batches", "StreamingStats")
+        assert b.values[-1] > 0            # it really observed traffic
+        lat = p.tsdb.query(
+            "selfmon.analysis.sweep_p95_ms", "StreamingStats"
+        )
+        assert (lat.values >= 0.0).all()
+
+    def test_same_class_twice_gets_unique_gauge_components(self):
+        from repro.analysis.streaming import StreamingStats
+
+        p = small_pipeline(selfmon_interval_s=60.0)
+        p.add_streaming(StreamingStats())
+        p.add_streaming(StreamingStats())
+        p.run(duration_s=200.0, dt=10.0)
+        comps = set(p.tsdb.components("selfmon.analysis.batches"))
+        assert {"StreamingStats", "StreamingStats-2"} <= comps

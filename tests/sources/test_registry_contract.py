@@ -1,0 +1,83 @@
+"""The registry contract, enforced both ways.
+
+Section III-B: "all data flowing through the system should be
+registered" — a collector publishing a metric the registry has never
+heard of is a schema drift bug, and a *declared* metric that never
+shows up in a real sweep is dead documentation.  This test pins the
+full default collector complement to the default registry:
+
+* every name in ``Collector.metrics`` resolves in the registry,
+* every batch a collector emits carries a name it declared,
+* every declared name actually appears in a default-machine sweep
+  (GPUs on every node, one IO-active job so ``job.io_bps`` exists).
+"""
+
+import pytest
+
+from repro.cluster import Machine, build_dragonfly
+from repro.cluster.workload import APP_LIBRARY, Job
+from repro.core.registry import default_registry
+from repro.pipeline import default_collectors
+
+
+@pytest.fixture(scope="module")
+def machine():
+    """A machine warmed past the first checkpoint-IO burst, so the
+    conditionally-emitted ``job.io_bps`` surface is live."""
+    topo = build_dragonfly(groups=2, chassis_per_group=3,
+                           blades_per_chassis=4)
+    m = Machine(topo, gpu_nodes="all", seed=3)
+    m.scheduler.submit(Job(APP_LIBRARY["climate"], 16, 0.0, seed=1), 0.0)
+    while m.now < 3000.0 and not m.fs.job_io_Bps:
+        m.step(10.0)
+    assert m.fs.job_io_Bps, "climate job never performed IO"
+    return m
+
+
+@pytest.fixture(scope="module")
+def sweep(machine):
+    """metric -> emitting collector names, from one full sweep."""
+    emitted: dict[str, set[str]] = {}
+    for c in default_collectors(machine):
+        out = c.collect(machine, machine.now)
+        for b in out.batches:
+            emitted.setdefault(b.metric, set()).add(c.name)
+    return emitted
+
+
+class TestRegistryContract:
+    def test_every_declared_metric_is_registered(self, machine):
+        registry = default_registry()
+        for c in default_collectors(machine):
+            assert c.metrics, f"collector {c.name} declares no metrics"
+            for m in c.metrics:
+                assert m in registry, (
+                    f"collector {c.name} declares unregistered metric {m!r}"
+                )
+
+    def test_collectors_emit_only_declared_metrics(self, machine):
+        for c in default_collectors(machine):
+            out = c.collect(machine, machine.now)
+            emitted = {b.metric for b in out.batches}
+            undeclared = emitted - set(c.metrics)
+            assert not undeclared, (
+                f"collector {c.name} emitted undeclared metrics "
+                f"{sorted(undeclared)}"
+            )
+
+    def test_every_declared_metric_appears_in_a_sweep(self, machine, sweep):
+        declared = {
+            m: c.name
+            for c in default_collectors(machine)
+            for m in c.metrics
+        }
+        missing = sorted(m for m in declared if m not in sweep)
+        assert not missing, (
+            "declared but never emitted in a default-machine sweep: "
+            + ", ".join(f"{m} ({declared[m]})" for m in missing)
+        )
+
+    def test_verify_registered_accepts_default_complement(self, machine):
+        registry = default_registry()
+        for c in default_collectors(machine):
+            c.verify_registered(registry)   # must not raise

@@ -44,6 +44,8 @@ class TestCli:
         assert "selfmon.collector.sweep_p95_ms" in proc.stdout
         assert "chunk cache:" in proc.stdout
         assert "selfmon.store.cache_hits" in proc.stdout
+        assert "streaming detectors:" in proc.stdout
+        assert "selfmon.analysis.batches" in proc.stdout
 
     def test_scale_compares_transport_tiers(self):
         proc = run_cli("scale", "--hours", "0.1")
@@ -57,6 +59,10 @@ class TestCli:
         assert "storage plane" in proc.stdout
         for row in ("ingest rate", "cold query", "warm query",
                     "compression ratio"):
+            assert row in proc.stdout
+        assert "analysis plane" in proc.stdout
+        for row in ("streaming stats", "sweep outliers", "rate watch",
+                    "combined detector speedup"):
             assert row in proc.stdout
 
     def test_unknown_scenario_rejected(self):

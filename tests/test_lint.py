@@ -112,3 +112,66 @@ class TestImportCycles:
         })
         graph = check_mod.import_graph(tmp_path)
         assert check_mod.find_import_cycle(graph) is None
+
+
+class TestColumnarGate:
+    """The per-sample-loop lint keeping src/repro/analysis columnar."""
+
+    def test_analysis_plane_is_columnar(self):
+        assert check_mod.check_columnar_analysis() == []
+
+    def test_flags_zip_over_batch_columns(self, tmp_path):
+        f = tmp_path / "hot.py"
+        f.write_text(
+            "def f(batch):\n"
+            "    for c, v in zip(batch.components, batch.values):\n"
+            "        print(c, v)\n"
+        )
+        problems = check_mod.check_columnar(f)
+        assert len(problems) == 1
+        assert "per-sample loop" in problems[0]
+        assert ":2:" in problems[0]
+
+    def test_flags_direct_column_iteration(self, tmp_path):
+        f = tmp_path / "hot.py"
+        f.write_text(
+            "def f(batch):\n"
+            "    return [str(c) for c in batch.components]\n"
+        )
+        assert len(check_mod.check_columnar(f)) == 1
+
+    def test_flags_enumerate_over_columns(self, tmp_path):
+        f = tmp_path / "hot.py"
+        f.write_text(
+            "def f(batch):\n"
+            "    for i, v in enumerate(batch.values):\n"
+            "        print(i, v)\n"
+        )
+        assert len(check_mod.check_columnar(f)) == 1
+
+    def test_marker_suppresses(self, tmp_path):
+        f = tmp_path / "ref.py"
+        f.write_text(
+            "def f_slow(batch):\n"
+            "    for c, v in zip(batch.components, batch.values):"
+            "  # per-sample: allowed\n"
+            "        print(c, v)\n"
+        )
+        assert check_mod.check_columnar(f) == []
+
+    def test_unrelated_loops_pass(self, tmp_path):
+        f = tmp_path / "ok.py"
+        f.write_text(
+            "def f(xs, ys, batch):\n"
+            "    for a, b in zip(xs, ys):\n"
+            "        print(a, b)\n"
+            "    for c in batch.components.tolist():\n"
+            "        print(c)\n"
+            "    return batch.values * 2\n"
+        )
+        assert check_mod.check_columnar(f) == []
+
+    def test_syntax_errors_left_to_the_syntax_check(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text("def broken(:\n")
+        assert check_mod.check_columnar(f) == []
