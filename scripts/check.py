@@ -27,6 +27,14 @@ Both paths also gate on **per-sample loops over batch columns** inside
 over ``.components`` / ``.times`` / ``.values``) on the hot plane is a
 regression.  The retained scalar reference implementations mark their
 loops with ``# per-sample: allowed``.
+
+Finally both paths gate on **blind exception swallows** inside
+``src/repro``: an ``except Exception:`` (or bare ``except:``) whose
+body only discards (``pass``/``continue``/``break``/``...``) hides
+faults the supervised lifecycle exists to surface — the paper's sites
+report silent data loss as a top pain point.  Catch the specific
+exception, count/log the failure, or mark the line with
+``# swallow: allowed``.
 """
 
 from __future__ import annotations
@@ -269,6 +277,81 @@ def check_columnar(path: Path) -> list[str]:
     return problems
 
 
+#: handlers this broad that do nothing hide real faults (the paper's
+#: silent-syslog-loss lesson); catch something specific or record it
+_BLIND_TYPES = frozenset({"Exception", "BaseException"})
+_SWALLOW_MARKER = "# swallow: allowed"
+
+
+def _is_blind_handler(handler: ast.ExceptHandler) -> bool:
+    """True for ``except:`` / ``except Exception:`` (incl. as-names and
+    tuples containing one) whose body discards the exception outright."""
+    t = handler.type
+    if t is None:
+        broad = True                 # bare except
+    else:
+        names = t.elts if isinstance(t, ast.Tuple) else [t]
+        broad = any(
+            isinstance(n, ast.Name) and n.id in _BLIND_TYPES
+            for n in names
+        )
+    if not broad:
+        return False
+    return all(
+        isinstance(stmt, (ast.Pass, ast.Continue, ast.Break))
+        or (isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis)
+        for stmt in handler.body
+    )
+
+
+def check_swallows(path: Path) -> list[str]:
+    """Flag blind exception swallows in one module.
+
+    A handler is *blind* when it catches ``Exception`` (or everything)
+    and its body only discards — ``pass`` / ``continue`` / ``break`` /
+    ``...`` — so the fault neither surfaces nor gets accounted.  A
+    handler whose ``except`` line carries ``# swallow: allowed`` is
+    exempt (for the rare case where discarding is genuinely correct and
+    has been argued in a comment).
+    """
+    src = path.read_text()
+    try:
+        tree = ast.parse(src, filename=str(path))
+    except SyntaxError:
+        return []                    # surfaced by check_file already
+    lines = src.splitlines()
+    problems: list[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Try):
+            continue
+        for handler in node.handlers:
+            if not _is_blind_handler(handler):
+                continue
+            if _SWALLOW_MARKER in lines[handler.lineno - 1]:
+                continue
+            what = "bare except" if handler.type is None else \
+                "except Exception"
+            problems.append(
+                f"{path}:{handler.lineno}: blind swallow ({what} with a "
+                f"discard-only body); catch the specific exception, "
+                f"count/log the failure, or mark the line "
+                f"'{_SWALLOW_MARKER}'"
+            )
+    return problems
+
+
+def check_swallows_repro() -> list[str]:
+    """Run :func:`check_swallows` over all of ``src/repro``."""
+    root = REPO / "src" / "repro"
+    problems: list[str] = []
+    if root.is_dir():
+        for path in sorted(root.rglob("*.py")):
+            problems.extend(check_swallows(path))
+    return problems
+
+
 def check_columnar_analysis() -> list[str]:
     """Run :func:`check_columnar` over the whole analysis package."""
     root = REPO / "src" / "repro" / "analysis"
@@ -280,7 +363,8 @@ def check_columnar_analysis() -> list[str]:
 
 
 def lint() -> int:
-    gate_problems = check_import_cycles() + check_columnar_analysis()
+    gate_problems = (check_import_cycles() + check_columnar_analysis()
+                     + check_swallows_repro())
     for p in gate_problems:
         print(p)
     if gate_problems:

@@ -24,7 +24,14 @@ Scenarios:
                   storage-plane section (columnar ingest rate, cold vs
                   warm query latency, compression ratio) and an
                   analysis-plane section (streaming-detector sweep
-                  throughput at 27,648 components, columnar vs scalar).
+                  throughput at 27,648 components, columnar vs scalar);
+* ``chaos``       — break the monitoring plane itself (raising
+                  collector, hung collector, transport drop storm,
+                  TSDB shard outage) and show the supervised lifecycle
+                  riding it out: the health-transition timeline, the
+                  self-alerts the SEC raised about its own degradation,
+                  and the delivery ledger reconciling every published
+                  point as stored or accounted loss.
 """
 
 from __future__ import annotations
@@ -337,6 +344,90 @@ def _scale_analysis_plane(args) -> None:
     print(f"  combined detector speedup: {slow_sum / fast_sum:.1f}x")
 
 
+def cmd_chaos(args) -> int:
+    from .obs.chaos import (
+        ChaosTransport,
+        CollectorHang,
+        CollectorRaise,
+        MonitorFaultInjector,
+        ShardOutage,
+        TransportDropStorm,
+    )
+    from .pipeline import default_pipeline
+    from .transport.partitioned import PartitionedBus
+
+    machine = _build_machine(args.seed)
+    print(f"simulating {len(machine.topo.nodes)} nodes for "
+          f"{args.hours:g} h while injecting faults into the "
+          f"monitoring plane itself...")
+    pipeline = default_pipeline(
+        machine,
+        seed=args.seed,
+        transport=ChaosTransport(PartitionedBus()),
+        shards=4,
+        collector_budget_s=0.01,
+    )
+    inj = MonitorFaultInjector([
+        CollectorRaise(start=600.0, duration=900.0, target="sedc"),
+        CollectorHang(start=1200.0, duration=600.0,
+                      target="node_counters"),
+        TransportDropStorm(start=2000.0, duration=800.0, drop_every=3),
+        ShardOutage(start=3000.0, duration=1000.0, shard=1),
+    ])
+    print("\nfault schedule (monitor-side ground truth):")
+    for g in inj.ground_truth():
+        tgt = f" target={g['target']}" if g["target"] else ""
+        print(f"  {g['name']:<22} t=[{g['start']:.0f}, {g['end']:.0f})"
+              f"{tgt}")
+
+    dt = 10.0
+    end = machine.now + args.hours * 3600.0
+    while machine.now < end - 1e-9:
+        inj.step(pipeline, machine.now)
+        pipeline.step(dt)
+    inj.step(pipeline, machine.now)   # revert anything still open
+    pipeline.bus.flush()
+
+    print("\nhealth-transition timeline:")
+    print(pipeline.supervisor.timeline())
+
+    impaired = [
+        (name, rec) for name, rec in pipeline.health_report().items()
+        if rec["state"] != "ok"
+    ]
+    n = len(pipeline.health_report())
+    if impaired:
+        print(f"\nfinal health: {len(impaired)}/{n} components "
+              f"still impaired:")
+        for name, rec in impaired:
+            print(f"  {name}: {rec['state'].upper()} ({rec['reason']})")
+    else:
+        print(f"\nfinal health: all {n} supervised components OK "
+              f"(every fault healed)")
+
+    self_alerts = [a for a in pipeline.alerts.alerts
+                   if a.rule.startswith("monitor_self")]
+    print(f"\nself-alerts raised about the monitoring plane "
+          f"({len(self_alerts)}):")
+    for a in self_alerts[:8]:
+        print(f"  t={a.time:6.0f}s [{a.severity.name:8}] "
+              f"{a.rule:22} {a.message[:52]}")
+    if len(self_alerts) > 8:
+        print(f"  ... and {len(self_alerts) - 8} more")
+
+    report = pipeline.delivery_report()
+    print()
+    print(report.render())
+    ok = impaired == [] and report.balanced and inj.all_reverted()
+    print()
+    if ok:
+        print("chaos campaign PASSED: zero uncaught exceptions, all "
+              "components recovered, ledger reconciles exactly")
+    else:
+        print("chaos campaign FAILED: see above")
+    return 0 if ok else 1
+
+
 COMMANDS = {
     "demo": cmd_demo,
     "figures": cmd_figures,
@@ -344,6 +435,7 @@ COMMANDS = {
     "dashboard": cmd_dashboard,
     "obs": cmd_obs,
     "scale": cmd_scale,
+    "chaos": cmd_chaos,
 }
 
 

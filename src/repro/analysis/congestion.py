@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Sequence
 import networkx as nx
 import numpy as np
 
-from ..cluster.topology import Topology
+from ..cluster.topology import NoRouteError, Topology
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..storage.jobstore import Allocation
@@ -151,7 +151,7 @@ def jobs_touching_region(
         for i, j in pairs:
             try:
                 route = topo.route(nodes[i], nodes[j])
-            except Exception:
+            except NoRouteError:
                 continue
             if region_links.intersection(route):
                 touched.append(alloc.job_id)

@@ -33,6 +33,7 @@ from .scheduler import (
 from .topology import (
     DragonflyTopology,
     Link,
+    NoRouteError,
     Topology,
     TorusTopology,
     build_dragonfly,

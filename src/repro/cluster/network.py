@@ -26,7 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .topology import Topology
+from .topology import NoRouteError, Topology
 
 __all__ = ["Flow", "NetworkState", "FLIT_BYTES"]
 
@@ -128,7 +128,7 @@ class NetworkState:
                 continue
             try:
                 route = topo.route(f.src, f.dst)
-            except Exception:
+            except NoRouteError:
                 continue  # partitioned after link failures: flow drops
             if (
                 self.adaptive
@@ -227,7 +227,7 @@ class NetworkState:
                 candidate = self.topo.route(src, mid) + self.topo.route(
                     mid, dst
                 )
-            except Exception:
+            except NoRouteError:
                 continue
             cost = max((prev_util[i] for i in candidate), default=0.0)
             if cost < best_cost:

@@ -29,12 +29,22 @@ import networkx as nx
 
 __all__ = [
     "Link",
+    "NoRouteError",
     "Topology",
     "DragonflyTopology",
     "TorusTopology",
     "build_dragonfly",
     "build_torus",
 ]
+
+
+class NoRouteError(Exception):
+    """No path exists between two nodes (network partitioned by faults).
+
+    The specific, expected condition callers handle when routing across
+    a degraded fabric — distinct from programming errors, which must
+    propagate.
+    """
 
 
 @dataclass(frozen=True, slots=True)
@@ -118,7 +128,13 @@ class Topology:
         cached = self._route_cache.get(key)
         if cached is not None:
             return cached
-        path = self._router_path(ra, rb)
+        try:
+            path = self._router_path(ra, rb)
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise NoRouteError(
+                f"no route {src_node} -> {dst_node} "
+                f"(routers {ra} -> {rb})"
+            ) from exc
         idxs = tuple(
             self.graph.edges[u, v]["link"].index
             for u, v in zip(path, path[1:])

@@ -325,6 +325,40 @@ def _builtin_specs() -> Iterable[MetricSpec]:
                      "Mean wall time of one full pipeline tick over the "
                      "self-monitor cadence (from the root trace span).",
                      higher_is_worse=True)
+    yield MetricSpec("selfmon.health.state", "state", G, "monitor",
+                     "Supervised-component health (component = supervised "
+                     "name): 0 = OK, 1 = DEGRADED, 2 = FAILED.",
+                     higher_is_worse=True)
+    yield MetricSpec("selfmon.health.transitions", "count", C, "monitor",
+                     "Cumulative health-state transitions across every "
+                     "supervised monitoring component.",
+                     higher_is_worse=True)
+    yield MetricSpec("selfmon.ledger.published_points", "samples", C,
+                     "monitor",
+                     "Cumulative metric points stamped at the transport "
+                     "publish edge (the delivery-ledger baseline).")
+    yield MetricSpec("selfmon.ledger.stored_points", "samples", C, "monitor",
+                     "Cumulative metric points confirmed appended to the "
+                     "numeric store (incl. redo-buffer replays).")
+    yield MetricSpec("selfmon.ledger.lost_points", "samples", C, "monitor",
+                     "Cumulative metric points lost with a known cause "
+                     "(partition overflow, leaf overflow, chaos drop, "
+                     "store error, redo eviction).", higher_is_worse=True)
+    yield MetricSpec("selfmon.ledger.pending_points", "samples", G,
+                     "monitor",
+                     "Points parked in failed-shard redo buffers awaiting "
+                     "recovery replay.", higher_is_worse=True)
+    yield MetricSpec("selfmon.ledger.inflight_points", "samples", G,
+                     "monitor",
+                     "Points buffered inside the transport (partition "
+                     "queues / coalescing windows) awaiting delivery.")
+    yield MetricSpec("selfmon.ledger.unaccounted_points", "samples", G,
+                     "monitor",
+                     "Residual of the delivery-ledger balance identity; "
+                     "nonzero means silent loss.",
+                     derivation="published - stored - lost - pending "
+                                "- in_flight",
+                     higher_is_worse=True)
 
 
 def default_registry() -> MetricRegistry:

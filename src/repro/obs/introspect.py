@@ -28,6 +28,7 @@ STAGES: tuple[str, ...] = (
     "job-tracking",
     "streaming",
     "analysis-hooks",
+    "supervision",
     "response",
     "selfmon",
 )
@@ -66,6 +67,10 @@ class HealthReport:
     #: per-detector streaming-analysis counters (batches, detections,
     #: sweep-latency percentiles) when streaming detectors are installed
     analysis: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: per-component supervised health when supervision is enabled
+    health: dict[str, dict] = field(default_factory=dict)
+    #: delivery-ledger reconciliation when the ledger is attached
+    ledger: dict[str, float] = field(default_factory=dict)
 
     @property
     def backpressured(self) -> list[str]:
@@ -175,6 +180,20 @@ class PipelineIntrospector:
                 "bytes": float(cstats.bytes),
                 "hit_ratio": cstats.hit_ratio,
             }
+        health = (p.health_report()
+                  if callable(getattr(p, "health_report", None)) else {})
+        ledger: dict[str, float] = {}
+        balance = (p.delivery_report()
+                   if callable(getattr(p, "delivery_report", None)) else None)
+        if balance is not None:
+            ledger = {
+                "published": float(balance.published),
+                "stored": float(balance.stored),
+                "lost": float(balance.lost),
+                "pending": float(balance.pending),
+                "in_flight": float(balance.in_flight),
+                "unaccounted": float(balance.unaccounted),
+            }
         return HealthReport(
             ticks=ticks,
             stages=stages,
@@ -202,6 +221,8 @@ class PipelineIntrospector:
             shards=shards,
             chunk_cache=chunk_cache,
             analysis=analysis,
+            health=health,
+            ledger=ledger,
         )
 
     def render(self, slowest_n: int = 5) -> str:
@@ -290,6 +311,31 @@ class PipelineIntrospector:
                         f" p95={a['p95_ms']:7.3f} ms"
                     )
                 lines.append(row)
+        if r.health:
+            impaired = {n: h for n, h in r.health.items()
+                        if h.get("state") != "ok"}
+            lines.append(
+                f"supervised components: {len(r.health)} "
+                f"({len(impaired)} impaired)"
+            )
+            for name, h in sorted(impaired.items()):
+                lines.append(
+                    f"  {name:<24} {h['state'].upper():<9}"
+                    f" failures={int(h['failures'])}"
+                    f" trips={int(h['trips'])}"
+                    + (f"  ({h['reason']})" if h.get("reason") else "")
+                )
+        if r.ledger:
+            lg = r.ledger
+            verdict = ("balanced" if lg["unaccounted"] == 0
+                       else "IMBALANCED")
+            lines.append(
+                f"delivery ledger: published={int(lg['published'])} "
+                f"stored={int(lg['stored'])} lost={int(lg['lost'])} "
+                f"pending={int(lg['pending'])} "
+                f"in_flight={int(lg['in_flight'])} "
+                f"unaccounted={int(lg['unaccounted'])} ({verdict})"
+            )
         lines.append(
             f"response: {r.counts['sec_rule_fires']} rule fires over "
             f"{r.counts['sec_events_seen']} events, "

@@ -65,6 +65,14 @@ SELFMON_METRICS: tuple[str, ...] = (
     "selfmon.analysis.sweep_p95_ms",
     "selfmon.analysis.sweep_max_ms",
     "selfmon.pipeline.tick_ms",
+    "selfmon.health.state",
+    "selfmon.health.transitions",
+    "selfmon.ledger.published_points",
+    "selfmon.ledger.stored_points",
+    "selfmon.ledger.lost_points",
+    "selfmon.ledger.pending_points",
+    "selfmon.ledger.inflight_points",
+    "selfmon.ledger.unaccounted_points",
 )
 
 
@@ -335,6 +343,30 @@ class SelfMonitor:
                 out.append(SeriesBatch.sweep(
                     "selfmon.analysis.sweep_max_ms", now, tnames,
                     [1000.0 * s["max_s"] for s in summaries]))
+
+        # -- supervised lifecycle + delivery ledger ------------------------
+        sup = getattr(p, "supervisor", None)
+        if sup is not None and sup.components:
+            names = sorted(sup.components)
+            out.append(SeriesBatch.sweep(
+                "selfmon.health.state", now, names,
+                [float(sup.components[n].health.code) for n in names]))
+            one("selfmon.health.transitions", "supervisor",
+                float(len(sup.transitions)))
+        report = (p.delivery_report()
+                  if callable(getattr(p, "delivery_report", None)) else None)
+        if report is not None:
+            one("selfmon.ledger.published_points", "ledger",
+                float(report.published))
+            one("selfmon.ledger.stored_points", "ledger",
+                float(report.stored))
+            one("selfmon.ledger.lost_points", "ledger", float(report.lost))
+            one("selfmon.ledger.pending_points", "ledger",
+                float(report.pending))
+            one("selfmon.ledger.inflight_points", "ledger",
+                float(report.in_flight))
+            one("selfmon.ledger.unaccounted_points", "ledger",
+                float(report.unaccounted))
 
         # -- pipeline tick time (from the tracer's root spans) -------------
         agg = p.tracer.snapshot_counts().get("tick")

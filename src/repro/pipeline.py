@@ -31,6 +31,8 @@ from typing import Callable, Sequence
 from .analysis.anomaly import Detection
 from .cluster.machine import Machine
 from .core.events import Event
+from .core.ledger import BalanceReport, DeliveryLedger
+from .core.lifecycle import Supervisor
 from .core.metric import SeriesBatch
 from .core.registry import MetricRegistry, default_registry
 from .obs.introspect import PipelineIntrospector
@@ -84,6 +86,8 @@ class MonitoringPipeline:
         transport: Transport | None = None,
         tsdb=None,
         stages: Sequence[Stage] | None = None,
+        supervision: bool = True,
+        collector_budget_s: float | None = None,
     ) -> None:
         self.machine = machine
         self.registry = registry or default_registry()
@@ -97,12 +101,28 @@ class MonitoringPipeline:
         self.jobs = JobIndex()
         self.sql = SqlStore()
 
+        # supervised lifecycle + exact delivery accounting: every plane
+        # reports into one Supervisor, every tracked point into one
+        # DeliveryLedger (attached to the transport's publish edge and
+        # the store's redo path)
+        self.supervisor: Supervisor | None = (
+            Supervisor() if supervision else None
+        )
+        self.ledger: DeliveryLedger | None = (
+            DeliveryLedger() if supervision else None
+        )
+        if self.ledger is not None:
+            self.bus.ledger = self.ledger
+            if hasattr(self.tsdb, "redo_pending_points"):
+                self.tsdb.ledger = self.ledger
+
         # self-observability plane: span tracing + meta-metrics
         # identity check: an empty tracer is falsy (len == ring size),
         # and a disabled one must stay disabled
         self.tracer = tracer if tracer is not None else Tracer()
         self.scheduler = CollectionScheduler(
-            self.bus, self.registry, tracer=self.tracer
+            self.bus, self.registry, tracer=self.tracer,
+            supervisor=self.supervisor, budget_s=collector_budget_s,
         )
         for c in collectors:
             self.scheduler.add(c)
@@ -119,6 +139,9 @@ class MonitoringPipeline:
             list(stages) if stages is not None else default_stages()
         )
         self._pending_requests: list[ActionRequest] = []
+        # supervision component names, built lazily (hot loop: no
+        # per-tick string formatting)
+        self._stage_keys: dict[str, str] = {}
 
         # metric fan-out: one subscription stores everything numeric;
         # selfmon.* meta-metrics ride the same path into the same TSDB
@@ -148,8 +171,28 @@ class MonitoringPipeline:
 
     def _on_metric(self, env) -> None:
         payload = env.payload
-        if isinstance(payload, SeriesBatch):
-            self.tsdb.append(payload)
+        if not isinstance(payload, SeriesBatch):
+            return
+        ledger = self.ledger
+        try:
+            stored = self.tsdb.append(payload)
+        except Exception as exc:
+            # a raising store degrades the tick, never kills ingest of
+            # later batches; the points become accounted loss
+            if ledger is not None and ledger.tracks(env.topic):
+                ledger.lost_batch("store-error", payload)
+            if self.supervisor is not None:
+                self.supervisor.record(
+                    "store", False, self.machine.now,
+                    reason=f"append raised {type(exc).__name__}",
+                )
+            return
+        if ledger is not None and ledger.tracks(env.topic):
+            ledger.stored_batch(payload, stored)
+            # points the store neither stored nor parked in a redo
+            # buffer (single-store partial ingest) would surface here
+            # as unaccounted; the sharded store defers the difference,
+            # so nothing extra to stamp
 
     def _on_event(self, env) -> None:
         payload = env.payload
@@ -220,12 +263,34 @@ class MonitoringPipeline:
         dt = self.tick_s if dt is None else dt
         tracer = self.tracer
         pending = self._pending_requests
+        sup = self.supervisor
         with tracer.span("tick"):
             self.machine.step(dt)
             now = self.machine.now
+            keys = self._stage_keys
             for stage in self.stages:
+                if sup is not None:
+                    key = keys.get(stage.name)
+                    if key is None:
+                        key = keys[stage.name] = "stage:" + stage.name
+                    if not sup.should_run(key, now):
+                        continue   # quarantined: degrade the tick
                 with tracer.span(stage.name):
-                    raised = stage.run(self, now)
+                    if sup is None:
+                        raised = stage.run(self, now)
+                    else:
+                        try:
+                            raised = stage.run(self, now)
+                        except Exception as exc:
+                            # a failing stage degrades the tick instead
+                            # of killing it; the breaker quarantines a
+                            # repeat offender under backoff
+                            sup.record(
+                                key, False, now,
+                                reason=f"raised {type(exc).__name__}",
+                            )
+                            continue
+                        sup.record(key, True, now)
                     if raised:
                         pending.extend(raised)
 
@@ -241,6 +306,32 @@ class MonitoringPipeline:
         end = self.machine.now + total
         while self.machine.now < end - 1e-9:
             self.step(dt)
+
+    # -- supervision / accounting surfaces ------------------------------------------------------
+
+    def delivery_report(self) -> BalanceReport | None:
+        """Reconcile the ledger against live pending/in-flight gauges.
+
+        ``pending`` is whatever is parked in the store's redo buffers,
+        ``in_flight`` whatever sits in transport queues/windows — after
+        ``bus.flush()`` with all shards recovered, both are zero and the
+        identity collapses to ``published == stored + accounted_lost``.
+        """
+        if self.ledger is None:
+            return None
+        pending = 0
+        redo = getattr(self.tsdb, "redo_pending_points", None)
+        if redo is not None:
+            pending = redo()
+        return self.ledger.balance(
+            pending=pending, in_flight=self.bus.in_flight_points()
+        )
+
+    def health_report(self) -> dict[str, dict]:
+        """Per-component supervision summary (empty when unsupervised)."""
+        if self.supervisor is None:
+            return {}
+        return self.supervisor.report()
 
     # -- convenience surfaces -------------------------------------------------------------------
 

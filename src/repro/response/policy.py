@@ -119,6 +119,26 @@ def default_rules() -> list[SingleRule | PairRule | ThresholdRule]:
             action="alert",
             severity=Severity.WARNING,
         ),
+        # the monitor watching itself: a supervised pipeline component
+        # degrading or failing means the data everything above relies on
+        # is suspect — escalate rather than silently thinning coverage
+        SingleRule(
+            name="monitor_self_degraded",
+            pattern=r"monitor component .* -> (DEGRADED|FAILED)",
+            action="alert",
+            severity=Severity.ALERT,
+        ),
+        # repeated self-degradation of the same component: flapping
+        # collector / lossy transport — page, don't just log
+        ThresholdRule(
+            name="monitor_self_flap",
+            pattern=r"monitor component .* -> (DEGRADED|FAILED)",
+            count=3,
+            window_s=3600.0,
+            action="alert",
+            severity=Severity.CRITICAL,
+            per_component=True,
+        ),
     ]
 
 

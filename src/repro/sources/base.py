@@ -15,11 +15,19 @@ same timestamp (the synchronized-sweep property the analyses rely on) —
 and publishes results onto any :class:`~repro.transport.base.Transport`
 (flat bus, partitioned bus, or aggregator tree — the scheduler only
 needs ``publish``).
+
+Collectors are supervised: a raising or over-budget collector is
+isolated (its error counted, the sweep continues with the remaining
+collectors) and, when a :class:`~repro.core.lifecycle.Supervisor` is
+attached, quarantined under deterministic backoff with half-open
+probes — a broken data source can never take down collection of
+everything else.
 """
 
 from __future__ import annotations
 
 import abc
+import logging
 import time as _time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -30,8 +38,11 @@ from ..obs.hist import LatencyHistogram
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..cluster.machine import Machine
+    from ..core.lifecycle import Supervisor
     from ..obs.trace import Tracer
     from ..transport.base import Transport
+
+_log = logging.getLogger(__name__)
 
 __all__ = ["CollectorOutput", "Collector", "CollectionScheduler"]
 
@@ -66,6 +77,8 @@ class Collector(abc.ABC):
         self.sweeps = 0
         self.samples_produced = 0
         self.collect_wall_s = 0.0   # measured overhead (Table I concern)
+        self.errors = 0
+        self.last_error: BaseException | None = None
 
     @abc.abstractmethod
     def collect(self, machine: "Machine", now: float) -> CollectorOutput:
@@ -92,11 +105,20 @@ class CollectionScheduler:
         registry: MetricRegistry | None = None,
         measure_overhead: bool = True,
         tracer: "Tracer | None" = None,
+        supervisor: "Supervisor | None" = None,
+        budget_s: float | None = None,
     ) -> None:
         self.bus = bus
         self.registry = registry
         self.measure_overhead = measure_overhead
         self.tracer = tracer
+        #: optional Supervisor quarantining misbehaving collectors
+        self.supervisor = supervisor
+        #: wall-clock budget per sweep per collector; exceeding it is a
+        #: supervised failure (the "hung collector" signature)
+        self.budget_s = budget_s
+        #: collector sweeps skipped while quarantined (diagnostic)
+        self.quarantine_skips = 0
         #: per-collector sweep-latency histograms (self-monitoring surface)
         self.latency: dict[str, LatencyHistogram] = {}
         self._collectors: list[Collector] = []
@@ -116,27 +138,59 @@ class CollectionScheduler:
         return list(self._collectors)
 
     def poll(self, machine: "Machine", now: float) -> CollectorOutput:
-        """Run every due collector against the current machine state."""
+        """Run every due collector against the current machine state.
+
+        A raising collector is isolated — its error is counted (and
+        recorded with the supervisor when one is attached), but the
+        sweep continues with the remaining collectors.  A quarantined
+        collector is skipped entirely (its schedule still advances, so
+        recovery does not trigger a catch-up burst).
+        """
         total = CollectorOutput()
         tracer = self.tracer
+        sup = self.supervisor
         for i, c in enumerate(self._collectors):
             if now + 1e-9 < self._next_due[i]:
                 continue
-            t0 = _time.perf_counter() if self.measure_overhead else 0.0
-            if tracer is not None and tracer.enabled:
-                with tracer.span("collect", collector=c.name):
-                    out = c.collect(machine, now)
-            else:
-                out = c.collect(machine, now)
-            if self.measure_overhead:
-                wall = _time.perf_counter() - t0
-                c.collect_wall_s += wall
-                self.latency[c.name].record(wall)
-            c.sweeps += 1
-            c.samples_produced += out.n_samples
             # schedule strictly forward, skipping missed slots
             while self._next_due[i] <= now + 1e-9:
                 self._next_due[i] += c.interval_s
+            key = "collector:" + c.name if sup is not None else ""
+            if sup is not None and not sup.should_run(key, now):
+                self.quarantine_skips += 1
+                continue
+            timing = self.measure_overhead or self.budget_s is not None
+            t0 = _time.perf_counter() if timing else 0.0
+            try:
+                if tracer is not None and tracer.enabled:
+                    with tracer.span("collect", collector=c.name):
+                        out = c.collect(machine, now)
+                else:
+                    out = c.collect(machine, now)
+            except Exception as exc:
+                c.errors += 1
+                c.last_error = exc
+                _log.warning("collector %r raised during sweep: %r",
+                             c.name, exc)
+                if sup is not None:
+                    sup.record(key, False, now,
+                               reason=f"raised {type(exc).__name__}")
+                continue
+            wall = (_time.perf_counter() - t0) if timing else 0.0
+            if self.measure_overhead:
+                c.collect_wall_s += wall
+                self.latency[c.name].record(wall)
+            if (self.budget_s is not None and wall > self.budget_s):
+                # over budget: the hung-collector signature — results
+                # still count, but supervision sees a failure
+                c.errors += 1
+                if sup is not None:
+                    sup.record(key, False, now,
+                               reason=f"over budget ({wall:.3f}s)")
+            elif sup is not None:
+                sup.record(key, True, now)
+            c.sweeps += 1
+            c.samples_produced += out.n_samples
             for b in out.batches:
                 self.bus.publish(f"metrics.{b.metric}", b, source=c.name)
             for e in out.events:

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from ..cluster.topology import NoRouteError
 from ..core.events import Event, EventKind, Severity
 from ..core.metric import SeriesBatch
 from .base import Collector, CollectorOutput
@@ -134,7 +135,7 @@ class NetworkBenchmark(Benchmark):
             i, j = rng.choice(len(nodes), size=2, replace=False)
             try:
                 route = topo.route(nodes[i], nodes[j])
-            except Exception:
+            except NoRouteError:
                 slowdowns.append(0.05)   # partitioned path
                 continue
             worst = max((util[k] for k in route), default=0.0)

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
+from .core.events import Event, EventKind, Severity
+from .core.lifecycle import Health
 from .response.policy import detections_to_requests
 from .response.sec import ActionRequest
 
@@ -34,6 +36,7 @@ __all__ = [
     "JobTrackingStage",
     "StreamingStage",
     "AnalysisHooksStage",
+    "SupervisionStage",
     "ResponseStage",
     "SelfMonStage",
     "default_stages",
@@ -206,6 +209,82 @@ class AnalysisHooksStage:
         return requests
 
 
+class SupervisionStage:
+    """The monitoring system watching its own planes.
+
+    Each tick it (1) derives transport and store health from their own
+    stats surfaces — new drops or delivery errors since the last tick
+    degrade the component, with heal hysteresis in the supervisor —
+    and (2) turns every fresh health transition (including those the
+    scheduler and stage guards recorded earlier in the tick) into an
+    :class:`~repro.core.events.Event` on the bus and into the SEC, so
+    monitor self-degradation escalates exactly like machine trouble
+    (Table I: the monitoring system must not fail silently).
+    """
+
+    name = "supervision"
+
+    def __init__(self) -> None:
+        self._last_drops = 0
+        self._last_errors = 0
+        self._seen_transitions = 0
+
+    def run(self, pipeline, now):
+        sup = pipeline.supervisor
+        if sup is None:
+            return ()
+
+        # transport health from its own delivery accounting
+        stats = pipeline.bus.stats()
+        drops, errors = stats.dropped, stats.errors
+        if drops > self._last_drops or errors > self._last_errors:
+            sup.observe(
+                "transport", Health.DEGRADED, now,
+                reason=(f"+{drops - self._last_drops} drops, "
+                        f"+{errors - self._last_errors} errors"),
+            )
+        else:
+            sup.observe("transport", Health.OK, now)
+        self._last_drops, self._last_errors = drops, errors
+
+        # store health: per-shard when the store is sharded
+        shard_health = getattr(pipeline.tsdb, "shard_health", None)
+        if shard_health is not None:
+            states = shard_health()
+            for i, h in enumerate(states):
+                sup.observe(f"store:shard-{i}", h, now,
+                            reason="shard outage" if h is not Health.OK
+                            else "")
+            if any(h is not Health.OK for h in states):
+                sup.observe("store", Health.DEGRADED, now,
+                            reason="shard outage")
+            else:
+                sup.observe("store", Health.OK, now)
+        else:
+            sup.observe("store", Health.OK, now)
+
+        # every fresh transition -> HEALTH event on the bus + SEC feed
+        fresh = sup.transitions[self._seen_transitions:]
+        self._seen_transitions = len(sup.transitions)
+        if not fresh:
+            return ()
+        events = []
+        for tr in fresh:
+            worse = tr.new.code > tr.old.code
+            events.append(Event(
+                time=now,
+                kind=EventKind.HEALTH,
+                severity=Severity.ERROR if worse else Severity.NOTICE,
+                component=f"monitor:{tr.component}",
+                message=tr.describe(),
+            ))
+        for ev in events:
+            pipeline.bus.publish(f"events.{ev.kind.value}", ev,
+                                 source="supervision")
+        pipeline.bus.pump(now)
+        return pipeline.sec.feed(events)
+
+
 class ResponseStage:
     """Execute every request the earlier stages raised this tick."""
 
@@ -238,6 +317,7 @@ def default_stages() -> list[Stage]:
         JobTrackingStage(),
         StreamingStage(),
         AnalysisHooksStage(),
+        SupervisionStage(),
         ResponseStage(),
         SelfMonStage(),
     ]

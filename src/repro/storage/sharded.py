@@ -13,15 +13,25 @@ merges per-shard counters into one O(1) ``stats()``.  The query layer
 shared :class:`~repro.storage.tsdb.SeriesQueryMixin`, so callers cannot
 tell K shards from one store — the acceptance oracle the sharding
 tests enforce.
+
+Shards are :class:`~repro.core.lifecycle.Supervised`: a failed shard
+(``fail_shard``) degrades the store to the remaining shards — writes
+bound for it divert into a bounded *redo buffer* (visible as ledger
+``pending``; overflow evicts oldest as accounted ``lost``), reads
+against it return empty — and on ``recover_shard`` the redo buffer is
+replayed into the healed shard, so the only data lost under an outage
+is what the redo bound explicitly evicted.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterable
 
 import numpy as np
 
 from ..core.hashing import stable_bucket
+from ..core.lifecycle import Health
 from ..core.metric import MetricKey, SeriesBatch
 from .chunkcache import ChunkCache, ChunkCacheStats
 from .tsdb import SeriesQueryMixin, StoreStats, TimeSeriesStore
@@ -38,7 +48,8 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
     """
 
     def __init__(self, shards: int = 4, chunk_size: int = 512,
-                 cache: ChunkCache | None = None) -> None:
+                 cache: ChunkCache | None = None,
+                 redo_points: int = 100_000) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self.n_shards = int(shards)
@@ -47,6 +58,18 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
             TimeSeriesStore(chunk_size=chunk_size, cache=self.cache)
             for _ in range(self.n_shards)
         ]
+        #: optional DeliveryLedger stamped at redo defer/evict/replay
+        self.ledger = None
+        self._health = [Health.OK] * self.n_shards
+        # per-shard FIFO of batches parked while the shard is failed
+        self._redo: list[deque[SeriesBatch]] = [
+            deque() for _ in range(self.n_shards)
+        ]
+        self.redo_points = int(redo_points)   # bound per shard, in points
+        self._redo_depth = [0] * self.n_shards
+        self.redo_deferred = 0    # points ever parked
+        self.redo_evicted = 0     # points evicted by the bound (lost)
+        self.redo_replayed = 0    # points replayed on recovery
 
     # -- routing ------------------------------------------------------------
 
@@ -58,10 +81,94 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
     def _owner(self, metric: str, component: str) -> TimeSeriesStore:
         return self.shards[self.shard_of(metric, component)]
 
+    # -- supervised lifecycle -------------------------------------------------
+
+    def shard_health(self) -> list[Health]:
+        """Per-shard condition (the supervision-stage surface)."""
+        return list(self._health)
+
+    def health(self) -> Health:
+        """Worst shard condition: one failed shard degrades the store."""
+        if any(h is Health.FAILED for h in self._health):
+            return Health.DEGRADED if self.n_shards > 1 else Health.FAILED
+        return Health.OK
+
+    def fail_shard(self, i: int) -> None:
+        """Take shard ``i`` out: subsequent writes for it park in the
+        redo buffer, reads against it return empty."""
+        self._health[i] = Health.FAILED
+
+    def recover_shard(self, i: int) -> int:
+        """Bring shard ``i`` back and replay its redo buffer into it.
+
+        Returns the number of points replayed.  Replayed points are
+        stamped ``stored`` on the ledger here — ingest-time accounting
+        deliberately skipped them (they were ``pending``, not stored).
+        """
+        self._health[i] = Health.OK
+        replayed = 0
+        redo = self._redo[i]
+        while redo:
+            batch = redo.popleft()
+            n = self.shards[i].append(batch)
+            replayed += n
+            if self.ledger is not None:
+                self.ledger.stored_batch(batch, n)
+        self._redo_depth[i] = 0
+        self.redo_replayed += replayed
+        return replayed
+
+    def fail(self, reason: str = "") -> None:
+        """Supervised surface: fail every shard."""
+        for i in range(self.n_shards):
+            self.fail_shard(i)
+
+    def heal(self) -> None:
+        """Supervised surface: recover every failed shard."""
+        for i in range(self.n_shards):
+            if self._health[i] is not Health.OK:
+                self.recover_shard(i)
+
+    def redo_pending_points(self) -> int:
+        """Points parked in redo buffers (the ledger ``pending`` gauge)."""
+        return sum(self._redo_depth)
+
+    def _defer(self, i: int, piece: SeriesBatch) -> None:
+        """Park a failed shard's sub-batch, evicting oldest past the
+        bound (evictions are exact accounted loss)."""
+        redo = self._redo[i]
+        redo.append(piece)
+        self._redo_depth[i] += len(piece)
+        self.redo_deferred += len(piece)
+        while self._redo_depth[i] > self.redo_points and len(redo) > 1:
+            old = redo.popleft()
+            self._redo_depth[i] -= len(old)
+            self.redo_evicted += len(old)
+            if self.ledger is not None:
+                self.ledger.lost_batch("shard-redo-overflow", old)
+        if self._redo_depth[i] > self.redo_points:
+            # a single batch larger than the bound: truncate its head
+            old = redo.popleft()
+            excess = self._redo_depth[i] - self.redo_points
+            kept = SeriesBatch(old.metric, old.components[excess:],
+                               old.times[excess:], old.values[excess:])
+            redo.appendleft(kept)
+            self._redo_depth[i] -= excess
+            self.redo_evicted += excess
+            if self.ledger is not None:
+                self.ledger.lost_points(
+                    "shard-redo-overflow", old.metric, excess
+                )
+
     # -- ingest ---------------------------------------------------------------
 
     def append(self, batch: SeriesBatch) -> int:
-        """Split a batch by owning shard and ingest each piece."""
+        """Split a batch by owning shard and ingest each piece.
+
+        Returns points actually stored; pieces bound for a failed shard
+        divert into its redo buffer and do not count (they are the
+        ledger's ``pending`` until recovery replays them).
+        """
         n = len(batch)
         if n == 0:
             return 0
@@ -73,14 +180,17 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
         stored = 0
         for shard_i in np.unique(idx):
             mask = idx == shard_i
-            stored += self.shards[int(shard_i)].append(
-                SeriesBatch(
-                    batch.metric,
-                    batch.components[mask],
-                    batch.times[mask],
-                    batch.values[mask],
-                )
+            i = int(shard_i)
+            piece = SeriesBatch(
+                batch.metric,
+                batch.components[mask],
+                batch.times[mask],
+                batch.values[mask],
             )
+            if self._health[i] is Health.FAILED:
+                self._defer(i, piece)
+                continue
+            stored += self.shards[i].append(piece)
         return stored
 
     def append_many(self, batches: Iterable[SeriesBatch]) -> int:
@@ -94,9 +204,12 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
     # -- query (fan-out) ------------------------------------------------------
 
     def keys(self, metric: str | None = None) -> list[MetricKey]:
-        """Series names across every shard, in single-store order."""
+        """Series names across every healthy shard, in single-store
+        order (a failed shard's series are unreachable until recovery)."""
         out: list[MetricKey] = []
-        for s in self.shards:
+        for i, s in enumerate(self.shards):
+            if self._health[i] is Health.FAILED:
+                continue
             out.extend(s.keys(metric))
         return sorted(out, key=str)
 
@@ -110,8 +223,12 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
         t0: float = -np.inf,
         t1: float = np.inf,
     ) -> SeriesBatch:
-        """Range query: one series lives on exactly one shard."""
-        return self._owner(metric, component).query(metric, component, t0, t1)
+        """Range query: one series lives on exactly one shard.  A query
+        against a failed shard degrades to empty instead of raising."""
+        i = self.shard_of(metric, component)
+        if self._health[i] is Health.FAILED:
+            return SeriesBatch.empty(metric)
+        return self.shards[i].query(metric, component, t0, t1)
 
     def _series_view(self, metric: str, component: str):
         """Chunk-level surface for the summary-pruned downsample path."""

@@ -78,13 +78,20 @@ class _LeafAggregator:
         self.dropped_batches = 0
         self.dropped_points = 0
 
-    def offer(self, topic: str, batch: SeriesBatch) -> None:
+    def offer(
+        self, topic: str, batch: SeriesBatch
+    ) -> tuple[str, SeriesBatch] | None:
+        """Buffer; returns the evicted (topic, batch) when drop-oldest
+        fires (so the tree can account the loss), else None."""
+        evicted = None
         if len(self.pending) >= self.maxlen:
-            _, old, _ = self.pending.popleft()   # drop-oldest under storm
+            old_tp, old, _ = self.pending.popleft()  # drop-oldest under storm
             self.dropped_batches += 1
             self.dropped_points += len(old)
+            evicted = (old_tp, old)
         t = float(batch.times.min()) if len(batch) else float("-inf")
         self.pending.append((topic, batch, t))
+        return evicted
 
     def take_due(
         self, now: float | None, window_s: float
@@ -200,7 +207,15 @@ class AggregatorTree(Transport):
         if isinstance(payload, SeriesBatch):
             self._batches_in += 1
             self._points_in += len(payload)
-            self._leaves[self.leaf_of(topic, source)].offer(topic, payload)
+            ledger = self.ledger
+            if ledger is not None and ledger.tracks(topic):
+                ledger.published_batch(source, payload)
+            evicted = self._leaves[self.leaf_of(topic, source)].offer(
+                topic, payload
+            )
+            if (evicted is not None and ledger is not None
+                    and ledger.tracks(evicted[0])):
+                ledger.lost_batch("leaf-overflow", evicted[1])
             return 0
         return self._root.publish(topic, payload, source)
 
@@ -224,6 +239,22 @@ class AggregatorTree(Transport):
             self._root.publish(topic, batch, source="aggtree")
             moved += 1
         return moved
+
+    def in_flight_points(self) -> int:
+        """Tracked points buffered in leaf coalescing windows.
+
+        The root bus delivers synchronously inside its ``publish``, so
+        only the leaves hold points between pumps.
+        """
+        ledger = self.ledger
+        if ledger is None:
+            return 0
+        total = 0
+        for leaf in self._leaves:
+            for tp, batch, _ in leaf.pending:
+                if ledger.tracks(tp):
+                    total += len(batch)
+        return total
 
     # -- self-monitoring surfaces -------------------------------------------
 

@@ -169,7 +169,23 @@ class Transport(abc.ABC):
     the pipeline at stage boundaries) or :meth:`flush` (force
     everything out, e.g. at end of run).  Consumers never care: they
     subscribe once and see the same envelopes either way.
+
+    When :attr:`ledger` is attached, implementations stamp every
+    tracked :class:`~repro.core.metric.SeriesBatch` as ``published`` at
+    the publish edge and every internal drop as accounted loss, so the
+    ledger's balance identity holds exactly (see
+    :mod:`repro.core.ledger`).
     """
+
+    #: optional DeliveryLedger; attached by the pipeline, stamped by
+    #: each implementation at its publish edge and loss sites
+    ledger = None
+
+    def in_flight_points(self) -> int:
+        """Points buffered inside the transport awaiting delivery
+        (partition queues, coalescing windows).  Synchronous transports
+        hold nothing between calls."""
+        return 0
 
     @abc.abstractmethod
     def subscribe(

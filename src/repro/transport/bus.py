@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+from repro.core.metric import SeriesBatch
+
 from .base import (
     BusStats,
     MatchCacheInfo,
@@ -84,6 +86,10 @@ class MessageBus(Transport):
         env = Envelope(topic=topic, payload=payload, source=source,
                        seq=self._seq)
         self._published += 1
+        ledger = self.ledger
+        if (ledger is not None and isinstance(payload, SeriesBatch)
+                and ledger.tracks(topic)):
+            ledger.published_batch(source, payload)
         hits = 0
         matches = self._matcher.matches
         for sub in self._subs:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..core.hashing import stable_bucket
+from ..core.metric import SeriesBatch
 from .base import BusStats, PatternMatcher, Subscription, Transport
 from .message import Envelope
 
@@ -47,12 +48,16 @@ class _Partition:
         self.dropped = 0
         self.enqueued = 0
 
-    def offer(self, env: Envelope) -> None:
+    def offer(self, env: Envelope) -> Envelope | None:
+        """Enqueue; returns the evicted envelope when drop-oldest fires
+        (so the caller can account the loss), else None."""
+        evicted = None
         if len(self.queue) >= self.maxlen:
-            self.queue.popleft()       # drop-oldest under storm
+            evicted = self.queue.popleft()   # drop-oldest under storm
             self.dropped += 1
         self.queue.append(env)
         self.enqueued += 1
+        return evicted
 
 
 class PartitionedBus(Transport):
@@ -119,7 +124,16 @@ class PartitionedBus(Transport):
         env = Envelope(topic=topic, payload=payload, source=source,
                        seq=self._seq)
         self._published += 1
-        self._parts[self.partition_of(topic)].offer(env)
+        ledger = self.ledger
+        tracked = (ledger is not None and isinstance(payload, SeriesBatch)
+                   and ledger.tracks(topic))
+        if tracked:
+            ledger.published_batch(source, payload)
+        evicted = self._parts[self.partition_of(topic)].offer(env)
+        if (evicted is not None and ledger is not None
+                and isinstance(evicted.payload, SeriesBatch)
+                and ledger.tracks(evicted.topic)):
+            ledger.lost_batch("partition-overflow", evicted.payload)
         return 0
 
     def pump(self, now: float | None = None) -> int:
@@ -137,6 +151,19 @@ class PartitionedBus(Transport):
                 self._delivered += hits
                 moved += 1
         return moved
+
+    def in_flight_points(self) -> int:
+        """Tracked points sitting in partition queues awaiting pump."""
+        ledger = self.ledger
+        if ledger is None:
+            return 0
+        total = 0
+        for part in self._parts:
+            for env in part.queue:
+                if (isinstance(env.payload, SeriesBatch)
+                        and ledger.tracks(env.topic)):
+                    total += len(env.payload)
+        return total
 
     # -- self-monitoring surfaces -------------------------------------------
 

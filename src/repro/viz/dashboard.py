@@ -183,6 +183,35 @@ class Dashboard:
                      max(skew * 1.5, 2.0),
                      "ok" if skew < 1.5 else "warn")
             )
+        # supervised-lifecycle / delivery-ledger panels (absent when the
+        # pipeline runs unsupervised)
+        health = self._latest_sweep("selfmon.health.state", window_s, now)
+        if len(health):
+            worst = float(health.values.max())
+            impaired = int((health.values > 0).sum())
+            out.append(
+                Tile(f"monitor health ({len(health)} components)",
+                     float(impaired), " impaired", max(len(health), 1.0),
+                     "ok" if worst == 0 else
+                     "warn" if worst == 1 else "crit")
+            )
+        lost = self._latest_sweep("selfmon.ledger.lost_points", window_s, now)
+        pub = self._latest_sweep("selfmon.ledger.published_points",
+                                 window_s, now)
+        if len(lost) and len(pub) and float(pub.values[-1]) > 0:
+            frac = 100.0 * float(lost.values[-1]) / float(pub.values[-1])
+            out.append(
+                Tile("accounted loss", frac, "%", 100.0,
+                     "ok" if frac == 0 else "warn" if frac < 5 else "crit")
+            )
+        silent = self._latest_sweep("selfmon.ledger.unaccounted_points",
+                                    window_s, now)
+        if len(silent):
+            val = float(silent.values[-1])
+            out.append(
+                Tile("unaccounted points", val, "", max(abs(val) * 2, 10.0),
+                     "ok" if val == 0 else "crit")
+            )
         return out
 
     def render(self, now: float, window_s: float = 600.0) -> str:

@@ -1,0 +1,182 @@
+"""Supervised-lifecycle unit tests: breaker, backoff, supervisor."""
+
+import pytest
+
+from repro.core.lifecycle import (
+    BackoffSchedule,
+    CircuitBreaker,
+    Health,
+    Supervised,
+    Supervisor,
+    Transition,
+)
+
+
+class TestHealth:
+    def test_codes_are_ordered_by_badness(self):
+        assert Health.OK.code == 0
+        assert Health.DEGRADED.code == 1
+        assert Health.FAILED.code == 2
+
+
+class TestBackoffSchedule:
+    def test_exponential_and_capped(self):
+        b = BackoffSchedule(base_s=60.0, factor=2.0, max_s=3600.0)
+        assert b.delay(0) == 60.0
+        assert b.delay(1) == 120.0
+        assert b.delay(2) == 240.0
+        assert b.delay(10) == 3600.0     # capped
+
+    def test_deterministic_no_jitter(self):
+        b = BackoffSchedule()
+        assert all(b.delay(k) == b.delay(k) for k in range(8))
+
+    def test_negative_trips_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffSchedule().delay(-1)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_streak(self):
+        br = CircuitBreaker(trip_after=3)
+        br.record_failure(0.0)
+        br.record_failure(10.0)
+        assert br.state == br.CLOSED
+        br.record_failure(20.0)
+        assert br.state == br.OPEN
+        assert br.retry_at == 20.0 + br.backoff.delay(0)
+
+    def test_success_resets_streak(self):
+        br = CircuitBreaker(trip_after=3)
+        br.record_failure(0.0)
+        br.record_failure(10.0)
+        br.record_success(20.0)
+        br.record_failure(30.0)
+        br.record_failure(40.0)
+        assert br.state == br.CLOSED     # streak never reached 3
+
+    def test_half_open_probe_closes_on_success(self):
+        br = CircuitBreaker(trip_after=1,
+                            backoff=BackoffSchedule(base_s=100.0))
+        br.record_failure(0.0)
+        assert br.state == br.OPEN
+        assert not br.allow(50.0)        # still quarantined
+        assert br.allow(100.0)           # backoff elapsed: one probe
+        assert br.state == br.HALF_OPEN
+        br.record_success(100.0)
+        assert br.state == br.CLOSED
+        assert br.allow(100.0)
+
+    def test_failed_probe_reopens_with_longer_backoff(self):
+        br = CircuitBreaker(trip_after=1,
+                            backoff=BackoffSchedule(base_s=100.0,
+                                                    factor=2.0))
+        br.record_failure(0.0)           # trip 0: retry at 100
+        assert br.allow(100.0)
+        br.record_failure(100.0)         # probe fails: trip 1
+        assert br.state == br.OPEN
+        assert br.retry_at == 100.0 + 200.0
+        assert not br.allow(250.0)
+        assert br.allow(300.0)
+
+    def test_trip_after_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(trip_after=0)
+
+
+class TestSupervisorCallDriven:
+    def test_healthy_component_runs_free(self):
+        sup = Supervisor()
+        for t in range(5):
+            assert sup.should_run("collector:x", float(t))
+            sup.record("collector:x", True, float(t))
+        assert sup.health("collector:x") is Health.OK
+        assert sup.transitions == []     # no churn on the happy path
+
+    def test_failure_streak_degrades_then_quarantines(self):
+        sup = Supervisor(trip_after=3)
+        for t in (0.0, 10.0, 20.0):
+            sup.record("collector:x", False, t, reason="boom")
+        assert sup.health("collector:x") is Health.FAILED
+        assert not sup.should_run("collector:x", 25.0)
+        states = [(tr.old, tr.new) for tr in sup.transitions]
+        assert states == [(Health.OK, Health.DEGRADED),
+                          (Health.DEGRADED, Health.FAILED)]
+
+    def test_half_open_probe_recovers_component(self):
+        sup = Supervisor(trip_after=1,
+                         backoff=BackoffSchedule(base_s=60.0))
+        sup.record("collector:x", False, 0.0, reason="boom")
+        assert not sup.should_run("collector:x", 30.0)
+        assert sup.should_run("collector:x", 60.0)   # half-open probe
+        sup.record("collector:x", True, 60.0)
+        assert sup.health("collector:x") is Health.OK
+        assert sup.should_run("collector:x", 61.0)
+
+    def test_transition_describe_is_sec_matchable(self):
+        tr = Transition(5.0, "collector:x", Health.OK, Health.FAILED,
+                        "raised RuntimeError")
+        assert tr.describe() == (
+            "monitor component collector:x OK -> FAILED: "
+            "raised RuntimeError"
+        )
+
+
+class TestSupervisorObservationDriven:
+    def test_heal_hysteresis(self):
+        sup = Supervisor(heal_after=2)
+        sup.observe("transport", Health.DEGRADED, 0.0, reason="drops")
+        assert sup.health("transport") is Health.DEGRADED
+        sup.observe("transport", Health.OK, 10.0)
+        assert sup.health("transport") is Health.DEGRADED  # 1 clean < 2
+        sup.observe("transport", Health.OK, 20.0)
+        assert sup.health("transport") is Health.OK
+
+    def test_dirty_observation_resets_clean_streak(self):
+        sup = Supervisor(heal_after=2)
+        sup.observe("transport", Health.DEGRADED, 0.0)
+        sup.observe("transport", Health.OK, 10.0)
+        sup.observe("transport", Health.DEGRADED, 20.0)   # reset
+        sup.observe("transport", Health.OK, 30.0)
+        assert sup.health("transport") is Health.DEGRADED
+
+    def test_explicit_fail_heal(self):
+        sup = Supervisor()
+        sup.fail("store:shard-1", 5.0, reason="outage")
+        assert sup.health("store:shard-1") is Health.FAILED
+        assert sup.worst() is Health.FAILED
+        sup.heal("store:shard-1", 15.0, reason="recovered")
+        assert sup.health("store:shard-1") is Health.OK
+        assert sup.all_ok()
+
+
+class TestSupervisorReporting:
+    def test_report_and_timeline(self):
+        sup = Supervisor(trip_after=2)
+        sup.record("a", False, 0.0, reason="x")
+        sup.record("a", False, 10.0, reason="x")
+        sup.record("b", True, 10.0)
+        rep = sup.report()
+        assert set(rep) == {"a", "b"}
+        assert rep["a"]["state"] == "failed"
+        assert rep["a"]["quarantined"] == 1.0
+        assert rep["b"]["state"] == "ok"
+        tl = sup.timeline()
+        assert "monitor component a OK -> DEGRADED" in tl
+        assert "monitor component a DEGRADED -> FAILED" in tl
+
+    def test_empty_timeline(self):
+        assert Supervisor().timeline() == "(no health transitions)"
+
+    def test_supervised_protocol_duck_typing(self):
+        class Thing:
+            def health(self):
+                return Health.OK
+
+            def heal(self):
+                pass
+
+            def fail(self, reason=""):
+                pass
+
+        assert isinstance(Thing(), Supervised)

@@ -270,3 +270,97 @@ class TestScheduler:
         out = InjectionCollector().collect(machine, machine.now)
         vals = out.batches[0].values
         assert (vals >= 0).all() and (vals <= 1.0 + 1e-9).all()
+
+
+class Boom(Collector):
+    """Collector that raises on every sweep."""
+
+    metrics = ()
+
+    def __init__(self, interval_s=60.0):
+        super().__init__("boom", interval_s)
+
+    def collect(self, machine, now):
+        raise RuntimeError("kaboom")
+
+
+class TestSchedulerFaultIsolation:
+    def test_raising_collector_does_not_abort_the_sweep(self, machine):
+        """The regression this PR fixes: one bad collector used to kill
+        the whole poll, starving every collector after it in the list."""
+        sched = CollectionScheduler(MessageBus())
+        boom = sched.add(Boom())
+        healthy = sched.add(NodeCounterCollector(interval_s=60.0))
+        for t in (0.0, 60.0, 120.0):
+            sched.poll(machine, t)       # must not raise
+        assert healthy.sweeps == 3       # ran despite boom preceding it
+        assert boom.sweeps == 0
+        assert boom.errors == 3
+        assert isinstance(boom.last_error, RuntimeError)
+
+    def test_raising_collector_keeps_its_schedule(self, machine):
+        """Failures advance the schedule: no catch-up burst on heal."""
+        sched = CollectionScheduler(MessageBus())
+        boom = sched.add(Boom())
+        sched.poll(machine, 0.0)
+        sched.poll(machine, 10.0)        # not due: no extra attempt
+        assert boom.errors == 1
+        sched.poll(machine, 60.0)
+        assert boom.errors == 2
+
+    def test_supervisor_quarantines_repeat_offender(self, machine):
+        from repro.core.lifecycle import BackoffSchedule, Health, Supervisor
+
+        # backoff longer than the interval, so the next due slot lands
+        # inside the quarantine window (not on a half-open probe)
+        sup = Supervisor(trip_after=3,
+                         backoff=BackoffSchedule(base_s=600.0))
+        sched = CollectionScheduler(MessageBus(), supervisor=sup)
+        boom = sched.add(Boom())
+        for t in (0.0, 60.0, 120.0):     # three strikes
+            sched.poll(machine, t)
+        assert sup.health("collector:boom") is Health.FAILED
+        skips_before = sched.quarantine_skips
+        sched.poll(machine, 180.0)       # quarantined: skipped, no error
+        assert boom.errors == 3
+        assert sched.quarantine_skips == skips_before + 1
+
+    def test_half_open_probe_recovers_healed_collector(self, machine):
+        from repro.core.lifecycle import BackoffSchedule, Health, Supervisor
+
+        sup = Supervisor(trip_after=1,
+                         backoff=BackoffSchedule(base_s=60.0))
+        sched = CollectionScheduler(MessageBus(), supervisor=sup)
+        boom = sched.add(Boom())
+        sched.poll(machine, 0.0)         # trips immediately
+        assert sup.health("collector:boom") is Health.FAILED
+        boom.collect = lambda machine, now: CollectorOutput()  # heal it
+        sched.poll(machine, 60.0)        # backoff elapsed: probe runs
+        assert sup.health("collector:boom") is Health.OK
+        assert boom.sweeps == 1
+
+    def test_over_budget_sweep_is_a_supervised_failure(self, machine):
+        import time
+
+        from repro.core.lifecycle import Supervisor
+
+        class Slow(Collector):
+            metrics = ()
+
+            def __init__(self):
+                super().__init__("slow", 60.0)
+
+            def collect(self, machine, now):
+                time.sleep(0.005)
+                return CollectorOutput()
+
+        sup = Supervisor()
+        sched = CollectionScheduler(MessageBus(), supervisor=sup,
+                                    budget_s=0.001)
+        slow = sched.add(Slow())
+        sched.poll(machine, 0.0)
+        assert slow.sweeps == 1          # the results still count...
+        assert slow.errors == 1          # ...but the overrun is recorded
+        rec = sup.report()["collector:slow"]
+        assert rec["state"] == "degraded"
+        assert "over budget" in rec["reason"]

@@ -84,6 +84,102 @@ class TestSingleStoreEquivalence:
         assert MetricKey("m0.value", "c3") not in sharded.keys()
 
 
+class TestShardFailover:
+    def batch(self, n=16, t=0.0, metric="m.value"):
+        return SeriesBatch.sweep(metric, t, [f"c{j}" for j in range(n)],
+                                 [float(j) for j in range(n)])
+
+    def shard_split(self, store, batch):
+        """points of ``batch`` owned by each shard index."""
+        counts = [0] * store.n_shards
+        for c in batch.components:
+            counts[store.shard_of(batch.metric, str(c))] += 1
+        return counts
+
+    def test_failed_shard_defers_to_redo_not_stored(self):
+        from repro.core.lifecycle import Health
+
+        store = ShardedTimeSeriesStore(shards=4)
+        b = self.batch()
+        split = self.shard_split(store, b)
+        store.fail_shard(1)
+        assert store.shard_health()[1] is Health.FAILED
+        assert store.health() is Health.DEGRADED   # others still serve
+        stored = store.append(b)
+        assert stored == len(b) - split[1]
+        assert store.redo_pending_points() == split[1]
+
+    def test_recover_replays_redo_exactly(self):
+        store = ShardedTimeSeriesStore(shards=4)
+        b = self.batch()
+        split = self.shard_split(store, b)
+        store.fail_shard(1)
+        store.append(b)
+        replayed = store.recover_shard(1)
+        assert replayed == split[1]
+        assert store.redo_pending_points() == 0
+        # every component queryable again, including shard 1's
+        for c in b.components:
+            assert len(store.query(b.metric, str(c))) == 1
+
+    def test_query_on_failed_shard_returns_empty_not_raises(self):
+        store = ShardedTimeSeriesStore(shards=4)
+        b = self.batch()
+        store.append(b)
+        victim = str(b.components[0])
+        i = store.shard_of(b.metric, victim)
+        store.fail_shard(i)
+        out = store.query(b.metric, victim)
+        assert len(out) == 0 and out.metric == b.metric
+        assert all(store.shard_of(k.metric, k.component) != i
+                   for k in store.keys())    # failed shard's keys hidden
+        store.recover_shard(i)
+        assert len(store.query(b.metric, victim)) == 1
+
+    def test_redo_overflow_evicts_oldest_as_accounted_loss(self):
+        from repro.core.ledger import DeliveryLedger
+
+        store = ShardedTimeSeriesStore(shards=1, redo_points=40)
+        ledger = DeliveryLedger()
+        store.ledger = ledger
+        store.fail_shard(0)
+        for k in range(5):                       # 5 x 16 points > 40
+            b = self.batch(t=float(k), metric="metrics.m")
+            ledger.published_batch("test", b)
+            store.append(b)
+        assert store.redo_pending_points() <= 40
+        lost = ledger.lost_by_cause()
+        assert lost.get("shard-redo-overflow", 0) == \
+            5 * 16 - store.redo_pending_points()
+        # identity holds with the redo buffer as `pending`
+        report = ledger.balance(pending=store.redo_pending_points(),
+                                in_flight=0)
+        assert report.balanced, report.render()
+        # recovery replays the survivors; identity still exact
+        store.recover_shard(0)
+        report = ledger.balance(pending=0, in_flight=0)
+        assert report.balanced, report.render()
+        assert report.stored == store.stats().samples
+
+    def test_single_shard_failure_is_total_failure(self):
+        from repro.core.lifecycle import Health
+
+        store = ShardedTimeSeriesStore(shards=1)
+        store.fail_shard(0)
+        assert store.health() is Health.FAILED
+
+    def test_supervised_surface(self):
+        from repro.core.lifecycle import Health, Supervised
+
+        store = ShardedTimeSeriesStore(shards=2)
+        assert isinstance(store, Supervised)
+        assert store.health() is Health.OK
+        store.fail("injected")
+        assert store.health() is not Health.OK
+        store.heal()
+        assert store.health() is Health.OK
+
+
 class TestPerShardSurfaces:
     def test_per_shard_stats_sum_to_total(self):
         sharded = ShardedTimeSeriesStore(shards=4)

@@ -126,3 +126,106 @@ def test_random_fault_campaign_survives(seed):
 
     # the event plane kept flowing
     assert pipeline.router.events_routed >= n_faults  # faults emit events
+
+
+# -- monitor-side chaos: breaking the monitoring plane itself -----------------
+
+def random_monitor_fault(rng, t):
+    """One randomly parameterized *monitor* fault at time ``t``."""
+    from repro.obs.chaos import (
+        CollectorHang,
+        CollectorRaise,
+        ShardOutage,
+        TransportDropStorm,
+        TransportDuplication,
+    )
+
+    duration = float(rng.uniform(300.0, 1500.0))
+    target = str(rng.choice(["sedc", "net_links", "fs_probes",
+                             "environment", "node_counters"]))
+    choices = [
+        lambda: CollectorRaise(start=t, duration=duration, target=target),
+        lambda: CollectorHang(start=t, duration=duration, target=target,
+                              stall_s=0.02),
+        lambda: TransportDropStorm(start=t, duration=duration,
+                                   drop_every=int(rng.integers(2, 6))),
+        lambda: TransportDuplication(start=t, duration=duration,
+                                     duplicate_every=int(
+                                         rng.integers(2, 6))),
+        lambda: ShardOutage(start=t, duration=duration,
+                            shard=int(rng.integers(0, 4))),
+    ]
+    return choices[int(rng.integers(0, len(choices)))]()
+
+
+@pytest.mark.parametrize("seed", [5, 29])
+def test_monitor_fault_campaign_survives(seed):
+    """Faults in the monitoring plane itself: the pipeline never raises,
+    every supervised component returns to OK after the fault clears, and
+    the delivery ledger reconciles exactly."""
+    from repro.core.lifecycle import Health
+    from repro.obs.chaos import ChaosTransport, MonitorFaultInjector
+    from repro.transport.partitioned import PartitionedBus
+
+    rng = np.random.default_rng(seed)
+    topo = build_dragonfly(groups=2, chassis_per_group=3,
+                           blades_per_chassis=4)
+    machine = Machine(
+        topo,
+        placement=PackedPlacement(),
+        job_generator=JobGenerator(mean_interarrival_s=200,
+                                   max_nodes=24, seed=seed),
+        gpu_nodes="all",
+        seed=seed,
+    )
+    # machine weather AND monitor faults, overlapping
+    machine.faults.add(HungNode(start=600.0, duration=900.0,
+                                node=topo.nodes[3]))
+    pipeline = default_pipeline(
+        machine,
+        seed=seed,
+        transport=ChaosTransport(PartitionedBus()),
+        shards=4,
+        collector_budget_s=0.01,
+    )
+    total_s = 4000.0
+    inj = MonitorFaultInjector([
+        random_monitor_fault(rng, float(rng.uniform(60.0, 2000.0)))
+        for _ in range(int(rng.integers(3, 6)))
+    ])
+    # shard outages must clear early enough for the supervised-store
+    # hysteresis (two clean selfmon observations) to heal before the end
+    for f in inj.faults:
+        f.duration = min(f.duration, total_s - f.start - 600.0)
+
+    dt = 10.0
+    end = machine.now + total_s
+    while machine.now < end - 1e-9:       # must not raise, ever
+        inj.step(pipeline, machine.now)
+        pipeline.step(dt)
+    inj.step(pipeline, machine.now)
+    pipeline.bus.flush()
+
+    # every fault was applied and reverted on schedule
+    assert inj.all_reverted()
+
+    # every supervised component recovered once its fault cleared
+    sup = pipeline.supervisor
+    impaired = {name: rec.health for name, rec in sup.components.items()
+                if rec.health is not Health.OK}
+    assert impaired == {}, sup.timeline()
+
+    # the ledger reconciles exactly: zero silent loss
+    report = pipeline.delivery_report()
+    assert report.balanced, report.render()
+    assert report.pending == 0 and report.in_flight == 0
+    assert report.published == report.stored + report.lost
+    # any loss is attributed to a known cause
+    assert set(report.lost_by_cause) <= {
+        "chaos-drop", "partition-overflow", "shard-redo-overflow",
+        "store-error",
+    }
+
+    # the faults actually bit (the campaign exercised something) and
+    # the timeline recorded the impairment episodes
+    assert len(sup.transitions) > 0

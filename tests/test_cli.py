@@ -65,6 +65,22 @@ class TestCli:
                     "combined detector speedup"):
             assert row in proc.stdout
 
+    def test_chaos_scenario_recovers_and_reconciles(self):
+        proc = run_cli("chaos", "--hours", "1.2")
+        assert proc.returncode == 0
+        assert "fault schedule" in proc.stdout
+        assert "health-transition timeline:" in proc.stdout
+        assert "monitor component" in proc.stdout
+        # the supervised lifecycle healed everything...
+        assert "supervised components OK" in proc.stdout
+        # ...the SEC escalated on the monitor's own degradation...
+        assert "monitor_self_degraded" in proc.stdout
+        # ...and the ledger reconciled exactly
+        assert "delivery ledger" in proc.stdout
+        assert "unaccounted" in proc.stdout
+        assert "balanced: published == stored + lost" in proc.stdout
+        assert "chaos campaign PASSED" in proc.stdout
+
     def test_unknown_scenario_rejected(self):
         proc = run_cli("nonsense")
         assert proc.returncode != 0

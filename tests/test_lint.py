@@ -175,3 +175,95 @@ class TestColumnarGate:
         f = tmp_path / "bad.py"
         f.write_text("def broken(:\n")
         assert check_mod.check_columnar(f) == []
+
+
+class TestSwallowGate:
+    """The blind-exception-swallow lint keeping failures accounted."""
+
+    def test_src_repro_has_no_blind_swallows(self):
+        assert check_mod.check_swallows_repro() == []
+
+    def test_flags_except_exception_pass(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text(
+            "def f(x):\n"
+            "    try:\n"
+            "        return 1 / x\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        problems = check_mod.check_swallows(f)
+        assert len(problems) == 1
+        assert "blind swallow" in problems[0]
+        assert ":4:" in problems[0]
+
+    def test_flags_bare_except_continue(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        try:\n"
+            "            print(1 / x)\n"
+            "        except:\n"
+            "            continue\n"
+        )
+        problems = check_mod.check_swallows(f)
+        assert len(problems) == 1
+        assert "bare except" in problems[0]
+
+    def test_flags_exception_in_tuple(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text(
+            "def f(x):\n"
+            "    try:\n"
+            "        return 1 / x\n"
+            "    except (ValueError, Exception):\n"
+            "        ...\n"
+        )
+        assert len(check_mod.check_swallows(f)) == 1
+
+    def test_specific_exception_passes(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text(
+            "def f(x):\n"
+            "    try:\n"
+            "        return 1 / x\n"
+            "    except ZeroDivisionError:\n"
+            "        pass\n"
+        )
+        assert check_mod.check_swallows(f) == []
+
+    def test_handler_that_accounts_passes(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text(
+            "def f(x, errors):\n"
+            "    try:\n"
+            "        return 1 / x\n"
+            "    except Exception as exc:\n"
+            "        errors.append(exc)\n"
+            "        return None\n"
+        )
+        assert check_mod.check_swallows(f) == []
+
+    def test_marker_suppresses(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text(
+            "def f(x):\n"
+            "    try:\n"
+            "        return 1 / x\n"
+            "    except Exception:  # swallow: allowed\n"
+            "        pass\n"
+        )
+        assert check_mod.check_swallows(f) == []
+
+    def test_syntax_errors_left_to_the_syntax_check(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text("def broken(:\n")
+        assert check_mod.check_swallows(f) == []
+
+    def test_gate_is_wired_into_lint(self):
+        """The gate must actually run as part of ``scripts/check.py``."""
+        import inspect
+
+        src = inspect.getsource(check_mod.lint)
+        assert "check_swallows_repro" in src
