@@ -11,9 +11,13 @@ benchmark): save a baseline, make a change, save again, diff::
 
 Benchmarks are matched by ``fullname`` and compared on ``stats.mean``.
 Exit status is 1 when any shared benchmark slowed down by more than
-``--threshold`` (default 0.25 = 25%); new or removed benchmarks are
-reported but never fatal.  ``--selftest`` exercises the comparison
-logic on synthetic runs (the ``scripts/check.py`` smoke hook).
+``--threshold`` (default 0.25 = 25%), or when the candidate run holds a
+benchmark the baseline does not know — an unbaselined benchmark has no
+perf trajectory, so the gate demands the baseline be regenerated (pass
+``--allow-new`` to waive this when intentionally introducing one).
+Removed benchmarks are reported but never fatal.  ``--selftest``
+exercises the comparison logic on synthetic runs (the
+``scripts/check.py`` smoke hook).
 """
 
 from __future__ import annotations
@@ -87,8 +91,10 @@ def selftest() -> int:
     assert verdicts["gone"] == "removed"
     _, none = compare(base, base, threshold=0.25)
     assert none == []                                        # self-diff clean
+    unbaselined = [name for name, _, _, v in rows if v == "new"]
+    assert unbaselined == ["added"]         # missing-baseline gate input
     print("bench_compare selftest: ok (5 comparisons, 1 planted regression "
-          "caught)")
+          "caught, 1 unbaselined benchmark flagged)")
     return 0
 
 
@@ -101,6 +107,10 @@ def main(argv: list[str]) -> int:
                          "(default 0.25)")
     ap.add_argument("--selftest", action="store_true",
                     help="verify the comparison logic on synthetic runs")
+    ap.add_argument("--allow-new", action="store_true",
+                    help="tolerate benchmarks absent from the baseline "
+                         "(default: fatal, so baselines cannot silently "
+                         "go stale)")
     args = ap.parse_args(argv)
     if args.selftest:
         return selftest()
@@ -110,9 +120,19 @@ def main(argv: list[str]) -> int:
         load_means(args.base), load_means(args.new), args.threshold
     )
     print(render(rows))
+    failed = False
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "
               f"{100 * args.threshold:.0f}%: " + ", ".join(regressions))
+        failed = True
+    unbaselined = [name for name, _, _, v in rows if v == "new"]
+    if unbaselined and not args.allow_new:
+        print(f"\n{len(unbaselined)} benchmark(s) missing from the "
+              f"baseline: " + ", ".join(unbaselined))
+        print("regenerate the baseline JSON to cover them (or pass "
+              "--allow-new when introducing a benchmark on purpose)")
+        failed = True
+    if failed:
         return 1
     print("\nno regressions beyond the threshold")
     return 0

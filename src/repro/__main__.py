@@ -26,12 +26,22 @@ Scenarios:
                   analysis-plane section (streaming-detector sweep
                   throughput at 27,648 components, columnar vs scalar);
 * ``chaos``       — break the monitoring plane itself (raising
-                  collector, hung collector, transport drop storm,
-                  TSDB shard outage) and show the supervised lifecycle
-                  riding it out: the health-transition timeline, the
-                  self-alerts the SEC raised about its own degradation,
-                  and the delivery ledger reconciling every published
-                  point as stored or accounted loss.
+                  collector, hung collector, transport stall, transport
+                  drop storm, TSDB shard outage) and show the
+                  supervised lifecycle riding it out: the
+                  health-transition timeline, the self-alerts the SEC
+                  raised about its own degradation — including the
+                  freshness-SLO breach naming the stalled hop — and the
+                  delivery ledger reconciling every published point as
+                  stored or accounted loss;
+* ``slo``         — run the same workload on all three transport tiers
+                  and print the ingest-to-queryable latency waterfall
+                  each produced: per-hop attribution whose hop sums
+                  telescope *exactly* to the end-to-end latency, plus
+                  the freshness-SLO burn status.
+
+``obs --json`` emits the full health report and the stored ``selfmon.*``
+series as machine-readable JSON instead of text.
 """
 
 from __future__ import annotations
@@ -134,9 +144,11 @@ def cmd_obs(args) -> int:
     )
     from .pipeline import default_pipeline
 
+    as_json = getattr(args, "json", False)
     machine = _build_machine(args.seed)
-    print(f"simulating {len(machine.topo.nodes)} nodes for "
-          f"{args.hours:g} h, monitoring the monitoring...")
+    if not as_json:
+        print(f"simulating {len(machine.topo.nodes)} nodes for "
+              f"{args.hours:g} h, monitoring the monitoring...")
     pipeline = default_pipeline(machine, seed=args.seed)
     # streaming detectors on the hot sweeps, so the analysis plane has
     # something to self-report (selfmon.analysis.* gauges below)
@@ -146,13 +158,31 @@ def cmd_obs(args) -> int:
     pipeline.add_streaming(
         StreamingRateWatch("gpu.ecc_dbe", max_rate_per_s=0.01))
     pipeline.run(hours=args.hours, dt=10.0)
-    print()
-    print(pipeline.introspect().render())
-    print()
     selfmon = sorted(
         {k.metric for k in pipeline.tsdb.keys()
          if k.metric.startswith("selfmon.")}
     )
+    if as_json:
+        import dataclasses
+        import json
+
+        report = pipeline.introspect().report()
+        series = {}
+        for name in selfmon:
+            comps = pipeline.tsdb.components(name)
+            b = pipeline.tsdb.query(name, comps[0])
+            series[name] = {
+                "components": len(comps),
+                "latest": float(b.values[-1]),
+            }
+        print(json.dumps(
+            {"report": dataclasses.asdict(report), "selfmon": series},
+            indent=2, sort_keys=True, default=str,
+        ))
+        return 0
+    print()
+    print(pipeline.introspect().render())
+    print()
     print(f"selfmon series stored ({len(selfmon)} metrics):")
     for name in selfmon:
         comps = pipeline.tsdb.components(name)
@@ -352,6 +382,7 @@ def cmd_chaos(args) -> int:
         MonitorFaultInjector,
         ShardOutage,
         TransportDropStorm,
+        TransportStall,
     )
     from .pipeline import default_pipeline
     from .transport.partitioned import PartitionedBus
@@ -371,6 +402,7 @@ def cmd_chaos(args) -> int:
         CollectorRaise(start=600.0, duration=900.0, target="sedc"),
         CollectorHang(start=1200.0, duration=600.0,
                       target="node_counters"),
+        TransportStall(start=1400.0, duration=400.0),
         TransportDropStorm(start=2000.0, duration=800.0, drop_every=3),
         ShardOutage(start=3000.0, duration=1000.0, shard=1),
     ])
@@ -415,17 +447,80 @@ def cmd_chaos(args) -> int:
     if len(self_alerts) > 8:
         print(f"  ... and {len(self_alerts) - 8} more")
 
+    fresh_alerts = [a for a in pipeline.alerts.alerts
+                    if a.rule.startswith("freshness_slo")]
+    print(f"\nfreshness-SLO breaches escalated ({len(fresh_alerts)}):")
+    for a in fresh_alerts[:4]:
+        print(f"  t={a.time:6.0f}s [{a.severity.name:8}] "
+              f"{a.rule:22} {a.message[:100]}")
+    if len(fresh_alerts) > 4:
+        print(f"  ... and {len(fresh_alerts) - 4} more")
+    stall_named = any("worst hop pump" in a.message
+                      for a in fresh_alerts)
+    if stall_named:
+        print("  -> the breach exemplar names the stalled hop (pump): "
+              "the alert points at where the latency lives")
+
     report = pipeline.delivery_report()
     print()
     print(report.render())
-    ok = impaired == [] and report.balanced and inj.all_reverted()
+    ok = (impaired == [] and report.balanced and inj.all_reverted()
+          and stall_named)
     print()
     if ok:
         print("chaos campaign PASSED: zero uncaught exceptions, all "
-              "components recovered, ledger reconciles exactly")
+              "components recovered, ledger reconciles exactly, "
+              "freshness breach attributed to the stalled hop")
     else:
         print("chaos campaign FAILED: see above")
     return 0 if ok else 1
+
+
+def cmd_slo(args) -> int:
+    from .pipeline import default_pipeline
+    from .transport.base import make_transport
+
+    # a 120 s aggregation window makes the tree's merge latency visible
+    # in the waterfall (the flat/partitioned tiers deliver same-tick)
+    specs = [
+        ("flat", lambda: make_transport("flat")),
+        ("partitioned", lambda: make_transport("partitioned")),
+        ("tree", lambda: make_transport("tree", window_s=120.0)),
+    ]
+    print(f"tracing ingest-to-queryable freshness over {args.hours:g} h "
+          f"on each transport tier...")
+    all_exact = True
+    for label, build in specs:
+        machine = _build_machine(args.seed)
+        pipeline = default_pipeline(machine, seed=args.seed,
+                                    transport=build())
+        pipeline.run(hours=args.hours, dt=10.0)
+        pipeline.bus.flush()     # deliver anything still windowed
+        fr = pipeline.freshness
+        fr.tier = label
+        print()
+        print(fr.render_waterfall())
+        for s in fr.slo_status():
+            state = "BREACHED" if s["active"] else "ok"
+            print(f"  slo {s['name']}: p{100 * s['quantile']:g} <= "
+                  f"{s['max_latency_s']:g}s  burn={s['burn_rate']:.2f}x"
+                  f"  breaches={s['breaches']}  [{state}]")
+        # the acceptance bar: hop attribution telescopes to the
+        # end-to-end latency with no epsilon — exact equality on the
+        # simulated clock
+        exact = (fr.hop_total() == fr.e2e_total()
+                 and fr.waterfall_exact())
+        all_exact = all_exact and exact
+        if not exact:
+            print(f"  !! hop sums diverge from end-to-end on {label}")
+    print()
+    if all_exact:
+        print("all tiers: sum(per-hop latency) == end-to-end latency "
+              "exactly (no epsilon)")
+    else:
+        print("EXACTNESS VIOLATION: at least one tier's hop sums "
+              "diverge from its end-to-end latency")
+    return 0 if all_exact else 1
 
 
 COMMANDS = {
@@ -436,6 +531,7 @@ COMMANDS = {
     "obs": cmd_obs,
     "scale": cmd_scale,
     "chaos": cmd_chaos,
+    "slo": cmd_slo,
 }
 
 
@@ -450,6 +546,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--hours", type=float, default=1.0,
                         help="simulated hours (default 1.0)")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output (obs scenario)")
     args = parser.parse_args(argv)
     try:
         return COMMANDS[args.scenario](args)

@@ -29,6 +29,8 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from .tracectx import TraceContext
+
 __all__ = [
     "MetricKey",
     "Sample",
@@ -95,9 +97,14 @@ class SeriesBatch:
     The class enforces equal lengths and exposes cheap numpy views; it
     never copies unless asked (`.copy()`), following the "views not
     copies" guidance for numerical code.
+
+    ``trace`` is an optional :class:`~repro.core.tracectx.TraceContext`
+    stamped by the transports on the collection -> queryable path; it is
+    delivery metadata, not data, so it never participates in filtering,
+    masking, or value operations.
     """
 
-    __slots__ = ("metric", "components", "times", "values")
+    __slots__ = ("metric", "components", "times", "values", "trace")
 
     def __init__(
         self,
@@ -105,6 +112,7 @@ class SeriesBatch:
         components: Sequence[str] | np.ndarray,
         times: Sequence[float] | np.ndarray,
         values: Sequence[float] | np.ndarray,
+        trace: TraceContext | None = None,
     ) -> None:
         comp = np.asarray(components, dtype=object)
         t = np.asarray(times, dtype=np.float64)
@@ -118,6 +126,7 @@ class SeriesBatch:
         self.components = comp
         self.times = t
         self.values = v
+        self.trace = trace
 
     def __len__(self) -> int:
         return len(self.times)
@@ -168,6 +177,7 @@ class SeriesBatch:
             self.components.copy(),
             self.times.copy(),
             self.values.copy(),
+            trace=self.trace,
         )
 
     def filter_components(self, keep: Iterable[str]) -> "SeriesBatch":
@@ -232,7 +242,10 @@ def merge_batches(batches: Sequence[SeriesBatch]) -> SeriesBatch:
     times = np.concatenate([b.times for b in batches])
     values = np.concatenate([b.values for b in batches])
     order = np.argsort(times, kind="stable")
-    return SeriesBatch(metric, comp[order], times[order], values[order])
+    return SeriesBatch(
+        metric, comp[order], times[order], values[order],
+        trace=TraceContext.merged(b.trace for b in batches),
+    )
 
 
 def samples_to_batches(samples: Iterable[Sample]) -> list[SeriesBatch]:

@@ -359,6 +359,42 @@ def _builtin_specs() -> Iterable[MetricSpec]:
                      derivation="published - stored - lost - pending "
                                 "- in_flight",
                      higher_is_worse=True)
+    yield MetricSpec("selfmon.freshness.e2e_p50_s", "s", L, "monitor",
+                     "Median collected-to-queryable latency of traced "
+                     "batches over the recent window.",
+                     higher_is_worse=True)
+    yield MetricSpec("selfmon.freshness.e2e_p99_s", "s", L, "monitor",
+                     "99th-percentile collected-to-queryable latency of "
+                     "traced batches (the stock SLO quantity).",
+                     higher_is_worse=True)
+    yield MetricSpec("selfmon.freshness.e2e_max_s", "s", L, "monitor",
+                     "Worst collected-to-queryable latency in the recent "
+                     "window.", higher_is_worse=True)
+    yield MetricSpec("selfmon.freshness.hop_mean_s", "s", L, "monitor",
+                     "Mean latency attributed to one transport hop "
+                     "(component = hop id: publish/enqueue/pump/leaf/"
+                     "merge/root/ingest).", higher_is_worse=True)
+    yield MetricSpec("selfmon.freshness.hop_p99_s", "s", L, "monitor",
+                     "p99 latency attributed to one transport hop over "
+                     "the recent window.", higher_is_worse=True)
+    yield MetricSpec("selfmon.freshness.batches", "count", C, "monitor",
+                     "Cumulative traced batches folded into the freshness "
+                     "histograms at store ingest.")
+    yield MetricSpec("selfmon.freshness.slo_burn_rate", "ratio", G,
+                     "monitor",
+                     "Freshness-SLO error-budget burn (component = SLO "
+                     "name): fraction of recent batches over the latency "
+                     "threshold divided by the budget 1-quantile; > 1 "
+                     "means the SLO is being breached.",
+                     higher_is_worse=True)
+    yield MetricSpec("selfmon.freshness.slo_breaches", "count", C,
+                     "monitor",
+                     "Cumulative edge-triggered breaches of one freshness "
+                     "SLO (component = SLO name).", higher_is_worse=True)
+    yield MetricSpec("selfmon.trace.dropped", "count", C, "monitor",
+                     "Spans evicted from the tracer's bounded ring buffer "
+                     "(accounted exporter loss; silent overwrite before).",
+                     higher_is_worse=True)
 
 
 def default_registry() -> MetricRegistry:

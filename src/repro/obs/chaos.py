@@ -44,6 +44,7 @@ __all__ = [
     "CollectorHang",
     "TransportDropStorm",
     "TransportDuplication",
+    "TransportStall",
     "ShardOutage",
     "MonitorFaultInjector",
 ]
@@ -63,6 +64,7 @@ class ChaosTransport(Transport):
         self.inner = inner
         self.drop_every = 0        # 0 = off
         self.duplicate_every = 0   # 0 = off
+        self.stall_pumps = False   # freeze delivery (backlog builds)
         self._publish_count = 0
         self.chaos_dropped = 0
         self.chaos_duplicated = 0
@@ -76,6 +78,18 @@ class ChaosTransport(Transport):
     @ledger.setter
     def ledger(self, value) -> None:
         self.inner.ledger = value
+
+    # same forwarding for the freshness clock: Transport declares
+    # `clock = None` as a class attribute, so without this property the
+    # pipeline's assignment would land on the wrapper (shadowing
+    # __getattr__) and the inner hop edges would never see it
+    @property
+    def clock(self):
+        return self.inner.clock
+
+    @clock.setter
+    def clock(self, value) -> None:
+        self.inner.clock = value
 
     def subscribe(
         self,
@@ -114,6 +128,8 @@ class ChaosTransport(Transport):
         return self.inner.publish(topic, payload, source)
 
     def pump(self, now: float | None = None) -> int:
+        if self.stall_pumps:
+            return 0           # delivery frozen: backlog accumulates
         return self.inner.pump(now)
 
     def stats(self) -> BusStats:
@@ -257,6 +273,31 @@ class TransportDuplication(MonitorFault):
 
     def revert(self, p):
         p.bus.duplicate_every = 0
+
+
+@dataclass
+class TransportStall(MonitorFault):
+    """Freeze pumps: nothing is lost, everything arrives *late*.
+
+    The backlog sits in the inner transport's queues as ledger
+    ``in_flight`` (the balance identity keeps holding); on revert the
+    flood of stale batches lands with hop latencies up to the stall
+    duration — the freshness-SLO breach signature, as opposed to the
+    loss signature of :class:`TransportDropStorm`.
+    """
+
+    name: str = "transport-stall"
+
+    def apply(self, p):
+        if not isinstance(p.bus, ChaosTransport):
+            raise TypeError(
+                "TransportStall needs the pipeline built over a "
+                "ChaosTransport wrapper"
+            )
+        p.bus.stall_pumps = True
+
+    def revert(self, p):
+        p.bus.stall_pumps = False
 
 
 @dataclass

@@ -29,6 +29,7 @@ STAGES: tuple[str, ...] = (
     "streaming",
     "analysis-hooks",
     "supervision",
+    "freshness",
     "response",
     "selfmon",
 )
@@ -71,6 +72,9 @@ class HealthReport:
     health: dict[str, dict] = field(default_factory=dict)
     #: delivery-ledger reconciliation when the ledger is attached
     ledger: dict[str, float] = field(default_factory=dict)
+    #: freshness-tracker snapshot (hop waterfall, SLO burn) when tracing
+    #: is enabled
+    freshness: dict = field(default_factory=dict)
 
     @property
     def backpressured(self) -> list[str]:
@@ -182,6 +186,10 @@ class PipelineIntrospector:
             }
         health = (p.health_report()
                   if callable(getattr(p, "health_report", None)) else {})
+        fresh: dict = {}
+        tracker = getattr(p, "freshness", None)
+        if tracker is not None and tracker.batches:
+            fresh = tracker.snapshot()
         ledger: dict[str, float] = {}
         balance = (p.delivery_report()
                    if callable(getattr(p, "delivery_report", None)) else None)
@@ -223,6 +231,7 @@ class PipelineIntrospector:
             analysis=analysis,
             health=health,
             ledger=ledger,
+            freshness=fresh,
         )
 
     def render(self, slowest_n: int = 5) -> str:
@@ -325,6 +334,31 @@ class PipelineIntrospector:
                     f" trips={int(h['trips'])}"
                     + (f"  ({h['reason']})" if h.get("reason") else "")
                 )
+        if r.freshness:
+            f = r.freshness
+            e2e = f["e2e"]
+            lines.append(
+                f"freshness: {f['batches']} traced batches, e2e "
+                f"p50={e2e['p50_s']:g}s p99={e2e['p99_s']:g}s "
+                f"max={e2e['max_s']:g}s "
+                + ("(hop sums exact)" if f["exact"]
+                   else "(hop sums INEXACT)")
+            )
+            for row in f["waterfall"]:
+                lines.append(
+                    f"  hop {row['hop']:<8} mean={row['mean_s']:8.3f} s"
+                    f"  p99={row['p99_s']:8.3f} s"
+                    f"  share={100.0 * row['share']:5.1f}%"
+                )
+            for s in f["slos"]:
+                state = "BREACHED" if s["active"] else "ok"
+                lines.append(
+                    f"  slo {s['name']:<12} p{100 * s['quantile']:g} <= "
+                    f"{s['max_latency_s']:g}s  burn={s['burn_rate']:.2f}x"
+                    f"  breaches={s['breaches']}  [{state}]"
+                )
+            if f.get("worst_exemplar"):
+                lines.append(f"  worst exemplar: {f['worst_exemplar']}")
         if r.ledger:
             lg = r.ledger
             verdict = ("balanced" if lg["unaccounted"] == 0

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING
 
 from ..core.metric import SeriesBatch
 from ..core.registry import MetricRegistry
+from ..core.tracectx import TraceContext
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..pipeline import MonitoringPipeline
@@ -73,6 +74,15 @@ SELFMON_METRICS: tuple[str, ...] = (
     "selfmon.ledger.pending_points",
     "selfmon.ledger.inflight_points",
     "selfmon.ledger.unaccounted_points",
+    "selfmon.freshness.e2e_p50_s",
+    "selfmon.freshness.e2e_p99_s",
+    "selfmon.freshness.e2e_max_s",
+    "selfmon.freshness.hop_mean_s",
+    "selfmon.freshness.hop_p99_s",
+    "selfmon.freshness.batches",
+    "selfmon.freshness.slo_burn_rate",
+    "selfmon.freshness.slo_breaches",
+    "selfmon.trace.dropped",
 )
 
 
@@ -175,8 +185,16 @@ class SelfMonitor:
         if now + 1e-9 < self._next_due:
             return []
         batches = self.sample(now, elapsed_s=now - self._last_t)
-        bus = self.pipeline.bus
+        p = self.pipeline
+        bus = p.bus
+        traced = getattr(p, "freshness", None) is not None
         for b in batches:
+            if traced:
+                # the selfmon plane's own batches are freshness-traced
+                # too — meta-metrics get the same timeliness guarantee
+                b.trace = TraceContext.start(
+                    now, tick=getattr(p, "ticks", 0)
+                )
             bus.publish(b.metric, b, source=self.source)
         self.emissions += 1
         return batches
@@ -367,6 +385,37 @@ class SelfMonitor:
                 float(report.in_flight))
             one("selfmon.ledger.unaccounted_points", "ledger",
                 float(report.unaccounted))
+
+        # -- freshness plane -----------------------------------------------
+        fr = getattr(p, "freshness", None)
+        if fr is not None and fr.batches:
+            e2e = fr.e2e.summary()
+            one("selfmon.freshness.e2e_p50_s", "freshness", e2e["p50_s"])
+            one("selfmon.freshness.e2e_p99_s", "freshness", e2e["p99_s"])
+            one("selfmon.freshness.e2e_max_s", "freshness", e2e["max_s"])
+            one("selfmon.freshness.batches", "freshness",
+                float(fr.batches))
+            hops = fr.hop_summaries()
+            if hops:
+                hnames = list(hops)
+                out.append(SeriesBatch.sweep(
+                    "selfmon.freshness.hop_mean_s", now, hnames,
+                    [hops[h]["mean_s"] for h in hnames]))
+                out.append(SeriesBatch.sweep(
+                    "selfmon.freshness.hop_p99_s", now, hnames,
+                    [hops[h]["p99_s"] for h in hnames]))
+            slos = fr.slo_status()
+            if slos:
+                snames = [s["name"] for s in slos]
+                out.append(SeriesBatch.sweep(
+                    "selfmon.freshness.slo_burn_rate", now, snames,
+                    [s["burn_rate"] for s in slos]))
+                out.append(SeriesBatch.sweep(
+                    "selfmon.freshness.slo_breaches", now, snames,
+                    [float(s["breaches"]) for s in slos]))
+
+        # -- trace exporter loss (ring evictions are accounted) ------------
+        one("selfmon.trace.dropped", "tracer", float(p.tracer.dropped))
 
         # -- pipeline tick time (from the tracer's root spans) -------------
         agg = p.tracer.snapshot_counts().get("tick")

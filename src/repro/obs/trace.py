@@ -9,7 +9,10 @@ tracing.  A :class:`Tracer` provides exactly that for this stack:
   parent and depth), so one pipeline tick produces a root ``tick`` span
   with a child per stage,
 * finished spans land in a bounded ring buffer (the exporter surface:
-  recent history without unbounded growth),
+  recent history without unbounded growth); a full ring evicts the
+  oldest span and *counts* the eviction (``dropped``, exported as the
+  ``selfmon.trace.dropped`` gauge) — history loss is accounted, never
+  silent,
 * per-name aggregates (count / total / max wall time) are maintained
   incrementally, so reading summary timings never walks the ring.
 
@@ -87,6 +90,8 @@ class Tracer:
         self.maxlen = int(maxlen)
         self._ring: deque[Span] = deque(maxlen=self.maxlen)
         self._stack: list[Span] = []
+        #: spans evicted from the full ring (accounted exporter loss)
+        self.dropped = 0
         # name -> [count, total_s, max_s]
         self._agg: dict[str, list[float]] = {}
 
@@ -99,6 +104,8 @@ class Tracer:
         return Span(self, name, attrs)
 
     def _record(self, span: Span) -> None:
+        if self.maxlen and len(self._ring) >= self.maxlen:
+            self.dropped += 1      # deque eviction is about to fire
         self._ring.append(span)
         agg = self._agg.get(span.name)
         if agg is None:
@@ -147,3 +154,4 @@ class Tracer:
     def clear(self) -> None:
         self._ring.clear()
         self._agg.clear()
+        self.dropped = 0

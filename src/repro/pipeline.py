@@ -35,6 +35,8 @@ from .core.ledger import BalanceReport, DeliveryLedger
 from .core.lifecycle import Supervisor
 from .core.metric import SeriesBatch
 from .core.registry import MetricRegistry, default_registry
+from .core.tracectx import HOP_INGEST
+from .obs.freshness import FreshnessSLO, FreshnessTracker, default_slos
 from .obs.introspect import PipelineIntrospector
 from .obs.selfmetrics import SelfMonitor
 from .obs.trace import Tracer
@@ -88,6 +90,8 @@ class MonitoringPipeline:
         stages: Sequence[Stage] | None = None,
         supervision: bool = True,
         collector_budget_s: float | None = None,
+        freshness: bool = True,
+        freshness_slos: Sequence[FreshnessSLO] | None = None,
     ) -> None:
         self.machine = machine
         self.registry = registry or default_registry()
@@ -126,6 +130,33 @@ class MonitoringPipeline:
         )
         for c in collectors:
             self.scheduler.add(c)
+
+        # freshness plane: collectors open a trace context per batch,
+        # transports and the store stamp their hop edges against the
+        # simulated clock, _on_metric folds the finished journey
+        self.ticks = 0
+        self.freshness: FreshnessTracker | None = None
+        if freshness:
+            slos = (list(freshness_slos) if freshness_slos is not None
+                    else default_slos(self.tick_s))
+            self.freshness = FreshnessTracker(
+                slos=slos, tier=type(self.bus).__name__
+            )
+            # the stamp clock fires three times per traced batch, so it
+            # reads the sim clock's slot directly instead of going
+            # through two property descriptors (Machine.now -> SimClock.now)
+            try:
+                sim = self.machine.clock
+                sim._now
+                clock = lambda c=sim: c._now   # noqa: E731
+            except AttributeError:             # custom machine/clock
+                clock = lambda: self.machine.now   # noqa: E731
+            self.bus.clock = clock
+            try:
+                self.tsdb.clock = clock
+            except AttributeError:      # slotted custom store
+                pass
+            self.scheduler.trace_batches = True
 
         self.router = EventRouter()
         self.tap = self.router.attach(DelugeTap())
@@ -193,6 +224,16 @@ class MonitoringPipeline:
             # buffer (single-store partial ingest) would surface here
             # as unaccounted; the sharded store defers the difference,
             # so nothing extra to stamp
+        fr = self.freshness
+        if fr is not None:
+            ctx = payload.trace
+            if ctx is not None:
+                if not ctx.hops or ctx.hops[-1][0] != HOP_INGEST:
+                    # custom store without a clock hook: stamp
+                    # queryable-at here so the journey still closes
+                    ctx.stamp(HOP_INGEST, self.machine.now)
+                stack = self.tracer._stack
+                fr.record(payload, span=stack[-1].name if stack else "")
 
     def _on_event(self, env) -> None:
         payload = env.payload
@@ -265,6 +306,7 @@ class MonitoringPipeline:
         pending = self._pending_requests
         sup = self.supervisor
         with tracer.span("tick"):
+            self.ticks += 1
             self.machine.step(dt)
             now = self.machine.now
             keys = self._stage_keys

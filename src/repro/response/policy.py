@@ -139,6 +139,27 @@ def default_rules() -> list[SingleRule | PairRule | ThresholdRule]:
             severity=Severity.CRITICAL,
             per_component=True,
         ),
+        # freshness SLO breach: data is arriving, but too stale to act
+        # on — the breach message carries the worst exemplar's hop
+        # vector, so the alert names the hop where the latency lives
+        SingleRule(
+            name="freshness_slo_breach",
+            pattern=r"freshness SLO .* breached",
+            action="alert",
+            severity=Severity.ALERT,
+            forward_fields=True,   # exemplar hop + latency ride along
+        ),
+        # the same SLO breaching repeatedly: a sustained staleness
+        # regression (stalled pumps, overloaded aggregation window)
+        ThresholdRule(
+            name="freshness_slo_persistent",
+            pattern=r"freshness SLO .* breached",
+            count=3,
+            window_s=3600.0,
+            action="alert",
+            severity=Severity.CRITICAL,
+            per_component=True,
+        ),
     ]
 
 

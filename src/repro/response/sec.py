@@ -55,7 +55,14 @@ class ActionRequest:
 
 @dataclass
 class SingleRule:
-    """regex match -> action."""
+    """regex match -> action.
+
+    ``forward_fields`` copies the triggering event's structured
+    ``fields`` onto the emitted request — rules whose events carry
+    machine-readable evidence (e.g. a freshness breach's exemplar: the
+    offending hop and its latency) keep it past the regex match, so
+    downstream consumers need not re-parse the message.
+    """
 
     name: str
     pattern: str
@@ -64,6 +71,7 @@ class SingleRule:
     requires_context: str | None = None
     sets_context: str | None = None
     clears_context: str | None = None
+    forward_fields: bool = False
 
     def __post_init__(self) -> None:
         self._rx = re.compile(self.pattern)
@@ -179,6 +187,8 @@ class SecEngine:
             self._emit(
                 ev.time, r.name, r.action, ev.component, r.severity,
                 f"{r.name}: {ev.message}",
+                **(dict(ev.fields) if r.forward_fields and ev.fields
+                   else {}),
             )
 
     def _feed_pairs(self, ev: Event) -> None:

@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING
 from ..core.events import Event
 from ..core.metric import SeriesBatch
 from ..core.registry import MetricRegistry
+from ..core.tracectx import HOP_COLLECT, TraceContext
 from ..obs.hist import LatencyHistogram
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -119,6 +120,9 @@ class CollectionScheduler:
         self.budget_s = budget_s
         #: collector sweeps skipped while quarantined (diagnostic)
         self.quarantine_skips = 0
+        #: when True, every published batch opens a TraceContext at the
+        #: collection edge (set by the pipeline's freshness plane)
+        self.trace_batches = False
         #: per-collector sweep-latency histograms (self-monitoring surface)
         self.latency: dict[str, LatencyHistogram] = {}
         self._collectors: list[Collector] = []
@@ -137,8 +141,12 @@ class CollectionScheduler:
     def collectors(self) -> list[Collector]:
         return list(self._collectors)
 
-    def poll(self, machine: "Machine", now: float) -> CollectorOutput:
+    def poll(self, machine: "Machine", now: float,
+             tick: int = 0) -> CollectorOutput:
         """Run every due collector against the current machine state.
+
+        ``tick`` is the pipeline's tick counter, recorded as the origin
+        tick of each batch's trace context when tracing is on.
 
         A raising collector is isolated — its error is counted (and
         recorded with the supervisor when one is attached), but the
@@ -192,6 +200,14 @@ class CollectionScheduler:
             c.sweeps += 1
             c.samples_produced += out.n_samples
             for b in out.batches:
+                if self.trace_batches:
+                    # inlined TraceContext.start(now, tick=tick) — one
+                    # per published batch on the hot sweep loop
+                    tr = TraceContext.__new__(TraceContext)
+                    tr.origin_tick = tick
+                    tr.hops = [[HOP_COLLECT, now, now, 1]]
+                    tr.truncated = 0
+                    b.trace = tr
                 self.bus.publish(f"metrics.{b.metric}", b, source=c.name)
             for e in out.events:
                 self.bus.publish(f"events.{e.kind.value}", e, source=c.name)

@@ -37,6 +37,7 @@ __all__ = [
     "StreamingStage",
     "AnalysisHooksStage",
     "SupervisionStage",
+    "FreshnessStage",
     "ResponseStage",
     "SelfMonStage",
     "default_stages",
@@ -81,7 +82,9 @@ class MetricPlaneStage:
     name = "metric-plane"
 
     def run(self, pipeline, now):
-        collected = pipeline.scheduler.poll(pipeline.machine, now)
+        collected = pipeline.scheduler.poll(
+            pipeline.machine, now, tick=pipeline.ticks
+        )
         pipeline.bus.pump(now)
         if collected.events:
             return pipeline.sec.feed(collected.events)
@@ -285,6 +288,44 @@ class SupervisionStage:
         return pipeline.sec.feed(events)
 
 
+class FreshnessStage:
+    """Freshness SLO burn evaluation -> breach events -> SEC.
+
+    The :class:`~repro.obs.freshness.FreshnessTracker` folded every
+    traced batch at ingest; this stage asks it for newly fired breaches
+    and publishes each as a HEALTH event whose message carries the
+    worst exemplar (hop vector + offending hop), so the SEC escalation
+    names exactly where the latency lives.  Runs after supervision
+    (breaches often co-occur with component degradation) and before the
+    response stage, so a breach alerts in the same tick it fires.
+    """
+
+    name = "freshness"
+
+    def run(self, pipeline, now):
+        fr = pipeline.freshness
+        if fr is None:
+            return ()
+        breaches = fr.evaluate(now)
+        if not breaches:
+            return ()
+        events = []
+        for b in breaches:
+            events.append(Event(
+                time=now,
+                kind=EventKind.HEALTH,
+                severity=Severity.ERROR,
+                component=f"monitor:freshness:{b.slo.name}",
+                message=b.describe(),
+                fields=b.fields(),
+            ))
+        for ev in events:
+            pipeline.bus.publish(f"events.{ev.kind.value}", ev,
+                                 source="freshness")
+        pipeline.bus.pump(now)
+        return pipeline.sec.feed(events)
+
+
 class ResponseStage:
     """Execute every request the earlier stages raised this tick."""
 
@@ -318,6 +359,7 @@ def default_stages() -> list[Stage]:
         StreamingStage(),
         AnalysisHooksStage(),
         SupervisionStage(),
+        FreshnessStage(),
         ResponseStage(),
         SelfMonStage(),
     ]

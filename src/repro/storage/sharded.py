@@ -33,6 +33,7 @@ import numpy as np
 from ..core.hashing import stable_bucket
 from ..core.lifecycle import Health
 from ..core.metric import MetricKey, SeriesBatch
+from ..core.tracectx import HOP_INGEST
 from .chunkcache import ChunkCache, ChunkCacheStats
 from .tsdb import SeriesQueryMixin, StoreStats, TimeSeriesStore
 
@@ -60,6 +61,8 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
         ]
         #: optional DeliveryLedger stamped at redo defer/evict/replay
         self.ledger = None
+        #: optional simulated-clock callable for ingest freshness stamps
+        self.clock = None
         self._health = [Health.OK] * self.n_shards
         # per-shard FIFO of batches parked while the shard is failed
         self._redo: list[deque[SeriesBatch]] = [
@@ -172,6 +175,11 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
         n = len(batch)
         if n == 0:
             return 0
+        # stamp queryable-at on the whole batch before the shard split:
+        # the pieces are fresh SeriesBatch objects that do not carry the
+        # trace, so this is the last sight of the full hop vector
+        if self.clock is not None and batch.trace is not None:
+            batch.trace.stamp(HOP_INGEST, self.clock())
         idx = np.fromiter(
             (self.shard_of(batch.metric, str(c)) for c in batch.components),
             dtype=np.int64,

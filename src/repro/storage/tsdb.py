@@ -39,6 +39,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from ..core.metric import MetricKey, SeriesBatch
+from ..core.tracectx import HOP_INGEST, MAX_HOPS
 from .chunkcache import ChunkCache, ChunkCacheStats
 
 __all__ = [
@@ -864,6 +865,11 @@ class SeriesQueryMixin:
 class TimeSeriesStore(SeriesQueryMixin):
     """In-memory TSDB over (metric, component)-keyed series."""
 
+    #: optional zero-arg simulated-clock callable; when attached (by the
+    #: pipeline, when freshness tracing is on), ingest stamps a traced
+    #: batch's context with its queryable-at time
+    clock = None
+
     def __init__(self, chunk_size: int = 512,
                  cache: ChunkCache | None = None) -> None:
         if chunk_size < 2:
@@ -898,6 +904,22 @@ class TimeSeriesStore(SeriesQueryMixin):
         n = len(batch)
         if n == 0:
             return 0
+        tr = batch.trace
+        if self.clock is not None and tr is not None:
+            # inlined TraceContext.stamp(HOP_INGEST, ...) — per-batch
+            # hot path; see stamp() for the semantics
+            hops = tr.hops
+            t = self.clock()
+            if hops and hops[-1][0] == HOP_INGEST:
+                last = hops[-1]
+                if t < last[1]:
+                    last[1] = t
+                if t > last[2]:
+                    last[2] = t
+            elif len(hops) < MAX_HOPS:
+                hops.append([HOP_INGEST, t, t, 1])
+            else:
+                tr.truncated += 1
         cs = self.chunk_size
         comps = batch.components.tolist()
         if len(set(comps)) == n:

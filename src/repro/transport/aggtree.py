@@ -35,6 +35,7 @@ from typing import Callable
 
 from ..core.hashing import stable_bucket
 from ..core.metric import SeriesBatch, merge_batches
+from ..core.tracectx import HOP_LEAF, HOP_MERGE, HOP_ROOT
 from .base import BusStats, Subscription, Transport
 from .bus import MessageBus
 from .message import Envelope
@@ -210,6 +211,8 @@ class AggregatorTree(Transport):
             ledger = self.ledger
             if ledger is not None and ledger.tracks(topic):
                 ledger.published_batch(source, payload)
+            if self.clock is not None and payload.trace is not None:
+                payload.trace.stamp(HOP_LEAF, self.clock())
             evicted = self._leaves[self.leaf_of(topic, source)].offer(
                 topic, payload
             )
@@ -233,9 +236,16 @@ class AggregatorTree(Transport):
                 nxt.append(_coalesce(chunk))
             groups = nxt
         moved = 0
+        t = self._hop_time(now)
         for topic, batch in (groups[0] if groups else []):
             self._upstream_messages += 1
             self._points_forwarded += len(batch)
+            if t is not None and batch.trace is not None:
+                # merge and root forwarding happen inside one pump, so
+                # both hops stamp the same instant (root delta is 0);
+                # the waterfall still shows the full traversal path
+                batch.trace.stamp(HOP_MERGE, t)
+                batch.trace.stamp(HOP_ROOT, t)
             self._root.publish(topic, batch, source="aggtree")
             moved += 1
         return moved

@@ -181,6 +181,19 @@ class Transport(abc.ABC):
     #: each implementation at its publish edge and loss sites
     ledger = None
 
+    #: optional zero-arg simulated-clock callable; when attached (by the
+    #: pipeline, when freshness tracing is on), implementations stamp
+    #: each traced batch's TraceContext at their hop edges
+    clock = None
+
+    def _hop_time(self, now: float | None = None) -> float | None:
+        """Time to stamp a hop with: ``now`` when the caller supplies it
+        (pump), else the attached clock, else None (tracing off)."""
+        if now is not None:
+            return now
+        clock = self.clock
+        return clock() if clock is not None else None
+
     def in_flight_points(self) -> int:
         """Points buffered inside the transport awaiting delivery
         (partition queues, coalescing windows).  Synchronous transports

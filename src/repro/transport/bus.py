@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 from repro.core.metric import SeriesBatch
+from repro.core.tracectx import HOP_PUBLISH, MAX_HOPS
 
 from .base import (
     BusStats,
@@ -90,6 +91,23 @@ class MessageBus(Transport):
         if (ledger is not None and isinstance(payload, SeriesBatch)
                 and ledger.tracks(topic)):
             ledger.published_batch(source, payload)
+        if self.clock is not None and isinstance(payload, SeriesBatch):
+            tr = payload.trace
+            if tr is not None:
+                # inlined TraceContext.stamp(HOP_PUBLISH, ...) — this is
+                # the per-batch hot path; see stamp() for the semantics
+                hops = tr.hops
+                t = self.clock()
+                if hops and hops[-1][0] == HOP_PUBLISH:
+                    last = hops[-1]
+                    if t < last[1]:
+                        last[1] = t
+                    if t > last[2]:
+                        last[2] = t
+                elif len(hops) < MAX_HOPS:
+                    hops.append([HOP_PUBLISH, t, t, 1])
+                else:
+                    tr.truncated += 1
         hits = 0
         matches = self._matcher.matches
         for sub in self._subs:

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..core.events import Event, EventKind, Severity
 from ..core.metric import SeriesBatch
+from ..core.tracectx import TraceContext
 
 __all__ = [
     "Envelope",
@@ -44,10 +45,15 @@ class Envelope:
     source: str = ""
     seq: int = 0
 
+    @property
+    def trace(self) -> TraceContext | None:
+        """Trace context of a traced batch payload, else None."""
+        return getattr(self.payload, "trace", None)
+
 
 def _payload_to_obj(payload: SeriesBatch | Event | dict) -> dict:
     if isinstance(payload, SeriesBatch):
-        return {
+        obj = {
             "type": "batch",
             "metric": payload.metric,
             "components": [str(c) for c in payload.components],
@@ -57,6 +63,9 @@ def _payload_to_obj(payload: SeriesBatch | Event | dict) -> dict:
                 for v in payload.values
             ],
         }
+        if payload.trace is not None:
+            obj["trace"] = payload.trace.to_obj()
+        return obj
     if isinstance(payload, Event):
         return {
             "type": "event",
@@ -77,7 +86,8 @@ def _obj_to_payload(obj: dict) -> SeriesBatch | Event | dict:
             float("nan") if v is None else v for v in obj["values"]
         ]
         return SeriesBatch(
-            obj["metric"], obj["components"], obj["times"], values
+            obj["metric"], obj["components"], obj["times"], values,
+            trace=TraceContext.from_obj(obj.get("trace")),
         )
     if t == "event":
         return Event(

@@ -22,6 +22,7 @@ from typing import Callable
 
 from ..core.hashing import stable_bucket
 from ..core.metric import SeriesBatch
+from ..core.tracectx import HOP_ENQUEUE, HOP_PUMP
 from .base import BusStats, PatternMatcher, Subscription, Transport
 from .message import Envelope
 
@@ -129,6 +130,9 @@ class PartitionedBus(Transport):
                    and ledger.tracks(topic))
         if tracked:
             ledger.published_batch(source, payload)
+        if (self.clock is not None and isinstance(payload, SeriesBatch)
+                and payload.trace is not None):
+            payload.trace.stamp(HOP_ENQUEUE, self.clock())
         evicted = self._parts[self.partition_of(topic)].offer(env)
         if (evicted is not None and ledger is not None
                 and isinstance(evicted.payload, SeriesBatch)
@@ -140,10 +144,13 @@ class PartitionedBus(Transport):
         """Drain every partition in order, fanning out to subscribers."""
         moved = 0
         matches = self._matcher.matches
+        t = self._hop_time(now)
         for part in self._parts:
             queue = part.queue
             while queue:
                 env = queue.popleft()
+                if t is not None and env.trace is not None:
+                    env.trace.stamp(HOP_PUMP, t)
                 hits = 0
                 for sub in self._subs:
                     if matches(env.topic, sub.pattern) and sub.offer(env):

@@ -212,6 +212,34 @@ class Dashboard:
                 Tile("unaccounted points", val, "", max(abs(val) * 2, 10.0),
                      "ok" if val == 0 else "crit")
             )
+        # freshness panels (absent when trace propagation is disabled)
+        p99 = self._latest_sweep("selfmon.freshness.e2e_p99_s", window_s, now)
+        if len(p99):
+            val = float(p99.values[-1])
+            out.append(
+                Tile("ingest-to-queryable p99", val, " s",
+                     max(val * 1.5, 10.0), "ok",
+                     trend=self._trend("selfmon.freshness.e2e_p99_s",
+                                       "freshness", now))
+            )
+        burn = self._latest_sweep("selfmon.freshness.slo_burn_rate",
+                                  window_s, now)
+        if len(burn):
+            worst = float(burn.values.max())
+            out.append(
+                Tile("freshness SLO burn", worst, "x",
+                     max(worst * 1.5, 2.0),
+                     "ok" if worst <= 1.0 else "crit")
+            )
+        breaches = self._latest_sweep("selfmon.freshness.slo_breaches",
+                                      window_s, now)
+        if len(breaches):
+            total = float(breaches.values.sum())
+            out.append(
+                Tile("freshness SLO breaches", total, "",
+                     max(total * 2, 5.0),
+                     "ok" if total == 0 else "crit")
+            )
         return out
 
     def render(self, now: float, window_s: float = 600.0) -> str:

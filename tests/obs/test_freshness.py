@@ -1,0 +1,297 @@
+"""Unit tests for the freshness plane: trace contexts, histograms,
+SLO burn-rate tracking, exemplar linking, and the exact waterfall."""
+
+import math
+
+import pytest
+
+from repro.core.metric import SeriesBatch, merge_batches
+from repro.core.tracectx import (
+    HOP_COLLECT,
+    HOP_INGEST,
+    HOP_PUBLISH,
+    MAX_HOPS,
+    TraceContext,
+)
+from repro.obs.freshness import (
+    Exemplar,
+    FreshnessBreach,
+    FreshnessHistogram,
+    FreshnessSLO,
+    FreshnessTracker,
+    default_slos,
+)
+from repro.response.policy import default_rules
+from repro.response.sec import SecEngine
+
+
+def traced_batch(metric="node.power_w", hops=None, tick=0):
+    """One-sample batch carrying a hand-built hop vector."""
+    b = SeriesBatch(metric, ["n0"], [0.0], [1.0])
+    if hops is not None:
+        ctx = TraceContext.start(hops[0][1], tick=tick, hop=hops[0][0])
+        for hop, t in hops[1:]:
+            ctx.stamp(hop, t)
+        b.trace = ctx
+    return b
+
+
+class TestTraceContext:
+    def test_start_then_stamp_builds_the_path(self):
+        ctx = TraceContext.start(100.0, tick=7)
+        ctx.stamp(HOP_PUBLISH, 100.0)
+        ctx.stamp(HOP_INGEST, 110.0)
+        assert ctx.path() == "collect->publish->ingest"
+        assert ctx.origin_tick == 7
+        assert ctx.end_to_end() == 10.0
+
+    def test_hop_latencies_telescope_exactly(self):
+        ctx = TraceContext.start(600.0)
+        ctx.stamp("enqueue", 600.0)
+        ctx.stamp("pump", 620.0)
+        ctx.stamp(HOP_INGEST, 630.0)
+        deltas = ctx.hop_latencies()
+        assert sum(d for _, d in deltas) == ctx.end_to_end()
+        assert deltas == [("enqueue", 0.0), ("pump", 20.0),
+                          ("ingest", 10.0)]
+        assert ctx.worst_hop() == ("pump", 20.0)
+
+    def test_restamping_trailing_hop_widens_not_appends(self):
+        ctx = TraceContext.start(0.0)
+        ctx.stamp(HOP_PUBLISH, 10.0)
+        ctx.stamp(HOP_PUBLISH, 30.0)   # duplicate delivery
+        ctx.stamp(HOP_PUBLISH, 5.0)
+        assert len(ctx.hops) == 2
+        assert ctx.hops[-1][1] == 5.0   # t_min widened down
+        assert ctx.hops[-1][2] == 30.0  # t_max widened up
+
+    def test_vector_is_bounded_and_counts_truncation(self):
+        ctx = TraceContext.start(0.0)
+        for i in range(MAX_HOPS + 3):
+            ctx.stamp(f"hop{i}", float(i))
+        assert len(ctx.hops) == MAX_HOPS
+        assert ctx.truncated == 4   # hops MAX_HOPS..MAX_HOPS+2 plus one
+
+    def test_merged_brackets_every_parent(self):
+        a = TraceContext.start(0.0, tick=1)
+        a.stamp("leaf", 10.0)
+        b = TraceContext.start(20.0, tick=2)
+        b.stamp("leaf", 30.0)
+        m = TraceContext.merged([a, b, None])
+        assert m.origin_tick == 1
+        assert m.hops == [["collect", 0.0, 20.0, 2],
+                          ["leaf", 10.0, 30.0, 2]]
+        assert TraceContext.merged([None, None]) is None
+
+    def test_wire_round_trip(self):
+        ctx = TraceContext.start(50.0, tick=3)
+        ctx.stamp("pump", 60.0)
+        assert TraceContext.from_obj(ctx.to_obj()) == ctx
+        assert TraceContext.from_obj(None) is None
+
+    def test_monotone_detection(self):
+        good = TraceContext.start(0.0)
+        good.stamp("a", 5.0)
+        assert good.is_monotone()
+        bad = TraceContext(hops=[["collect", 10.0, 10.0, 1],
+                                 ["a", 5.0, 5.0, 1]])
+        assert not bad.is_monotone()
+
+
+class TestFreshnessHistogram:
+    def test_fold_and_percentiles(self):
+        h = FreshnessHistogram(window=16)
+        for s in (1.0, 5.0, 10.0, 100.0):
+            h.record(s)
+        assert h.count == 4
+        assert h.total_s == 116.0
+        assert h.max_s == 100.0
+        assert h.percentile(100.0) == 100.0
+
+    def test_exemplar_built_only_on_new_bucket_worst(self):
+        h = FreshnessHistogram()
+        calls = []
+
+        def make(s):
+            def fn():
+                calls.append(s)
+                return Exemplar("m", s, (("collect", 0.0, 0.0, 1),), 0)
+            return fn
+
+        h.record(5.0, make(5.0))
+        h.record(3.0, make(3.0))   # same bucket, not a new worst
+        h.record(8.0, make(8.0))   # same bucket, new worst
+        assert calls == [5.0, 8.0]
+        assert h.worst_exemplar().latency_s == 8.0
+
+    def test_buckets_must_end_with_inf(self):
+        with pytest.raises(ValueError):
+            FreshnessHistogram(buckets=(1.0, 10.0))
+
+
+class TestSloBurnRate:
+    def test_burn_is_over_fraction_divided_by_budget(self):
+        slo = FreshnessSLO("s", max_latency_s=10.0, quantile=0.9,
+                           window=10, min_count=4)
+        tracker = FreshnessTracker([slo])
+        track = tracker._tracks[0]
+        for lat in (1.0, 1.0, 1.0, 20.0):   # 1/4 over, budget 0.1
+            track.observe(lat)
+        assert track.burn_rate() == pytest.approx(2.5)
+
+    def test_breach_is_edge_triggered_and_rearms(self):
+        slo = FreshnessSLO("s", max_latency_s=10.0, quantile=0.9,
+                           window=8, min_count=2)
+        tracker = FreshnessTracker([slo], tier="flat")
+        track = tracker._tracks[0]
+        track.observe(50.0)
+        track.observe(50.0)
+        (breach,) = tracker.evaluate(now=100.0)
+        assert breach.burn_rate > 1.0
+        assert tracker.evaluate(now=110.0) == []      # still breaching
+        for _ in range(8):
+            track.observe(1.0)                        # recover
+        assert tracker.evaluate(now=120.0) == []
+        track.observe(50.0)
+        for _ in range(3):
+            track.observe(50.0)
+        (again,) = tracker.evaluate(now=130.0)        # re-armed
+        assert again.slo.name == "s"
+        assert tracker.breach_count() == 2
+
+    def test_cold_window_never_alarms(self):
+        slo = FreshnessSLO("s", max_latency_s=1.0, min_count=16)
+        tracker = FreshnessTracker([slo])
+        tracker._tracks[0].observe(99.0)
+        assert tracker.evaluate(now=0.0) == []
+
+    def test_default_slo_scales_with_tick(self):
+        (slo,) = default_slos(tick_s=30.0)
+        assert slo.max_latency_s == 60.0
+
+
+class TestFreshnessTracker:
+    def flat_hops(self, t0, ingest_delta):
+        return [(HOP_COLLECT, t0), (HOP_PUBLISH, t0),
+                (HOP_INGEST, t0 + ingest_delta)]
+
+    def test_waterfall_telescopes_exactly(self):
+        tracker = FreshnessTracker(tier="flat")
+        for i in range(50):
+            tracker.record(traced_batch(
+                hops=self.flat_hops(10.0 * i, 10.0), tick=i))
+        assert tracker.batches == 50
+        assert tracker.waterfall_exact()
+        assert tracker.hop_total() == tracker.e2e_total() == 500.0
+        rows = {r["hop"]: r for r in tracker.waterfall()}
+        assert rows["publish"]["total_s"] == 0.0
+        assert rows["ingest"]["total_s"] == 500.0
+        assert rows["ingest"]["share"] == 1.0
+
+    def test_untraced_and_unfinished_batches_are_skipped(self):
+        tracker = FreshnessTracker()
+        tracker.record(traced_batch())                     # no context
+        tracker.record(traced_batch(hops=[(HOP_COLLECT, 0.0)]))
+        assert tracker.batches == 0
+
+    def test_group_keying_splits_metrics_from_selfmon(self):
+        tracker = FreshnessTracker()
+        tracker.record(traced_batch("node.power_w",
+                                    self.flat_hops(0.0, 10.0)))
+        tracker.record(traced_batch("selfmon.bus.delivered",
+                                    self.flat_hops(0.0, 30.0)))
+        groups = tracker.group_summaries()
+        assert set(groups) == {"node", "selfmon"}
+        assert groups["node"]["max_s"] == 10.0
+        assert groups["selfmon"]["max_s"] == 30.0
+
+    def test_group_scoped_slo_ignores_other_groups(self):
+        slo = FreshnessSLO("n", max_latency_s=5.0, group="node",
+                           window=8, min_count=1)
+        tracker = FreshnessTracker([slo])
+        tracker.record(traced_batch("selfmon.x",
+                                    self.flat_hops(0.0, 50.0)))
+        assert tracker._tracks[0].burn_rate() == 0.0
+        tracker.record(traced_batch("node.power_w",
+                                    self.flat_hops(0.0, 50.0)))
+        assert tracker._tracks[0].burn_rate() > 1.0
+
+    def test_hop_scoped_slo_observes_that_hops_share(self):
+        slo = FreshnessSLO("pump-slo", max_latency_s=5.0, hop="pump",
+                           window=8, min_count=1)
+        tracker = FreshnessTracker([slo])
+        b = traced_batch(hops=[(HOP_COLLECT, 0.0), ("enqueue", 0.0),
+                               ("pump", 20.0), (HOP_INGEST, 20.0)])
+        tracker.record(b)
+        (breach,) = tracker.evaluate(now=20.0)
+        assert breach.slo.name == "pump-slo"
+        assert breach.exemplar.worst_hop()[0] == "pump"
+
+    def test_breach_fields_carry_the_offending_hop(self):
+        slo = FreshnessSLO("s", max_latency_s=5.0, window=8, min_count=1)
+        tracker = FreshnessTracker([slo], tier="flat")
+        tracker.record(traced_batch(hops=self.flat_hops(0.0, 40.0)),
+                       span="tick")
+        (breach,) = tracker.evaluate(now=40.0)
+        fields = breach.fields()
+        assert fields["slo"] == "s"
+        assert fields["worst_hop"] == "ingest"
+        assert fields["worst_hop_s"] == 40.0
+        assert fields["exemplar_latency_s"] == 40.0
+        assert breach.exemplar.span == "tick"
+        assert "worst hop ingest" in breach.describe()
+
+    def test_snapshot_is_json_shaped(self):
+        tracker = FreshnessTracker(default_slos(), tier="flat")
+        tracker.record(traced_batch(hops=self.flat_hops(0.0, 10.0)))
+        snap = tracker.snapshot()
+        assert snap["exact"] is True
+        assert snap["batches"] == 1
+        assert snap["slos"][0]["name"] == "ingest-p99"
+        assert not math.isnan(snap["e2e"]["p99_s"])
+
+
+class TestBreachEscalation:
+    def test_sec_rule_matches_and_forwards_exemplar_fields(self):
+        """The breach message triggers ``freshness_slo_breach`` and the
+        rule's ``forward_fields`` copies the structured exemplar payload
+        onto the emitted action request."""
+        slo = FreshnessSLO("ingest-p99", max_latency_s=5.0,
+                           window=8, min_count=1)
+        tracker = FreshnessTracker([slo], tier="flat")
+        tracker.record(traced_batch(
+            hops=[(HOP_COLLECT, 0.0), (HOP_PUBLISH, 0.0),
+                  (HOP_INGEST, 40.0)]))
+        (breach,) = tracker.evaluate(now=40.0)
+
+        from repro.core.events import Event, EventKind, Severity
+        sec = SecEngine(default_rules())
+        out = sec.feed([Event(
+            time=breach.time, component="flat",
+            kind=EventKind.ALERT, severity=Severity.ALERT,
+            message=breach.describe(), fields=breach.fields(),
+        )])
+        reqs = [r for r in out if r.rule == "freshness_slo_breach"]
+        assert len(reqs) == 1
+        assert reqs[0].fields["worst_hop"] == "ingest"
+        assert "worst hop ingest" in reqs[0].message
+
+
+class TestMergedBatchFreshness:
+    def test_merge_aggregates_contexts_and_stays_exact(self):
+        parts = []
+        for i in range(3):
+            b = SeriesBatch("m.x", [f"n{i}"], [float(i)], [1.0])
+            ctx = TraceContext.start(10.0 * i, tick=i)
+            ctx.stamp("leaf", 10.0 * i)
+            parts.append(b)
+            b.trace = ctx
+        merged = merge_batches(parts)
+        merged.trace.stamp("merge", 120.0)
+        merged.trace.stamp(HOP_INGEST, 120.0)
+        tracker = FreshnessTracker(tier="tree")
+        tracker.record(merged)
+        assert tracker.waterfall_exact()
+        # oldest-path journey: collected at t=0, queryable at t=120
+        assert tracker.e2e_total() == 120.0
+        assert merged.trace.hops[0][3] == 3   # three contexts merged

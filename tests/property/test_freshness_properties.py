@@ -1,0 +1,134 @@
+"""Property-based tests: hop vectors stay monotone and exact under a
+simulated clock, across all three transport tiers, and survive both
+wire codecs — including tree-merged batches under leaf overflow."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metric import SeriesBatch
+from repro.core.tracectx import HOP_INGEST, TraceContext
+from repro.transport.aggtree import AggregatorTree
+from repro.transport.bus import MessageBus
+from repro.transport.message import (
+    Envelope,
+    decode_binary,
+    decode_json,
+    encode_binary,
+    encode_json,
+)
+from repro.transport.partitioned import PartitionedBus
+
+TICK = 10.0
+
+# a publish schedule: per round, how many batches go out before the
+# clock advances one tick and the transport pumps
+schedules = st.lists(st.integers(min_value=0, max_value=4),
+                     min_size=1, max_size=8)
+
+metrics = st.sampled_from(
+    ["node.power_w", "node.cpu_pct", "fabric.bw_gbps", "selfmon.x.y"]
+)
+
+
+def drive(transport, schedule, metric_names):
+    """Publish per ``schedule`` against a simulated clock, pumping each
+    round; returns every batch delivered to the subscriber."""
+    delivered = []
+    transport.subscribe(
+        "metrics.*", callback=lambda env: delivered.append(env.payload)
+    )
+    clk = {"t": 0.0}
+    transport.clock = lambda: clk["t"]
+    tick = 0
+    seq = 0
+    for n in schedule:
+        for _ in range(n):
+            metric = metric_names[seq % len(metric_names)]
+            b = SeriesBatch(metric, [f"n{seq}"], [clk["t"]], [1.0])
+            b.trace = TraceContext.start(clk["t"], tick=tick)
+            transport.publish(f"metrics.{metric}", b, source=f"s{seq % 3}")
+            seq += 1
+        clk["t"] += TICK
+        tick += 1
+        transport.pump(now=clk["t"])
+    # flush: advance past any coalescing window, pump until quiet
+    for _ in range(8):
+        clk["t"] += TICK
+        transport.pump(now=clk["t"])
+    for b in delivered:
+        if b.trace is not None:
+            b.trace.stamp(HOP_INGEST, clk["t"])
+    return delivered
+
+
+def assert_trace_invariants(batch):
+    ctx = batch.trace
+    assert ctx is not None
+    assert ctx.is_monotone()
+    # consecutive hop deltas telescope to end-to-end exactly (==)
+    deltas = ctx.hop_latencies()
+    assert sum(d for _, d in deltas) == ctx.end_to_end()
+    assert all(d >= 0 for _, d in deltas)
+    # stamps are integral multiples of the tick on the simulated clock
+    assert all(t % TICK == 0 for _, t in
+               [(h[0], h[1]) for h in ctx.hops])
+
+
+def assert_codec_round_trip(batch):
+    env = Envelope("metrics." + batch.metric, batch, source="t", seq=9)
+    via_json = decode_json(encode_json(env)).payload.trace
+    via_binary = decode_binary(encode_binary(env))[0].payload.trace
+    assert via_json == batch.trace
+    assert via_binary == batch.trace
+
+
+class TestFlatTier:
+    @given(schedule=schedules, names=st.lists(metrics, min_size=1,
+                                              max_size=3, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_exact_and_codec_safe(self, schedule, names):
+        delivered = drive(MessageBus(), schedule, names)
+        assert len(delivered) == sum(schedule)
+        for b in delivered:
+            assert b.trace.path() == "collect->publish->ingest"
+            assert_trace_invariants(b)
+            assert_codec_round_trip(b)
+
+
+class TestPartitionedTier:
+    @given(schedule=schedules, names=st.lists(metrics, min_size=1,
+                                              max_size=3, unique=True),
+           partitions=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_exact_and_codec_safe(self, schedule, names,
+                                           partitions):
+        bus = PartitionedBus(partitions=partitions)
+        delivered = drive(bus, schedule, names)
+        assert len(delivered) == sum(schedule)
+        for b in delivered:
+            assert b.trace.path() == "collect->enqueue->pump->ingest"
+            assert_trace_invariants(b)
+            assert_codec_round_trip(b)
+
+
+class TestTreeTier:
+    @given(schedule=schedules, names=st.lists(metrics, min_size=1,
+                                              max_size=3, unique=True),
+           window=st.sampled_from([0.0, TICK, 3 * TICK]),
+           leaf_queue_len=st.integers(min_value=2, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_merged_batches_stay_monotone_and_codec_safe(
+            self, schedule, names, window, leaf_queue_len):
+        """Coalesced (merged) contexts under tight leaf buffers — the
+        overflow-eviction path — still bracket every surviving parent:
+        monotone stamps, exact telescoping, codec round-trips."""
+        tree = AggregatorTree(leaves=2, fan_in=2, window_s=window,
+                               leaf_queue_len=leaf_queue_len)
+        delivered = drive(tree, schedule, names)
+        for b in delivered:
+            ctx = b.trace
+            assert ctx.path() == "collect->leaf->merge->root->ingest"
+            assert_trace_invariants(b)
+            assert_codec_round_trip(b)
+            # merged hop counts never exceed the points that survived
+            assert ctx.hops[0][3] >= 1

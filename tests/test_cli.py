@@ -47,6 +47,29 @@ class TestCli:
         assert "streaming detectors:" in proc.stdout
         assert "selfmon.analysis.batches" in proc.stdout
 
+    def test_obs_json_mode_emits_machine_readable_report(self):
+        import json
+
+        proc = run_cli("obs", "--hours", "0.2", "--json")
+        assert proc.returncode == 0
+        doc = json.loads(proc.stdout)
+        assert set(doc) == {"report", "selfmon"}
+        assert "freshness" in doc["report"]
+        assert doc["report"]["freshness"]["exact"] is True
+        assert "selfmon.freshness.e2e_p99_s" in doc["selfmon"]
+        assert "selfmon.trace.dropped" in doc["selfmon"]
+
+    def test_slo_prints_exact_waterfall_for_all_tiers(self):
+        proc = run_cli("slo", "--hours", "0.3")
+        assert proc.returncode == 0
+        for tier in ("flat", "partitioned", "tree"):
+            assert f"freshness waterfall [{tier}]" in proc.stdout
+        # hop attribution telescopes with no epsilon on every tier
+        assert proc.stdout.count("exact: sum(hops)") == 3
+        assert "!=" not in proc.stdout
+        assert ("sum(per-hop latency) == end-to-end latency exactly"
+                in proc.stdout)
+
     def test_scale_compares_transport_tiers(self):
         proc = run_cli("scale", "--hours", "0.1")
         assert proc.returncode == 0
