@@ -28,6 +28,13 @@ over ``.components`` / ``.times`` / ``.values``) on the hot plane is a
 regression.  The retained scalar reference implementations mark their
 loops with ``# per-sample: allowed``.
 
+Both paths also gate on **module-level mutable state** inside
+``src/repro/transport`` and ``src/repro/storage``: the parallel runtime
+runs those planes on worker threads, so a module-global ``dict`` /
+``list`` / ``set`` there is unsynchronized cross-thread shared state.
+Keep mutable state on instances; a deliberate module global carries
+``# shared-state: allowed``.
+
 Finally both paths gate on **blind exception swallows** inside
 ``src/repro``: an ``except Exception:`` (or bare ``except:``) whose
 body only discards (``pass``/``continue``/``break``/``...``) hides
@@ -352,6 +359,86 @@ def check_swallows_repro() -> list[str]:
     return problems
 
 
+#: module-level mutable containers in the planes the parallel runtime
+#: fans out across workers are cross-thread shared state by definition
+_SHARED_STATE_DIRS = ("src/repro/transport", "src/repro/storage")
+_MUTABLE_CALLS = frozenset({
+    "dict", "list", "set", "defaultdict", "OrderedDict", "deque",
+    "Counter",
+})
+_SHARED_STATE_MARKER = "# shared-state: allowed"
+
+
+def _is_mutable_container(value: ast.expr) -> bool:
+    """True when ``value`` builds a mutable container literal/ctor."""
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                          ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(value, ast.Call):
+        f = value.func
+        name = f.id if isinstance(f, ast.Name) else (
+            f.attr if isinstance(f, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def check_module_state(path: Path) -> list[str]:
+    """Flag module-level mutable-container state in one module.
+
+    The parallel runtime runs transport coalescing and store-shard
+    ingest on worker threads; a module-global ``dict``/``list``/``set``
+    in those packages is state shared across every pipeline *and* every
+    worker, with no lock anyone remembers to take.  Keep mutable state
+    on instances (or behind an explicit lock) — a deliberate module
+    global carries ``# shared-state: allowed`` on its assignment line.
+    ``__all__`` and other dunder assignments are exempt (import-time
+    constants by convention).
+    """
+    src = path.read_text()
+    try:
+        tree = ast.parse(src, filename=str(path))
+    except SyntaxError:
+        return []                    # surfaced by check_file already
+    lines = src.splitlines()
+    problems: list[str] = []
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets, value = [node.target], node.value
+        else:
+            continue
+        if value is None or not _is_mutable_container(value):
+            continue
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if not names:
+            continue
+        if all(n.startswith("__") and n.endswith("__") for n in names):
+            continue                 # __all__ and friends
+        if _SHARED_STATE_MARKER in lines[node.lineno - 1]:
+            continue
+        problems.append(
+            f"{path}:{node.lineno}: module-level mutable state "
+            f"({', '.join(names)}); worker threads share module globals "
+            f"— move it onto an instance, freeze it "
+            f"(tuple/frozenset/MappingProxyType), or mark the line "
+            f"'{_SHARED_STATE_MARKER}'"
+        )
+    return problems
+
+
+def check_shared_state() -> list[str]:
+    """Run :func:`check_module_state` over the worker-shared packages."""
+    problems: list[str] = []
+    for rel in _SHARED_STATE_DIRS:
+        root = REPO / rel
+        if root.is_dir():
+            for path in sorted(root.rglob("*.py")):
+                problems.extend(check_module_state(path))
+    return problems
+
+
 #: a full selfmon metric name (at least two dotted segments after the
 #: prefix-qualifying first); prefixes like "selfmon." in startswith()
 #: guards deliberately do not match
@@ -412,7 +499,8 @@ def check_columnar_analysis() -> list[str]:
 
 def lint() -> int:
     gate_problems = (check_import_cycles() + check_columnar_analysis()
-                     + check_swallows_repro() + check_selfmon_registry())
+                     + check_swallows_repro() + check_selfmon_registry()
+                     + check_shared_state())
     for p in gate_problems:
         print(p)
     if gate_problems:

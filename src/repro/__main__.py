@@ -25,6 +25,9 @@ Scenarios:
                   warm query latency, compression ratio) and an
                   analysis-plane section (streaming-detector sweep
                   throughput at 27,648 components, columnar vs scalar);
+                  with ``--workers N``, also a parallel-runtime section
+                  sweeping the threaded execution model from 1 to N
+                  workers over a remote-RTT-dominated monitored run;
 * ``chaos``       — break the monitoring plane itself (raising
                   collector, hung collector, transport stall, transport
                   drop storm, TSDB shard outage) and show the
@@ -243,6 +246,8 @@ def cmd_scale(args) -> int:
               f"fan-out")
     _scale_storage_plane(args)
     _scale_analysis_plane(args)
+    if getattr(args, "workers", None):
+        _scale_parallel_plane(args)
     return 0
 
 
@@ -372,6 +377,39 @@ def _scale_analysis_plane(args) -> None:
               f" -> columnar {total / fast:12,.0f} samples/s"
               f" ({slow / fast:5.1f}x)")
     print(f"  combined detector speedup: {slow_sum / fast_sum:.1f}x")
+
+
+def _scale_parallel_plane(args) -> None:
+    """The parallel-runtime rows of ``scale --workers N``: the full
+    monitored sweep at Trinity scale on 1, 2, ..., N workers, with the
+    remote-I/O latency model on the scrape and store-write edges."""
+    from .runtime.scaling import (
+        DEFAULT_COMPONENTS,
+        DEFAULT_FLEETS,
+        sweep_workers,
+    )
+
+    top = max(1, int(args.workers))
+    counts = sorted({1, min(2, top), top})
+    n_steps = max(2, int(args.hours * 3600.0 / 10.0) // 18) \
+        if args.hours < 1.0 else 20
+    print(f"\nparallel runtime ({DEFAULT_COMPONENTS:,} components / "
+          f"{DEFAULT_FLEETS} remote fleets, {n_steps} monitored steps "
+          f"per arm):")
+    rows = sweep_workers(counts, n_steps=n_steps, seed=args.seed)
+    hdr = (f"  {'workers':>7} {'wall s':>8} {'steps/s':>8} "
+           f"{'speedup':>8} {'busy':>6} {'samples':>9}")
+    print(hdr)
+    print("  " + "-" * (len(hdr) - 2))
+    for r in rows:
+        busy = r["executor"]["busy_fraction"]
+        print(f"  {r['workers']:>7} {r['wall_s']:>8.2f} "
+              f"{r['steps_per_s']:>8.2f} {r['speedup']:>7.2f}x "
+              f"{busy:>6.2f} {r['samples']:>9,}")
+    best = rows[-1]
+    print(f"  -> {best['workers']} workers hide "
+          f"{best['rtt_paid_s']:.1f} s of remote RTT per arm: "
+          f"{best['speedup']:.1f}x the serial step loop")
 
 
 def cmd_chaos(args) -> int:
@@ -548,6 +586,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--json", action="store_true",
                         help="machine-readable output (obs scenario)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="scale scenario: also sweep the parallel "
+                             "runtime up to N workers")
     args = parser.parse_args(argv)
     try:
         return COMMANDS[args.scenario](args)

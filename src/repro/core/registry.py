@@ -325,6 +325,17 @@ def _builtin_specs() -> Iterable[MetricSpec]:
                      "Mean wall time of one full pipeline tick over the "
                      "self-monitor cadence (from the root trace span).",
                      higher_is_worse=True)
+    yield MetricSpec("selfmon.exec.busy_fraction", "ratio", G, "monitor",
+                     "Fraction of worker capacity kept busy between tick "
+                     "barriers (component = execution-model name; 0 under "
+                     "the serial model).")
+    yield MetricSpec("selfmon.exec.barrier_wait_ms", "ms", G, "monitor",
+                     "Wall time the tick loop spent waiting at ordered "
+                     "barriers for straggler workers since start.",
+                     higher_is_worse=True)
+    yield MetricSpec("selfmon.exec.handoff_depth", "count", G, "monitor",
+                     "Peak number of tasks handed to workers at one "
+                     "barrier (fan-out width actually reached).")
     yield MetricSpec("selfmon.health.state", "state", G, "monitor",
                      "Supervised-component health (component = supervised "
                      "name): 0 = OK, 1 = DEGRADED, 2 = FAILED.",

@@ -75,6 +75,8 @@ class HealthReport:
     #: freshness-tracker snapshot (hop waterfall, SLO burn) when tracing
     #: is enabled
     freshness: dict = field(default_factory=dict)
+    #: execution-model snapshot (worker topology, barrier/handoff vitals)
+    executor: dict = field(default_factory=dict)
 
     @property
     def backpressured(self) -> list[str]:
@@ -202,6 +204,10 @@ class PipelineIntrospector:
                 "in_flight": float(balance.in_flight),
                 "unaccounted": float(balance.unaccounted),
             }
+        executor: dict = {}
+        ex = getattr(p, "executor", None)
+        if ex is not None:
+            executor = ex.snapshot()
         return HealthReport(
             ticks=ticks,
             stages=stages,
@@ -232,6 +238,7 @@ class PipelineIntrospector:
             health=health,
             ledger=ledger,
             freshness=fresh,
+            executor=executor,
         )
 
     def render(self, slowest_n: int = 5) -> str:
@@ -266,6 +273,15 @@ class PipelineIntrospector:
                     f"  {name:<10} {int(s['points'])} points / "
                     f"{int(s['series'])} series / {int(s['bytes'])} B"
                 )
+        if r.executor:
+            e = r.executor
+            lines.append(
+                f"executor: {e['name']} workers={e['workers']} "
+                f"barriers={e['barriers']} tasks={e['tasks']} "
+                f"busy={e['busy_fraction']:.2f} "
+                f"barrier_wait={e['barrier_wait_ms']:.1f} ms "
+                f"handoff_depth={e['handoff_depth']}"
+            )
         lines.append("stage timings (per tick):")
         for s in r.stages:
             lines.append(

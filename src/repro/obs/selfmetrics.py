@@ -66,6 +66,9 @@ SELFMON_METRICS: tuple[str, ...] = (
     "selfmon.analysis.sweep_p95_ms",
     "selfmon.analysis.sweep_max_ms",
     "selfmon.pipeline.tick_ms",
+    "selfmon.exec.busy_fraction",
+    "selfmon.exec.barrier_wait_ms",
+    "selfmon.exec.handoff_depth",
     "selfmon.health.state",
     "selfmon.health.transitions",
     "selfmon.ledger.published_points",
@@ -413,6 +416,17 @@ class SelfMonitor:
                 out.append(SeriesBatch.sweep(
                     "selfmon.freshness.slo_breaches", now, snames,
                     [float(s["breaches"]) for s in slos]))
+
+        # -- execution model (worker topology vitals) ----------------------
+        ex = getattr(p, "executor", None)
+        if ex is not None:
+            snap = ex.snapshot()
+            one("selfmon.exec.busy_fraction", ex.name,
+                float(snap["busy_fraction"]))
+            one("selfmon.exec.barrier_wait_ms", ex.name,
+                float(snap["barrier_wait_ms"]))
+            one("selfmon.exec.handoff_depth", ex.name,
+                float(snap["handoff_depth"]))
 
         # -- trace exporter loss (ring evictions are accounted) ------------
         one("selfmon.trace.dropped", "tracer", float(p.tracer.dropped))

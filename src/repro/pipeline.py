@@ -43,6 +43,7 @@ from .obs.trace import Tracer
 from .response.actions import ActionEngine, AlertManager
 from .response.policy import default_sec_engine
 from .response.sec import ActionRequest, SecEngine
+from .runtime.executor import ExecutionModel, make_executor
 from .sources.base import CollectionScheduler, Collector
 from .sources.benchmarks import BenchmarkSuite
 from .sources.counters import (
@@ -57,7 +58,13 @@ from .sources.health import HealthGate, NodeHealthSuite
 from .sources.powermon import PowerCollector
 from .sources.queuestats import QueueStatsCollector
 from .sources.sedc import SedcCollector
-from .stages import AnalysisHooksStage, Stage, StreamingStage, default_stages
+from .stages import (
+    AnalysisHooksStage,
+    Stage,
+    StreamingStage,
+    default_stages,
+    schedule_stages,
+)
 from .storage.jobstore import JobIndex
 from .storage.logstore import LogStore
 from .storage.sharded import ShardedTimeSeriesStore
@@ -92,15 +99,30 @@ class MonitoringPipeline:
         collector_budget_s: float | None = None,
         freshness: bool = True,
         freshness_slos: Sequence[FreshnessSLO] | None = None,
+        executor: "ExecutionModel | int | str | None" = None,
     ) -> None:
         self.machine = machine
         self.registry = registry or default_registry()
         self.tick_s = float(tick_s)
 
+        # execution model: how the data-parallel planes run each tick.
+        # Serial (the default) is today's behaviour, bit-identical;
+        # a parallel executor fans collection / shard ingest / aggtree
+        # coalescing across workers between tick barriers.
+        self.executor: ExecutionModel = make_executor(executor)
+        # envelope staging buffer used by parallel_sweep: non-None only
+        # while a parallel metric-plane sweep is routing store appends
+        # through the shard-concurrent ingest path
+        self._staged_ingest: list | None = None
+
         # transport and numeric store are pluggable tiers; the defaults
         # are the flat bus + single store every existing example assumes
         self.bus: Transport = transport if transport is not None else MessageBus()
         self.tsdb = tsdb if tsdb is not None else TimeSeriesStore()
+        if self.executor.parallel:
+            # transports that fan out internal work (aggtree leaf
+            # coalescing) pick the executor up from this attribute
+            self.bus.executor = self.executor
         self.logs = LogStore()
         self.jobs = JobIndex()
         self.sql = SqlStore()
@@ -165,8 +187,10 @@ class MonitoringPipeline:
         self.alerts = AlertManager(renotify_s=renotify_s)
         self.actions = ActionEngine(machine, self.alerts)
 
-        # the tick loop: stages iterated under spans
-        self.stages: list[Stage] = (
+        # the tick loop: stages ordered by their declared data
+        # dependencies (declaration order breaks ties, so the default
+        # set schedules into the historic Table I order)
+        self.stages: list[Stage] = schedule_stages(
             list(stages) if stages is not None else default_stages()
         )
         self._pending_requests: list[ActionRequest] = []
@@ -204,21 +228,38 @@ class MonitoringPipeline:
         payload = env.payload
         if not isinstance(payload, SeriesBatch):
             return
-        ledger = self.ledger
+        staged = self._staged_ingest
+        if staged is not None:
+            # parallel metric-plane sweep in progress: park the
+            # envelope; _ingest_staged appends shard-concurrently at
+            # the barrier and applies the identical ledger/freshness
+            # accounting in publish order
+            staged.append(env)
+            return
         try:
             stored = self.tsdb.append(payload)
         except Exception as exc:
             # a raising store degrades the tick, never kills ingest of
             # later batches; the points become accounted loss
-            if ledger is not None and ledger.tracks(env.topic):
-                ledger.lost_batch("store-error", payload)
-            if self.supervisor is not None:
-                self.supervisor.record(
-                    "store", False, self.machine.now,
-                    reason=f"append raised {type(exc).__name__}",
-                )
+            self._account_store_error(env.topic, payload, exc)
             return
-        if ledger is not None and ledger.tracks(env.topic):
+        self._account_stored(env.topic, payload, stored)
+
+    def _account_store_error(self, topic, payload, exc) -> None:
+        """Ledger + supervision accounting for one failed store append."""
+        ledger = self.ledger
+        if ledger is not None and ledger.tracks(topic):
+            ledger.lost_batch("store-error", payload)
+        if self.supervisor is not None:
+            self.supervisor.record(
+                "store", False, self.machine.now,
+                reason=f"append raised {type(exc).__name__}",
+            )
+
+    def _account_stored(self, topic, payload, stored: int) -> None:
+        """Ledger + freshness accounting for one successful append."""
+        ledger = self.ledger
+        if ledger is not None and ledger.tracks(topic):
             ledger.stored_batch(payload, stored)
             # points the store neither stored nor parked in a redo
             # buffer (single-store partial ingest) would surface here
@@ -239,6 +280,50 @@ class MonitoringPipeline:
         payload = env.payload
         if isinstance(payload, Event):
             self.logs.append(payload)
+
+    # -- parallel metric plane ---------------------------------------------------
+
+    def parallel_sweep(self, now: float, executor: ExecutionModel):
+        """One metric-plane sweep with worker fan-out at both ends.
+
+        Collection fans out inside :meth:`CollectionScheduler.poll`;
+        store appends are *staged* — ``_on_metric`` parks each delivered
+        envelope instead of appending inline — and executed
+        shard-concurrently at the barrier when the store supports it
+        (``append_parallel``).  All ledger, supervision, and freshness
+        accounting happens here afterwards, in publish order, so the
+        totals are identical to the serial path.
+        """
+        if hasattr(self.tsdb, "append_parallel"):
+            self._staged_ingest = []
+        try:
+            collected = self.scheduler.poll(
+                self.machine, now, tick=self.ticks, executor=executor
+            )
+            self.bus.pump(now)
+        finally:
+            staged, self._staged_ingest = self._staged_ingest, None
+        if staged:
+            self._ingest_staged(staged, executor)
+        return collected
+
+    def _ingest_staged(self, staged, executor: ExecutionModel) -> None:
+        """Append the staged envelopes shard-concurrently, then account.
+
+        ``append_parallel`` preserves per-shard append order (every
+        series lives on exactly one shard, and each shard consumes its
+        pieces in publish order), so query results match the serial
+        path; the accounting loop below runs in publish order, so the
+        ledger and freshness totals match too.
+        """
+        results = self.tsdb.append_parallel(
+            [env.payload for env in staged], executor
+        )
+        for env, res in zip(staged, results):
+            if isinstance(res, BaseException):
+                self._account_store_error(env.topic, env.payload, res)
+            else:
+                self._account_stored(env.topic, env.payload, res)
 
     # -- stage access ---------------------------------------------------------------
 
@@ -295,46 +380,13 @@ class MonitoringPipeline:
     def step(self, dt: float | None = None) -> None:
         """Advance the machine one tick and run the monitoring plane.
 
-        Every tick opens a root ``tick`` span and iterates the stage
-        list, one child span per stage, so the introspector can
-        attribute wall time to exactly the stage that spent it.
-        Requests returned by a stage accumulate and are executed by the
-        response stage at its position in the order.
+        The tick body lives on the installed execution model
+        (:meth:`~repro.runtime.executor.ExecutionModel.run_tick`): the
+        stage loop itself always runs serially under trace spans, and
+        parallel executors fan out inside the data-parallel planes,
+        synchronizing at the tick barrier.
         """
-        dt = self.tick_s if dt is None else dt
-        tracer = self.tracer
-        pending = self._pending_requests
-        sup = self.supervisor
-        with tracer.span("tick"):
-            self.ticks += 1
-            self.machine.step(dt)
-            now = self.machine.now
-            keys = self._stage_keys
-            for stage in self.stages:
-                if sup is not None:
-                    key = keys.get(stage.name)
-                    if key is None:
-                        key = keys[stage.name] = "stage:" + stage.name
-                    if not sup.should_run(key, now):
-                        continue   # quarantined: degrade the tick
-                with tracer.span(stage.name):
-                    if sup is None:
-                        raised = stage.run(self, now)
-                    else:
-                        try:
-                            raised = stage.run(self, now)
-                        except Exception as exc:
-                            # a failing stage degrades the tick instead
-                            # of killing it; the breaker quarantines a
-                            # repeat offender under backoff
-                            sup.record(
-                                key, False, now,
-                                reason=f"raised {type(exc).__name__}",
-                            )
-                            continue
-                        sup.record(key, True, now)
-                    if raised:
-                        pending.extend(raised)
+        self.executor.run_tick(self, self.tick_s if dt is None else dt)
 
     def run(
         self,
@@ -423,6 +475,7 @@ def default_pipeline(
     transport: Transport | str | None = None,
     tsdb=None,
     shards: int | None = None,
+    workers: int | None = None,
     **kw,
 ) -> MonitoringPipeline:
     """Assemble the full stack against ``machine`` (CSCS gate included).
@@ -434,6 +487,9 @@ def default_pipeline(
     swaps the numeric store for a
     :class:`~repro.storage.sharded.ShardedTimeSeriesStore` over K
     shards (mutually exclusive with an explicit ``tsdb=``).
+    ``workers=N`` (or ``executor=``, which it aliases) picks the
+    execution model: N > 1 runs the data-parallel planes on a
+    ``ThreadedExecutor`` over N workers; the default stays serial.
     """
     if transport is not None:
         transport = make_transport(transport)
@@ -441,6 +497,10 @@ def default_pipeline(
         if tsdb is not None:
             raise ValueError("pass either tsdb= or shards=, not both")
         tsdb = ShardedTimeSeriesStore(shards=shards)
+    if workers is not None:
+        if kw.get("executor") is not None:
+            raise ValueError("pass either workers= or executor=, not both")
+        kw["executor"] = workers
     pipeline = MonitoringPipeline(
         machine,
         collectors=default_collectors(

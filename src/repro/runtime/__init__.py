@@ -1,0 +1,26 @@
+"""Parallel runtime: pluggable execution models for the tick loop.
+
+Kept intentionally thin: only the executor abstractions and the
+simulated-latency wrappers are re-exported here.  The scaling harness
+(:mod:`repro.runtime.scaling`) imports the pipeline and must be
+imported explicitly to keep this package free of import cycles.
+"""
+
+from repro.runtime.executor import (
+    ExecStats,
+    ExecutionModel,
+    SerialExecutor,
+    ThreadedExecutor,
+    make_executor,
+)
+from repro.runtime.latency import LatentStore, RemoteFleetCollector
+
+__all__ = [
+    "ExecStats",
+    "ExecutionModel",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "make_executor",
+    "LatentStore",
+    "RemoteFleetCollector",
+]

@@ -1,0 +1,98 @@
+"""Simulated remote-I/O latency: what a parallel runtime overlaps.
+
+The paper's planes are distributed daemons whose dominant cost is
+*waiting* — a scrape RTT to every node daemon, a write RTT to every
+store shard — not local compute.  In-process, that waiting has to be
+modelled explicitly or the parallel runtime has nothing real to
+overlap.  :class:`RemoteFleetCollector` and :class:`LatentStore` put a
+wall-clock ``time.sleep`` (which releases the GIL, exactly like real
+socket I/O) on those two edges, so the scaling benchmark measures the
+latency-hiding a threaded execution model actually buys on this
+hardware.  Simulated *machine* time is untouched: RTTs burn wall time
+in the measuring process only, never advance the monitoring clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..sources.base import Collector, CollectorOutput
+from ..core.metric import SeriesBatch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.machine import Machine
+
+__all__ = ["LatentStore", "RemoteFleetCollector"]
+
+
+class RemoteFleetCollector(Collector):
+    """A collector fronting one fleet slice of remote node daemons.
+
+    Each sweep pays one scrape round-trip (``rtt_s`` of GIL-releasing
+    wall sleep) and returns a synchronized batch of ``n_components``
+    samples.  Values are a deterministic function of (component index,
+    sweep count), so two runs — serial or parallel — produce identical
+    batches.  Component names are built once: the same object array is
+    republished every sweep, which is also what lets the sharded
+    store's routing memo behave as it would under a real synchronized
+    sweep.
+    """
+
+    metrics = ("node.power_w",)
+
+    def __init__(
+        self,
+        name: str,
+        interval_s: float,
+        n_components: int,
+        rtt_s: float = 0.005,
+        first_component: int = 0,
+    ) -> None:
+        super().__init__(name, interval_s)
+        self.rtt_s = float(rtt_s)
+        self.rtt_paid_s = 0.0
+        self.components = np.array(
+            [f"node-{first_component + i:05d}" for i in range(n_components)],
+            dtype=object,
+        )
+        self._indices = np.arange(n_components, dtype=np.float64)
+
+    def collect(self, machine: "Machine", now: float) -> CollectorOutput:
+        if self.rtt_s > 0.0:
+            time.sleep(self.rtt_s)      # the scrape RTT; releases the GIL
+            self.rtt_paid_s += self.rtt_s
+        values = 100.0 + (self._indices % 7.0) + float(self.sweeps % 5)
+        times = np.full(len(self.components), now)
+        return CollectorOutput(
+            batches=[SeriesBatch("node.power_w", self.components,
+                                 times, values)]
+        )
+
+
+class LatentStore:
+    """A store shard behind a per-append write round-trip.
+
+    Wraps any store-like object: ``append`` sleeps ``rtt_s`` of wall
+    time (GIL released) before delegating, every other attribute
+    proxies straight through — so a
+    :class:`~repro.storage.sharded.ShardedTimeSeriesStore` built over
+    ``LatentStore(TimeSeriesStore(), ...)`` shards behaves like K
+    remote stores one write-RTT away.
+    """
+
+    def __init__(self, inner, rtt_s: float = 0.005) -> None:
+        self._inner = inner
+        self.rtt_s = float(rtt_s)
+        self.rtt_paid_s = 0.0
+
+    def append(self, batch) -> int:
+        if self.rtt_s > 0.0:
+            time.sleep(self.rtt_s)      # the write RTT; releases the GIL
+            self.rtt_paid_s += self.rtt_s
+        return self._inner.append(batch)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)

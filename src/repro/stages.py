@@ -41,12 +41,27 @@ __all__ = [
     "ResponseStage",
     "SelfMonStage",
     "default_stages",
+    "schedule_stages",
 ]
 
 
 @runtime_checkable
 class Stage(Protocol):
-    """One plane of the monitoring system, advanced once per tick."""
+    """One plane of the monitoring system, advanced once per tick.
+
+    Stages additionally carry two declarative class attributes the
+    scheduler reads (both optional — absent attributes default to a
+    plane named after the stage with no dependencies):
+
+    ``plane``
+        which data plane the stage belongs to; stages on the same
+        plane share a worker affinity under parallel executors.
+
+    ``after``
+        names of stages whose data this stage consumes.  The tick
+        order is *derived* from these edges by :func:`schedule_stages`
+        (declaration order breaks ties), not hand-maintained.
+    """
 
     name: str
 
@@ -58,10 +73,48 @@ class Stage(Protocol):
         ...
 
 
+def schedule_stages(stages: Sequence[Stage]) -> list[Stage]:
+    """Topologically order ``stages`` by their declared ``after`` edges.
+
+    Kahn's algorithm with declaration order as the tie-break, so a
+    dependency-complete stage set (like :func:`default_stages`)
+    schedules into exactly the order operators are used to reading in
+    the tick trace.  Edges naming stages that are not installed are
+    ignored — removing a plane must not wedge the ones that remain.
+    A dependency cycle is a configuration error and raises
+    ``ValueError`` naming the stages involved.
+    """
+    names = [s.name for s in stages]
+    present = set(names)
+    if len(present) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(f"duplicate stage names: {dupes}")
+    deps = {
+        s.name: [d for d in getattr(s, "after", ()) if d in present]
+        for s in stages
+    }
+    ordered: list[Stage] = []
+    placed: set[str] = set()
+    remaining = list(stages)
+    while remaining:
+        for i, s in enumerate(remaining):
+            if all(d in placed for d in deps[s.name]):
+                ordered.append(s)
+                placed.add(s.name)
+                del remaining[i]
+                break
+        else:
+            stuck = sorted(s.name for s in remaining)
+            raise ValueError(f"stage dependency cycle among: {stuck}")
+    return ordered
+
+
 class EventPlaneStage:
     """Machine events -> router -> decoded -> log store + SEC."""
 
     name = "event-plane"
+    plane = "events"
+    after: tuple[str, ...] = ()
 
     def run(self, pipeline, now):
         pipeline.router.pump(pipeline.machine)
@@ -80,12 +133,18 @@ class MetricPlaneStage:
     analysis pathways" (Table I)."""
 
     name = "metric-plane"
+    plane = "metrics"
+    after = ("event-plane",)
 
     def run(self, pipeline, now):
-        collected = pipeline.scheduler.poll(
-            pipeline.machine, now, tick=pipeline.ticks
-        )
-        pipeline.bus.pump(now)
+        ex = getattr(pipeline, "executor", None)
+        if ex is not None and ex.parallel:
+            collected = pipeline.parallel_sweep(now, ex)
+        else:
+            collected = pipeline.scheduler.poll(
+                pipeline.machine, now, tick=pipeline.ticks
+            )
+            pipeline.bus.pump(now)
         if collected.events:
             return pipeline.sec.feed(collected.events)
         return ()
@@ -95,6 +154,8 @@ class JobTrackingStage:
     """Job tenancy: start/end records into the job index + SQL store."""
 
     name = "job-tracking"
+    plane = "jobs"
+    after: tuple[str, ...] = ()
 
     def __init__(self) -> None:
         self._tracked: set[int] = set()
@@ -149,6 +210,8 @@ class StreamingStage:
     """
 
     name = "streaming"
+    plane = "analysis"
+    after = ("metric-plane",)
 
     def __init__(self) -> None:
         self.detectors: list = []
@@ -187,6 +250,8 @@ class AnalysisHooksStage:
     """
 
     name = "analysis-hooks"
+    plane = "analysis"
+    after = ("metric-plane", "job-tracking")
 
     def __init__(self) -> None:
         self.hooks: list[tuple[float, float, "AnalysisHook"]] = []
@@ -226,6 +291,8 @@ class SupervisionStage:
     """
 
     name = "supervision"
+    plane = "control"
+    after = ("event-plane", "metric-plane")
 
     def __init__(self) -> None:
         self._last_drops = 0
@@ -301,6 +368,8 @@ class FreshnessStage:
     """
 
     name = "freshness"
+    plane = "control"
+    after = ("metric-plane", "supervision")
 
     def run(self, pipeline, now):
         fr = pipeline.freshness
@@ -330,6 +399,9 @@ class ResponseStage:
     """Execute every request the earlier stages raised this tick."""
 
     name = "response"
+    plane = "control"
+    after = ("event-plane", "metric-plane", "streaming",
+             "analysis-hooks", "supervision", "freshness")
 
     def run(self, pipeline, now):
         requests = pipeline.take_pending()
@@ -342,6 +414,8 @@ class SelfMonStage:
     """The stack's own vitals, on their cadence, into the same bus."""
 
     name = "selfmon"
+    plane = "control"
+    after = ("response",)
 
     def run(self, pipeline, now):
         if pipeline.selfmon is not None:

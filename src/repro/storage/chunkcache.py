@@ -17,6 +17,7 @@ global, not per-shard).  Hit/miss/eviction counters feed the
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable
@@ -65,6 +66,7 @@ class ChunkCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -76,13 +78,14 @@ class ChunkCache:
     def get(self, chunk_id: int) -> tuple[np.ndarray, np.ndarray] | None:
         """Arrays for a cached chunk, or None.  Callers must treat the
         returned arrays as immutable (masking/fancy-indexing copies)."""
-        entry = self._entries.get(chunk_id)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(chunk_id)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(chunk_id)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(chunk_id)
+            self.hits += 1
+            return entry
 
     def put(self, chunk_id: int, times: np.ndarray,
             values: np.ndarray) -> None:
@@ -90,40 +93,44 @@ class ChunkCache:
         nbytes = times.nbytes + values.nbytes
         if nbytes > self.max_bytes:
             return                   # oversized (or cache disabled)
-        old = self._entries.pop(chunk_id, None)
-        if old is not None:
-            self._bytes -= old[0].nbytes + old[1].nbytes
-        self._entries[chunk_id] = (times, values)
-        self._bytes += nbytes
-        while self._bytes > self.max_bytes:
-            _, (t, v) = self._entries.popitem(last=False)
-            self._bytes -= t.nbytes + v.nbytes
-            self.evictions += 1
+        with self._lock:
+            old = self._entries.pop(chunk_id, None)
+            if old is not None:
+                self._bytes -= old[0].nbytes + old[1].nbytes
+            self._entries[chunk_id] = (times, values)
+            self._bytes += nbytes
+            while self._bytes > self.max_bytes:
+                _, (t, v) = self._entries.popitem(last=False)
+                self._bytes -= t.nbytes + v.nbytes
+                self.evictions += 1
 
     def invalidate(self, chunk_ids: Iterable[int]) -> int:
         """Drop entries for chunks that no longer exist (store eviction,
         series drop, archiving); returns how many were resident."""
         dropped = 0
-        for cid in chunk_ids:
-            entry = self._entries.pop(cid, None)
-            if entry is not None:
-                self._bytes -= entry[0].nbytes + entry[1].nbytes
-                dropped += 1
-        self.invalidations += dropped
+        with self._lock:
+            for cid in chunk_ids:
+                entry = self._entries.pop(cid, None)
+                if entry is not None:
+                    self._bytes -= entry[0].nbytes + entry[1].nbytes
+                    dropped += 1
+            self.invalidations += dropped
         return dropped
 
     def clear(self) -> None:
         """Empty the cache (counters are preserved — they are lifetime
         telemetry, not contents)."""
-        self._entries.clear()
-        self._bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
 
     def stats(self) -> ChunkCacheStats:
-        return ChunkCacheStats(
-            hits=self.hits,
-            misses=self.misses,
-            evictions=self.evictions,
-            invalidations=self.invalidations,
-            entries=len(self._entries),
-            bytes=self._bytes,
-        )
+        with self._lock:
+            return ChunkCacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                invalidations=self.invalidations,
+                entries=len(self._entries),
+                bytes=self._bytes,
+            )

@@ -25,8 +25,9 @@ is what the redo bound explicitly evicted.
 
 from __future__ import annotations
 
+import weakref
 from collections import deque
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
@@ -36,6 +37,9 @@ from ..core.metric import MetricKey, SeriesBatch
 from ..core.tracectx import HOP_INGEST
 from .chunkcache import ChunkCache, ChunkCacheStats
 from .tsdb import SeriesQueryMixin, StoreStats, TimeSeriesStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.executor import ExecutionModel
 
 __all__ = ["ShardedTimeSeriesStore"]
 
@@ -73,6 +77,11 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
         self.redo_deferred = 0    # points ever parked
         self.redo_evicted = 0     # points evicted by the bound (lost)
         self.redo_replayed = 0    # points replayed on recovery
+        # per-components-array routing memo: synchronized sweeps publish
+        # the same component arrays every tick, so the CRC walk runs
+        # once per (array, metric) instead of once per batch; entries
+        # die with the array (weakref.finalize), so id() cannot alias
+        self._route_memo: dict[int, dict[str, np.ndarray]] = {}
 
     # -- routing ------------------------------------------------------------
 
@@ -80,6 +89,35 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
         """Stable series -> shard mapping (the repartitioning contract:
         the answer changes only when ``n_shards`` does)."""
         return stable_bucket(f"{metric}@{component}", self.n_shards)
+
+    def _routing(self, metric: str, components: np.ndarray,
+                 n: int) -> np.ndarray:
+        """Per-sample owning-shard indices, memoized per component array.
+
+        Component arrays are treated as immutable once published (the
+        collector/merge paths always build fresh arrays), so the memo
+        can key on array identity; finalizers evict entries when the
+        array dies, before its ``id`` can be reused.
+        """
+        key = id(components)
+        per = self._route_memo.get(key)
+        if per is not None:
+            idx = per.get(metric)
+            if idx is not None:
+                return idx
+        idx = np.fromiter(
+            (self.shard_of(metric, str(c)) for c in components),
+            dtype=np.int64,
+            count=n,
+        )
+        if per is None:
+            try:
+                weakref.finalize(components, self._route_memo.pop, key, None)
+            except TypeError:
+                return idx   # not weakref-able: never memo on raw id()
+            per = self._route_memo[key] = {}
+        per[metric] = idx
+        return idx
 
     def _owner(self, metric: str, component: str) -> TimeSeriesStore:
         return self.shards[self.shard_of(metric, component)]
@@ -165,6 +203,33 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
 
     # -- ingest ---------------------------------------------------------------
 
+    def split(self, batch: SeriesBatch) -> list[tuple[int, SeriesBatch]]:
+        """Partition a batch into per-owning-shard pieces.
+
+        Returns ``(shard_index, piece)`` pairs in ascending shard
+        order.  Stamps the ingest hop on the whole batch first: the
+        pieces are fresh SeriesBatch objects that do not carry the
+        trace, so this is the last sight of the full hop vector.
+        Health is *not* consulted — callers decide whether a piece is
+        appended or deferred.
+        """
+        n = len(batch)
+        if n == 0:
+            return []
+        if self.clock is not None and batch.trace is not None:
+            batch.trace.stamp(HOP_INGEST, self.clock())
+        idx = self._routing(batch.metric, batch.components, n)
+        return [
+            (int(shard_i), SeriesBatch(
+                batch.metric,
+                batch.components[mask],
+                batch.times[mask],
+                batch.values[mask],
+            ))
+            for shard_i in np.unique(idx)
+            for mask in (idx == shard_i,)
+        ]
+
     def append(self, batch: SeriesBatch) -> int:
         """Split a batch by owning shard and ingest each piece.
 
@@ -172,29 +237,8 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
         divert into its redo buffer and do not count (they are the
         ledger's ``pending`` until recovery replays them).
         """
-        n = len(batch)
-        if n == 0:
-            return 0
-        # stamp queryable-at on the whole batch before the shard split:
-        # the pieces are fresh SeriesBatch objects that do not carry the
-        # trace, so this is the last sight of the full hop vector
-        if self.clock is not None and batch.trace is not None:
-            batch.trace.stamp(HOP_INGEST, self.clock())
-        idx = np.fromiter(
-            (self.shard_of(batch.metric, str(c)) for c in batch.components),
-            dtype=np.int64,
-            count=n,
-        )
         stored = 0
-        for shard_i in np.unique(idx):
-            mask = idx == shard_i
-            i = int(shard_i)
-            piece = SeriesBatch(
-                batch.metric,
-                batch.components[mask],
-                batch.times[mask],
-                batch.values[mask],
-            )
+        for i, piece in self.split(batch):
             if self._health[i] is Health.FAILED:
                 self._defer(i, piece)
                 continue
@@ -203,6 +247,67 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
 
     def append_many(self, batches: Iterable[SeriesBatch]) -> int:
         return sum(self.append(b) for b in batches)
+
+    def append_parallel(
+        self,
+        batches: "Sequence[SeriesBatch]",
+        executor: "ExecutionModel | None" = None,
+    ) -> list:
+        """Ingest many batches with shard-level concurrency.
+
+        Batches are split serially in publish order; each healthy
+        shard's pieces then ingest as one worker task that consumes
+        them *in that order*, so every series (which lives on exactly
+        one shard) sees the same append sequence as the serial path —
+        shard-level parallelism with per-shard serialization means the
+        stores themselves need no locks.  Deferred pieces (failed
+        shards) park in redo buffers serially, exactly as ``append``
+        would.
+
+        Returns one entry per batch: points stored (int), or the first
+        exception a piece of that batch raised — callers account a
+        raising batch the same way a raising ``append`` is accounted.
+        """
+        results: list = [0] * len(batches)
+        per_shard: list[list[tuple[int, SeriesBatch]]] = [
+            [] for _ in range(self.n_shards)
+        ]
+        for j, batch in enumerate(batches):
+            for i, piece in self.split(batch):
+                if self._health[i] is Health.FAILED:
+                    self._defer(i, piece)
+                    continue
+                per_shard[i].append((j, piece))
+        busy = [i for i in range(self.n_shards) if per_shard[i]]
+
+        def shard_task(i: int):
+            shard, pieces = self.shards[i], per_shard[i]
+
+            def run():
+                out = []
+                for j, piece in pieces:
+                    try:
+                        out.append((j, shard.append(piece), None))
+                    except Exception as exc:
+                        out.append((j, 0, exc))
+                return out
+            return run
+
+        if executor is not None and executor.parallel and len(busy) > 1:
+            shard_results = executor.map_ordered(
+                [shard_task(i) for i in busy]
+            )
+        else:
+            shard_results = [shard_task(i)() for i in busy]
+        errors: dict[int, BaseException] = {}
+        for rows in shard_results:
+            for j, stored, exc in rows:
+                if exc is not None:
+                    errors.setdefault(j, exc)
+                results[j] += stored
+        for j, exc in errors.items():
+            results[j] = exc
+        return results
 
     def flush(self) -> None:
         """Seal every open head chunk on every shard."""

@@ -34,7 +34,8 @@ from __future__ import annotations
 import itertools
 import struct
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from types import MappingProxyType
+from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -422,14 +423,16 @@ def decompress_chunk(
 # the store
 # --------------------------------------------------------------------------
 
-_AGGS: dict[str, Callable[[np.ndarray], float]] = {
+# read-only on purpose: module state shared by every store/worker must
+# not be mutable (the shared-state lint gate enforces this tree-wide)
+_AGGS: Mapping[str, Callable[[np.ndarray], float]] = MappingProxyType({
     "mean": lambda a: float(a.mean()),
     "sum": lambda a: float(a.sum()),
     "min": lambda a: float(a.min()),
     "max": lambda a: float(a.max()),
     "last": lambda a: float(a[-1]),
     "count": lambda a: float(len(a)),
-}
+})
 
 #: process-wide chunk ids: unique across every store, so one shared
 #: cache can never alias chunks from different stores or shards

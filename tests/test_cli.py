@@ -58,6 +58,11 @@ class TestCli:
         assert doc["report"]["freshness"]["exact"] is True
         assert "selfmon.freshness.e2e_p99_s" in doc["selfmon"]
         assert "selfmon.trace.dropped" in doc["selfmon"]
+        # the execution-model section rides inside the health report
+        execu = doc["report"]["executor"]
+        assert execu["name"] == "serial"
+        assert execu["workers"] == 1
+        assert "selfmon.exec.busy_fraction" in doc["selfmon"]
 
     def test_slo_prints_exact_waterfall_for_all_tiers(self):
         proc = run_cli("slo", "--hours", "0.3")
@@ -87,6 +92,14 @@ class TestCli:
         for row in ("streaming stats", "sweep outliers", "rate watch",
                     "combined detector speedup"):
             assert row in proc.stdout
+
+    def test_scale_workers_sweeps_parallel_runtime(self):
+        proc = run_cli("scale", "--hours", "0.05", "--workers", "4")
+        assert proc.returncode == 0
+        assert "parallel runtime" in proc.stdout
+        for column in ("workers", "steps/s", "speedup", "busy"):
+            assert column in proc.stdout
+        assert "hide" in proc.stdout      # the RTT-hiding summary line
 
     def test_chaos_scenario_recovers_and_reconciles(self):
         proc = run_cli("chaos", "--hours", "1.2")

@@ -295,3 +295,73 @@ class TestSwallowGate:
 
         src = inspect.getsource(check_mod.lint)
         assert "check_swallows_repro" in src
+
+
+class TestSharedStateGate:
+    """Module-level mutable state is forbidden in worker-shared planes."""
+
+    def test_transport_and_storage_have_no_module_state(self):
+        problems = check_mod.check_shared_state()
+        assert not problems, "\n".join(problems)
+
+    def test_flags_module_level_dict(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("CACHE = {}\n")
+        problems = check_mod.check_module_state(f)
+        assert len(problems) == 1
+        assert "module-level mutable state" in problems[0]
+        assert "CACHE" in problems[0]
+
+    def test_flags_list_set_and_constructor_calls(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text(
+            "from collections import defaultdict\n"
+            "SEEN = []\n"
+            "ACTIVE = set()\n"
+            "BY_TOPIC = defaultdict(list)\n"
+        )
+        problems = check_mod.check_module_state(f)
+        assert len(problems) == 3
+
+    def test_flags_annotated_assignment(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("REGISTRY: dict[str, int] = {}\n")
+        problems = check_mod.check_module_state(f)
+        assert len(problems) == 1
+
+    def test_dunder_and_immutable_assignments_pass(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text(
+            "__all__ = ['x']\n"
+            "NAMES = ('a', 'b')\n"
+            "KINDS = frozenset({'a', 'b'})\n"
+            "LIMIT = 42\n"
+        )
+        assert check_mod.check_module_state(f) == []
+
+    def test_instance_state_passes(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text(
+            "class Buffered:\n"
+            "    def __init__(self):\n"
+            "        self.pending = []\n"
+            "        self.index = {}\n"
+        )
+        assert check_mod.check_module_state(f) == []
+
+    def test_marker_suppresses(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("CACHE = {}  # shared-state: allowed\n")
+        assert check_mod.check_module_state(f) == []
+
+    def test_syntax_errors_left_to_the_syntax_check(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text("def broken(:\n")
+        assert check_mod.check_module_state(f) == []
+
+    def test_gate_is_wired_into_lint(self):
+        """The gate must actually run as part of ``scripts/check.py``."""
+        import inspect
+
+        src = inspect.getsource(check_mod.lint)
+        assert "check_shared_state" in src
