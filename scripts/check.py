@@ -487,13 +487,19 @@ def check_selfmon_registry() -> list[str]:
     return problems
 
 
+#: packages held to the no-per-sample-loop rule: the streaming analysis
+#: plane and the serving plane (both sit on the query hot path)
+_COLUMNAR_DIRS = ("analysis", "serve")
+
+
 def check_columnar_analysis() -> list[str]:
-    """Run :func:`check_columnar` over the whole analysis package."""
-    root = REPO / "src" / "repro" / "analysis"
+    """Run :func:`check_columnar` over every columnar-only package."""
     problems: list[str] = []
-    if root.is_dir():
-        for path in sorted(root.rglob("*.py")):
-            problems.extend(check_columnar(path))
+    for name in _COLUMNAR_DIRS:
+        root = REPO / "src" / "repro" / name
+        if root.is_dir():
+            for path in sorted(root.rglob("*.py")):
+                problems.extend(check_columnar(path))
     return problems
 
 

@@ -41,7 +41,14 @@ Scenarios:
                   and print the ingest-to-queryable latency waterfall
                   each produced: per-hop attribution whose hop sums
                   telescope *exactly* to the end-to-end latency, plus
-                  the freshness-SLO burn status.
+                  the freshness-SLO burn status;
+* ``serve``       — ingest on a sharded store, then drive dashboard
+                  query rounds for two tenants through the serving
+                  plane: rollup-pyramid planner answers, result-cache
+                  hit ratios, per-tenant admission accounting (a
+                  burst-limited guest is shed), and an exactness
+                  spot-check of every planner answer against the raw
+                  decompress path.
 
 ``obs --json`` emits the full health report and the stored ``selfmon.*``
 series as machine-readable JSON instead of text.
@@ -561,6 +568,83 @@ def cmd_slo(args) -> int:
     return 0 if all_exact else 1
 
 
+def cmd_serve(args) -> int:
+    import numpy as np
+
+    from .pipeline import default_pipeline
+    from .serve.quota import TenantQuota
+
+    machine = _build_machine(args.seed)
+    print(f"ingesting {args.hours:g} h across 4 shards, then serving "
+          f"dashboard queries through the multi-tenant front end...")
+    pipeline = default_pipeline(
+        machine, seed=args.seed, shards=4,
+        serve_quotas={
+            "ops": TenantQuota(qps=1000.0),
+            # the sim clock is frozen between ticks, so the guest's
+            # bucket never refills mid-burst: burst admissions, then shed
+            "guest": TenantQuota(qps=1.0, burst=8.0),
+        },
+    )
+    pipeline.run(hours=args.hours, dt=10.0)
+    fe = pipeline.frontend
+    t1 = machine.now
+    metrics = ["node.load1", "node.power_w", "node.temp_c",
+               "fs.read_bps", "queue.depth"]
+    # two dashboard refresh rounds per tenant: round two should be
+    # all result-cache hits (no ingest between them)
+    for tenant in ("ops", "guest"):
+        for _round in range(2):
+            for m in metrics:
+                fe.aggregate_across(m, t0=0.0, t1=t1, step=60.0,
+                                    agg="mean", tenant=tenant)
+                fe.aggregate_across(m, t0=0.0, t1=t1, step=600.0,
+                                    agg="max", tenant=tenant)
+                comps = fe.components(m, tenant=tenant)
+                if comps:
+                    fe.downsample(m, comps[0], 0.0, t1, 60.0,
+                                  agg="mean", tenant=tenant)
+    # exactness spot-check: planner answers against the store's
+    # forced-decompress raw path
+    exact = True
+    for m in metrics:
+        got = fe.aggregate_across(m, t0=0.0, t1=t1, step=60.0, agg="max",
+                                  tenant="ops")
+        want = pipeline.tsdb.aggregate_across(m, t0=0.0, t1=t1,
+                                              step=60.0, agg="max")
+        ok = (np.array_equal(got.times, want.times)
+              and np.array_equal(got.values, want.values, equal_nan=True))
+        exact = exact and ok
+        if not ok:
+            print(f"  !! serving-plane answer diverges from raw on {m}")
+    s = fe.stats()
+    print()
+    print(f"queries: {s.queries} total, {s.admitted} admitted, "
+          f"{s.rejected} shed")
+    print(f"planner: {s.pyramid_answers} pyramid answers, "
+          f"{s.raw_answers} raw fallbacks "
+          f"({100 * s.pyramid_ratio:.0f}% from rollups)")
+    print(f"result cache: {s.cache.hits} hits / "
+          f"{s.cache.hits + s.cache.misses} lookups "
+          f"(hit ratio {s.cache_hit_ratio:.2f}), "
+          f"{s.cache.bytes} B resident")
+    print()
+    print(f"{'tenant':<10} {'admitted':>9} {'shed(rate)':>11} "
+          f"{'shed(conc)':>11}")
+    for t in fe.tenants():
+        ts = fe.tenant_stats(t)
+        print(f"{t:<10} {ts.admitted:>9} {ts.rejected_rate:>11} "
+              f"{ts.rejected_concurrency:>11}")
+    print()
+    if exact:
+        print("serving-plane answers match the raw decompress path "
+              "exactly")
+    else:
+        print("EXACTNESS VIOLATION: serving plane diverged from the "
+              "raw path")
+    return 0 if exact else 1
+
+
 COMMANDS = {
     "demo": cmd_demo,
     "figures": cmd_figures,
@@ -570,6 +654,7 @@ COMMANDS = {
     "scale": cmd_scale,
     "chaos": cmd_chaos,
     "slo": cmd_slo,
+    "serve": cmd_serve,
 }
 
 

@@ -406,6 +406,33 @@ def _builtin_specs() -> Iterable[MetricSpec]:
                      "Spans evicted from the tracer's bounded ring buffer "
                      "(accounted exporter loss; silent overwrite before).",
                      higher_is_worse=True)
+    yield MetricSpec("selfmon.serve.qps", "queries/s", G, "monitor",
+                     "Serving-plane query arrival rate (admitted + "
+                     "rejected) over the last selfmon cadence.")
+    yield MetricSpec("selfmon.serve.queries", "count", C, "monitor",
+                     "Cumulative queries presented to the query front "
+                     "end across every tenant.")
+    yield MetricSpec("selfmon.serve.rejected", "count", C, "monitor",
+                     "Cumulative queries shed by tenant admission "
+                     "control (rate or concurrency); rejections return "
+                     "empty answers, never exceptions.",
+                     higher_is_worse=True)
+    yield MetricSpec("selfmon.serve.cache_hit_ratio", "ratio", G,
+                     "monitor",
+                     "Query-result cache hits / lookups, lifetime; low "
+                     "values under dashboard load mean the cache is "
+                     "undersized or ingest is invalidating every window.")
+    yield MetricSpec("selfmon.serve.cache_bytes", "B", G, "monitor",
+                     "Bytes of finished answers held by the query-result "
+                     "cache (bounded LRU).")
+    yield MetricSpec("selfmon.serve.pyramid_answers", "count", C,
+                     "monitor",
+                     "Downsample/aggregate queries answered from rollup "
+                     "pyramid rows instead of raw chunks.")
+    yield MetricSpec("selfmon.serve.raw_answers", "count", C, "monitor",
+                     "Downsample/aggregate queries that fell back to the "
+                     "store's raw path (unplannable step/window or "
+                     "pyramid-less series).")
 
 
 def default_registry() -> MetricRegistry:

@@ -77,6 +77,9 @@ class HealthReport:
     freshness: dict = field(default_factory=dict)
     #: execution-model snapshot (worker topology, barrier/handoff vitals)
     executor: dict = field(default_factory=dict)
+    #: serving-plane snapshot (query front end, result cache, planner,
+    #: per-tenant admission) when a front end is attached
+    serve: dict = field(default_factory=dict)
 
     @property
     def backpressured(self) -> list[str]:
@@ -208,6 +211,31 @@ class PipelineIntrospector:
         ex = getattr(p, "executor", None)
         if ex is not None:
             executor = ex.snapshot()
+        serve: dict = {}
+        fe = getattr(p, "frontend", None)
+        if fe is not None:
+            sstats = fe.stats()
+            serve = {
+                "queries": float(sstats.queries),
+                "rejected": float(sstats.rejected),
+                "pyramid_answers": float(sstats.pyramid_answers),
+                "raw_answers": float(sstats.raw_answers),
+                "cache_hits": float(sstats.cache.hits),
+                "cache_misses": float(sstats.cache.misses),
+                "cache_stale": float(sstats.cache.stale),
+                "cache_bytes": float(sstats.cache.bytes),
+                "cache_hit_ratio": sstats.cache.hit_ratio,
+                "tenants": {
+                    t: {
+                        "admitted": float(ts.admitted),
+                        "rejected_rate": float(ts.rejected_rate),
+                        "rejected_concurrency":
+                            float(ts.rejected_concurrency),
+                    }
+                    for t in fe.tenants()
+                    for ts in (fe.tenant_stats(t),)
+                },
+            }
         return HealthReport(
             ticks=ticks,
             stages=stages,
@@ -239,6 +267,7 @@ class PipelineIntrospector:
             ledger=ledger,
             freshness=fresh,
             executor=executor,
+            serve=serve,
         )
 
     def render(self, slowest_n: int = 5) -> str:
@@ -323,6 +352,22 @@ class PipelineIntrospector:
                 f"resident={int(c['bytes'])} B "
                 f"(hit ratio {c['hit_ratio']:.2f})"
             )
+        if r.serve:
+            s = r.serve
+            lines.append(
+                f"serve: queries={int(s['queries'])} "
+                f"rejected={int(s['rejected'])} "
+                f"pyramid={int(s['pyramid_answers'])} "
+                f"raw={int(s['raw_answers'])} "
+                f"cache hit ratio {s['cache_hit_ratio']:.2f} "
+                f"({int(s['cache_bytes'])} B)"
+            )
+            for t, ts in sorted(s["tenants"].items()):
+                lines.append(
+                    f"  tenant {t:<12} admitted={int(ts['admitted']):<6}"
+                    f" shed_rate={int(ts['rejected_rate']):<5}"
+                    f" shed_conc={int(ts['rejected_concurrency'])}"
+                )
         if r.analysis:
             lines.append("streaming detectors:")
             for name, a in sorted(r.analysis.items()):

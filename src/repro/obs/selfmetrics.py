@@ -86,6 +86,13 @@ SELFMON_METRICS: tuple[str, ...] = (
     "selfmon.freshness.slo_burn_rate",
     "selfmon.freshness.slo_breaches",
     "selfmon.trace.dropped",
+    "selfmon.serve.qps",
+    "selfmon.serve.queries",
+    "selfmon.serve.rejected",
+    "selfmon.serve.cache_hit_ratio",
+    "selfmon.serve.cache_bytes",
+    "selfmon.serve.pyramid_answers",
+    "selfmon.serve.raw_answers",
 )
 
 
@@ -158,6 +165,7 @@ class SelfMonitor:
         self._prev_bus: tuple[int, int, int] = (0, 0, 0)
         self._prev_tsdb_samples = 0
         self._prev_tick: tuple[int, float] = (0, 0.0)
+        self._prev_serve_queries = 0
 
     def verify_registered(self, registry: MetricRegistry) -> None:
         """Fail fast if any self-metric is undocumented (Table I)."""
@@ -210,6 +218,8 @@ class SelfMonitor:
         self._prev_tsdb_samples = tstats.samples if tstats else 0
         agg = p.tracer.snapshot_counts().get("tick")
         self._prev_tick = agg if agg is not None else (0, 0.0)
+        fe = getattr(p, "frontend", None)
+        self._prev_serve_queries = fe.stats().queries if fe is not None else 0
         self._last_t = now
         self._next_due = now + self.interval_s
 
@@ -430,6 +440,24 @@ class SelfMonitor:
 
         # -- trace exporter loss (ring evictions are accounted) ------------
         one("selfmon.trace.dropped", "tracer", float(p.tracer.dropped))
+
+        # -- serving plane (front end, result cache, planner) --------------
+        fe = getattr(p, "frontend", None)
+        if fe is not None:
+            sstats = fe.stats()
+            d_queries = sstats.queries - self._prev_serve_queries
+            self._prev_serve_queries = sstats.queries
+            one("selfmon.serve.qps", "frontend", d_queries / elapsed)
+            one("selfmon.serve.queries", "frontend", float(sstats.queries))
+            one("selfmon.serve.rejected", "frontend", float(sstats.rejected))
+            one("selfmon.serve.cache_hit_ratio", "result-cache",
+                sstats.cache_hit_ratio)
+            one("selfmon.serve.cache_bytes", "result-cache",
+                float(sstats.cache.bytes))
+            one("selfmon.serve.pyramid_answers", "planner",
+                float(sstats.pyramid_answers))
+            one("selfmon.serve.raw_answers", "planner",
+                float(sstats.raw_answers))
 
         # -- pipeline tick time (from the tracer's root spans) -------------
         agg = p.tracer.snapshot_counts().get("tick")

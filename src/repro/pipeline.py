@@ -44,6 +44,8 @@ from .response.actions import ActionEngine, AlertManager
 from .response.policy import default_sec_engine
 from .response.sec import ActionRequest, SecEngine
 from .runtime.executor import ExecutionModel, make_executor
+from .serve.frontend import QueryFrontend
+from .serve.quota import TenantQuota
 from .sources.base import CollectionScheduler, Collector
 from .sources.benchmarks import BenchmarkSuite
 from .sources.counters import (
@@ -67,6 +69,7 @@ from .stages import (
 )
 from .storage.jobstore import JobIndex
 from .storage.logstore import LogStore
+from .storage.rollup import DEFAULT_LEVELS
 from .storage.sharded import ShardedTimeSeriesStore
 from .storage.sqlstore import SqlStore
 from .storage.tsdb import TimeSeriesStore
@@ -100,6 +103,7 @@ class MonitoringPipeline:
         freshness: bool = True,
         freshness_slos: Sequence[FreshnessSLO] | None = None,
         executor: "ExecutionModel | int | str | None" = None,
+        serve_quotas: "dict[str, TenantQuota] | None" = None,
     ) -> None:
         self.machine = machine
         self.registry = registry or default_registry()
@@ -118,7 +122,10 @@ class MonitoringPipeline:
         # transport and numeric store are pluggable tiers; the defaults
         # are the flat bus + single store every existing example assumes
         self.bus: Transport = transport if transport is not None else MessageBus()
-        self.tsdb = tsdb if tsdb is not None else TimeSeriesStore()
+        self.tsdb = (
+            tsdb if tsdb is not None
+            else TimeSeriesStore(pyramid_levels=DEFAULT_LEVELS)
+        )
         if self.executor.parallel:
             # transports that fan out internal work (aggtree leaf
             # coalescing) pick the executor up from this attribute
@@ -179,6 +186,19 @@ class MonitoringPipeline:
             except AttributeError:      # slotted custom store
                 pass
             self.scheduler.trace_batches = True
+
+        # serving plane: the multi-tenant read path every dashboard-shaped
+        # consumer goes through (pipeline.dashboard() reads via this);
+        # the governor runs on the simulated clock so quota behavior is
+        # deterministic in scenarios and tests
+        try:
+            sim = self.machine.clock
+            sim._now
+            serve_clock = lambda c=sim: c._now   # noqa: E731
+        except AttributeError:                   # custom machine/clock
+            serve_clock = lambda: self.machine.now   # noqa: E731
+        self.frontend = QueryFrontend(self.tsdb, quotas=serve_quotas,
+                                      clock=serve_clock)
 
         self.router = EventRouter()
         self.tap = self.router.attach(DelugeTap())
@@ -430,7 +450,9 @@ class MonitoringPipeline:
     # -- convenience surfaces -------------------------------------------------------------------
 
     def dashboard(self) -> Dashboard:
-        return Dashboard(self.tsdb)
+        # viz reads go through the serving plane: cached, planned,
+        # quota-accounted — and provably identical to direct store reads
+        return Dashboard(self.frontend)
 
     def active_alerts(self):
         return self.alerts.active()
@@ -496,7 +518,8 @@ def default_pipeline(
     if shards is not None:
         if tsdb is not None:
             raise ValueError("pass either tsdb= or shards=, not both")
-        tsdb = ShardedTimeSeriesStore(shards=shards)
+        tsdb = ShardedTimeSeriesStore(shards=shards,
+                                      pyramid_levels=DEFAULT_LEVELS)
     if workers is not None:
         if kw.get("executor") is not None:
             raise ValueError("pass either workers= or executor=, not both")

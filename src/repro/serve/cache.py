@@ -1,0 +1,127 @@
+"""Bounded LRU cache of query results, keyed on normalized plans.
+
+The :class:`~repro.storage.chunkcache.ChunkCache` pattern one layer up:
+where the chunk cache holds decompressed *inputs* (safe because sealed
+chunks are immutable), this cache holds finished *answers* — which are
+only immutable until the underlying metric changes.  Exactness is kept
+by pairing every entry with the store's per-metric mutation epoch
+(``query_epoch``): an entry whose recorded epoch no longer matches is
+stale and is dropped on touch, so the cache can never serve an answer
+the store would not produce right now.  Dashboards re-asking the same
+window between ingest ticks hit; any append/drop/evict/import to the
+metric invalidates precisely that metric's entries.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["QueryResultCache", "ResultCacheStats"]
+
+#: fixed accounting overhead per cached entry (key + bookkeeping)
+_ENTRY_OVERHEAD = 128
+
+
+def _payload_bytes(payload) -> int:
+    """Approximate footprint of a cached answer.
+
+    Payloads are :class:`~repro.core.metric.SeriesBatch`es or
+    dicts of them (the ``query_components`` shape).
+    """
+    if isinstance(payload, dict):
+        return sum(_payload_bytes(b) for b in payload.values())
+    return int(payload.times.nbytes + payload.values.nbytes) + 32
+
+
+@dataclass(frozen=True, slots=True)
+class ResultCacheStats:
+    hits: int
+    misses: int
+    stale: int          # entries dropped because the metric's epoch moved
+    evictions: int      # entries dropped by the LRU byte bound
+    entries: int
+    bytes: int
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class QueryResultCache:
+    """Thread-safe byte-bounded LRU of (plan, epoch) -> answer.
+
+    ``max_bytes=0`` disables caching entirely (every get misses, puts
+    are dropped) — the knob the benchmarks use to measure the uncached
+    path without restructuring callers.
+    """
+
+    def __init__(self, max_bytes: int = 16 << 20) -> None:
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[object, tuple[int, object, int]]" = (
+            OrderedDict()
+        )
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._stale = 0
+        self._evictions = 0
+
+    def get(self, plan, epoch: int):
+        """The cached answer for ``plan``, or None.
+
+        ``epoch`` is the metric's current mutation epoch; an entry
+        recorded under an older epoch is stale and dropped on touch.
+        Callers must treat returned payloads as immutable — they are
+        shared between every hit.
+        """
+        with self._lock:
+            entry = self._entries.get(plan)
+            if entry is None:
+                self._misses += 1
+                return None
+            ent_epoch, payload, nbytes = entry
+            if ent_epoch != epoch:
+                del self._entries[plan]
+                self._bytes -= nbytes
+                self._stale += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(plan)
+            self._hits += 1
+            return payload
+
+    def put(self, plan, epoch: int, payload) -> None:
+        if self.max_bytes <= 0:
+            return
+        nbytes = _payload_bytes(payload) + _ENTRY_OVERHEAD
+        with self._lock:
+            old = self._entries.pop(plan, None)
+            if old is not None:
+                self._bytes -= old[2]
+            self._entries[plan] = (epoch, payload, nbytes)
+            self._bytes += nbytes
+            while self._bytes > self.max_bytes and self._entries:
+                _, (_, _, gone) = self._entries.popitem(last=False)
+                self._bytes -= gone
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry; counters survive (they are lifetime totals)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def stats(self) -> ResultCacheStats:
+        with self._lock:
+            return ResultCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                stale=self._stale,
+                evictions=self._evictions,
+                entries=len(self._entries),
+                bytes=self._bytes,
+            )

@@ -1,0 +1,72 @@
+"""Normalized query plans: the serving plane's unit of identity.
+
+A :class:`QueryPlan` is the canonical, hashable description of one read
+— the result-cache key and the planner's input.  Two textually
+different calls that mean the same read (list vs tuple components, int
+vs float bounds) normalize to the same plan, so they share one cache
+entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["KNOWN_AGGS", "QueryPlan"]
+
+#: the aggregations the store's ``_AGGS`` table supports; plans carrying
+#: anything else skip the planner and let the store raise its usual
+#: ``unknown agg`` error
+KNOWN_AGGS: tuple[str, ...] = ("count", "last", "max", "mean", "min", "sum")
+
+
+@dataclass(frozen=True, slots=True)
+class QueryPlan:
+    """One normalized read: what is being asked, not how to answer it.
+
+    ``kind`` is ``"range"`` (raw samples of one series), ``"sweep"``
+    (range over many series), ``"downsample"`` or ``"aggregate"``.
+    Unused fields are ``None``/0 so equal questions hash equal.
+    """
+
+    kind: str
+    metric: str
+    component: str | None
+    components: tuple[str, ...] | None
+    t0: float
+    t1: float
+    step: float
+    agg: str
+
+    @classmethod
+    def range_query(cls, metric: str, component: str,
+                    t0: float, t1: float) -> "QueryPlan":
+        return cls("range", metric, str(component), None,
+                   float(t0), float(t1), 0.0, "")
+
+    @classmethod
+    def sweep(cls, metric: str, components: Sequence[str] | None,
+              t0: float, t1: float) -> "QueryPlan":
+        comps = (
+            tuple(str(c) for c in components)
+            if components is not None else None
+        )
+        return cls("sweep", metric, None, comps,
+                   float(t0), float(t1), 0.0, "")
+
+    @classmethod
+    def downsample(cls, metric: str, component: str, t0: float, t1: float,
+                   step: float, agg: str) -> "QueryPlan":
+        return cls("downsample", metric, str(component), None,
+                   float(t0), float(t1), float(step), str(agg))
+
+    @classmethod
+    def aggregate(cls, metric: str, components: Sequence[str] | None,
+                  t0: float, t1: float, step: float,
+                  agg: str) -> "QueryPlan":
+        comps = (
+            tuple(str(c) for c in components)
+            if components is not None else None
+        )
+        return cls("aggregate", metric, None, comps,
+                   float(t0), float(t1), float(step), str(agg))

@@ -54,15 +54,21 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
 
     def __init__(self, shards: int = 4, chunk_size: int = 512,
                  cache: ChunkCache | None = None,
-                 redo_points: int = 100_000) -> None:
+                 redo_points: int = 100_000,
+                 pyramid_levels: "tuple[float, ...] | None" = None) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self.n_shards = int(shards)
         self.cache = cache if cache is not None else ChunkCache()
         self.shards = [
-            TimeSeriesStore(chunk_size=chunk_size, cache=self.cache)
+            TimeSeriesStore(chunk_size=chunk_size, cache=self.cache,
+                            pyramid_levels=pyramid_levels)
             for _ in range(self.n_shards)
         ]
+        self.pyramid_levels = self.shards[0].pyramid_levels
+        # store-wide epoch component: health flips change what reads
+        # return without touching any shard's per-metric epochs
+        self._health_epoch = 0
         #: optional DeliveryLedger stamped at redo defer/evict/replay
         self.ledger = None
         #: optional simulated-clock callable for ingest freshness stamps
@@ -138,6 +144,7 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
         """Take shard ``i`` out: subsequent writes for it park in the
         redo buffer, reads against it return empty."""
         self._health[i] = Health.FAILED
+        self._health_epoch += 1
 
     def recover_shard(self, i: int) -> int:
         """Bring shard ``i`` back and replay its redo buffer into it.
@@ -147,6 +154,7 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
         deliberately skipped them (they were ``pending``, not stored).
         """
         self._health[i] = Health.OK
+        self._health_epoch += 1
         replayed = 0
         redo = self._redo[i]
         while redo:
@@ -346,6 +354,20 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
     def _series_view(self, metric: str, component: str):
         """Chunk-level surface for the summary-pruned downsample path."""
         return self._owner(metric, component)._series_view(metric, component)
+
+    def series_readable(self, metric: str, component: str) -> bool:
+        """False while the owning shard is failed (reads degrade to
+        empty) — the serving plane skips such series so planner answers
+        match what ``query`` actually returns."""
+        return self._health[self.shard_of(metric, component)] is not Health.FAILED
+
+    def query_epoch(self, metric: str) -> int:
+        """Store-wide mutation epoch of a metric: per-shard epochs plus
+        the health epoch (failing or recovering a shard changes read
+        results without writing to any series)."""
+        return self._health_epoch + sum(
+            s.query_epoch(metric) for s in self.shards
+        )
 
     # -- maintenance / stats ---------------------------------------------------
 

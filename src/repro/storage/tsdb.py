@@ -42,6 +42,7 @@ import numpy as np
 from ..core.metric import MetricKey, SeriesBatch
 from ..core.tracectx import HOP_INGEST, MAX_HOPS
 from .chunkcache import ChunkCache, ChunkCacheStats
+from .rollup import SeriesPyramid, bucket_anchor, fold_partials, reduce_partials
 
 __all__ = [
     "compress_chunk",
@@ -513,9 +514,11 @@ class _Series:
 
     __slots__ = ("chunks", "chunk_spans", "chunk_ids", "summaries",
                  "chunk_hints", "head_t", "head_v", "n_sealed_samples",
-                 "sealed_bytes")
+                 "sealed_bytes", "pyramid")
 
-    def __init__(self) -> None:
+    def __init__(
+        self, pyramid_levels: Sequence[float] | None = None
+    ) -> None:
         self.chunks: list[bytes] = []
         self.chunk_spans: list[tuple[float, float]] = []  # (t_min, t_max)
         self.chunk_ids: list[int] = []
@@ -525,6 +528,11 @@ class _Series:
         self.head_v: list[float] = []
         self.n_sealed_samples = 0
         self.sealed_bytes = 0       # running sum(len(c) for c in chunks)
+        # rollup pyramid maintained incrementally at seal time (serving
+        # plane); None keeps seal() cost identical to the pre-serve store
+        self.pyramid = (
+            SeriesPyramid(pyramid_levels) if pyramid_levels else None
+        )
 
     def append_array(
         self, t: np.ndarray, v: np.ndarray, chunk_size: int
@@ -571,6 +579,10 @@ class _Series:
         self.chunk_ids.append(next(_chunk_ids))
         self.summaries.append(_summarize(t_r, v))
         self.chunk_hints.append(_xor_token_lens(v))
+        if self.pyramid is not None:
+            # fold the exact arrays the chunk decompresses back to, with
+            # seq numbers continuing the chunk-list stable sort order
+            self.pyramid.add_sealed(t_r, v, self.n_sealed_samples)
         self.n_sealed_samples += len(t)
         self.sealed_bytes += len(blob)
         self.head_t = []
@@ -605,6 +617,18 @@ class _Series:
         order = np.argsort(t, kind="stable")
         return t[order], v[order]
 
+    def rebuild_pyramid(self, cache: ChunkCache | None) -> None:
+        """Re-fold every sealed chunk (eviction / archive-reload path)."""
+        if self.pyramid is None:
+            return
+        self.pyramid = SeriesPyramid(self.pyramid.levels)
+        seq_base = 0
+        for i, blob in enumerate(self.chunks):
+            ct, cv = _cached_decompress(cache, self.chunk_ids[i], blob,
+                                        self.chunk_hints[i])
+            self.pyramid.add_sealed(ct, cv, seq_base)
+            seq_base += len(ct)
+
     @property
     def n_samples(self) -> int:
         return self.n_sealed_samples + len(self.head_t)
@@ -617,21 +641,27 @@ class _Series:
 # vectorized bucketing helpers (shared by downsample / aggregate_across)
 # --------------------------------------------------------------------------
 
-def _bucket_starts(t: np.ndarray, t0: float,
+def _bucket_starts(t: np.ndarray, anchor: float,
                    step: float) -> tuple[np.ndarray, np.ndarray]:
-    """Bucket ids and segment starts of a time-sorted array."""
-    buckets = np.floor((t - t0) / step).astype(np.int64)
+    """Bucket ids and segment starts of a time-sorted array.
+
+    ``anchor`` is the grid origin from
+    :func:`~repro.storage.rollup.bucket_anchor` — always a step-grid
+    point, so raw bucketing, summary pruning, and the rollup pyramids
+    all agree on bucket boundaries.
+    """
+    buckets = np.floor((t - anchor) / step).astype(np.int64)
     cuts = np.flatnonzero(buckets[1:] != buckets[:-1]) + 1
     starts = np.concatenate(([0], cuts))
     return buckets, starts
 
 
 def _bucket_agg(
-    t: np.ndarray, v: np.ndarray, t0: float, step: float, agg: str
+    t: np.ndarray, v: np.ndarray, anchor: float, step: float, agg: str
 ) -> tuple[np.ndarray, np.ndarray]:
     """One reduceat pass over a time-sorted series -> (bucket_t, agg_v)."""
-    buckets, starts = _bucket_starts(t, t0, step)
-    out_t = t0 + buckets[starts] * step
+    buckets, starts = _bucket_starts(t, anchor, step)
+    out_t = anchor + buckets[starts] * step
     if agg == "sum":
         out_v = np.add.reduceat(v, starts)
     elif agg == "mean":
@@ -693,10 +723,15 @@ class SeriesQueryMixin:
         """Server-side downsampling into fixed buckets of ``step`` seconds.
 
         Empty buckets are omitted (not NaN-filled); bucket timestamps are
-        the bucket start.  With ``prune=True`` (default) sealed chunks
-        wholly inside one bucket are answered from chunk summaries
-        without decompression; ``prune=False`` forces the decompress
-        path (the equivalence oracle and the cold-vs-warm benchmark).
+        the bucket start on the *step-aligned grid*
+        (:func:`~repro.storage.rollup.bucket_anchor`), so a window whose
+        ``t0`` is not step-aligned still lands on the same boundaries as
+        every other query path — the first bucket may start before
+        ``t0``, while the sample filter itself stays ``[t0, t1)``.  With
+        ``prune=True`` (default) sealed chunks wholly inside one bucket
+        are answered from chunk summaries without decompression;
+        ``prune=False`` forces the decompress path (the equivalence
+        oracle and the cold-vs-warm benchmark).
         """
         if agg not in _AGGS:
             raise ValueError(f"unknown agg {agg!r}; choose from {sorted(_AGGS)}")
@@ -708,11 +743,14 @@ class SeriesQueryMixin:
             if sv is None:
                 return SeriesBatch.empty(metric)
             return self._downsample_pruned(metric, component, sv[0], sv[1],
-                                           t0, t1, step, agg)
+                                           t0, t1, step, agg,
+                                           bucket_anchor(t0, step))
         raw = self.query(metric, component, t0, t1)
         if not len(raw):
             return SeriesBatch.empty(metric)
-        out_t, out_v = _bucket_agg(raw.times, raw.values, t0, step, agg)
+        anchor = bucket_anchor(t0 if np.isfinite(t0) else float(raw.times[0]),
+                               step)
+        out_t, out_v = _bucket_agg(raw.times, raw.values, anchor, step, agg)
         return SeriesBatch.for_component(metric, component, out_t, out_v)
 
     def _downsample_pruned(
@@ -725,38 +763,20 @@ class SeriesQueryMixin:
         t1: float,
         step: float,
         agg: str,
+        anchor: float,
     ) -> SeriesBatch:
         """Chunk-summary-pruned downsample.
 
         Per overlapping chunk: if it sits wholly inside the window *and*
-        inside one bucket, contribute its summary; otherwise decompress
-        (through the cache) and bucket its windowed samples.  ``seq``
-        numbers reproduce the stable time-sort of the decompress path,
-        so order-sensitive aggs (``last``) agree exactly.
+        inside one bucket of the ``(anchor, step)`` grid, contribute its
+        summary; otherwise decompress (through the cache) and bucket its
+        windowed samples.  ``seq`` numbers reproduce the stable
+        time-sort of the decompress path, so order-sensitive aggs
+        (``last``) agree exactly.  Folding and the final merge are the
+        shared partial-column helpers in :mod:`repro.storage.rollup` —
+        the same code the pyramid planner reduces with.
         """
-        # per-contribution columns (one row per whole chunk, one row per
-        # bucket of each boundary piece)
-        rows_b: list[np.ndarray] = []      # bucket id
-        rows_n: list[np.ndarray] = []      # count
-        rows_s: list[np.ndarray] = []      # sum
-        rows_lo: list[np.ndarray] = []     # min
-        rows_hi: list[np.ndarray] = []     # max
-        rows_tl: list[np.ndarray] = []     # time of last sample
-        rows_vl: list[np.ndarray] = []     # value of last sample
-        rows_sq: list[np.ndarray] = []     # seq of last sample
-
-        def add_piece(t: np.ndarray, v: np.ndarray, seq: np.ndarray) -> None:
-            buckets, starts = _bucket_starts(t, t0, step)
-            ends = np.append(starts[1:], len(t))
-            rows_b.append(buckets[starts])
-            rows_n.append(ends - starts)
-            rows_s.append(np.add.reduceat(v, starts))
-            rows_lo.append(np.minimum.reduceat(v, starts))
-            rows_hi.append(np.maximum.reduceat(v, starts))
-            rows_tl.append(t[ends - 1])
-            rows_vl.append(v[ends - 1])
-            rows_sq.append(seq[ends - 1])
-
+        pieces: list[tuple[np.ndarray, ...]] = []
         seq_base = 0
         for i, (lo, hi) in enumerate(series.chunk_spans):
             summ = series.summaries[i]
@@ -764,25 +784,28 @@ class SeriesQueryMixin:
                 seq_base += summ.count
                 continue
             whole = lo >= t0 and hi < t1
-            if whole and (np.floor((lo - t0) / step)
-                          == np.floor((hi - t0) / step)):
-                rows_b.append(np.asarray(
-                    [np.int64(np.floor((lo - t0) / step))]))
-                rows_n.append(np.asarray([summ.count]))
-                rows_s.append(np.asarray([summ.v_sum]))
-                rows_lo.append(np.asarray([summ.v_min]))
-                rows_hi.append(np.asarray([summ.v_max]))
-                rows_tl.append(np.asarray([summ.t_max]))
-                rows_vl.append(np.asarray([summ.v_last]))
-                rows_sq.append(np.asarray([seq_base + summ.count - 1]))
+            if whole and (np.floor((lo - anchor) / step)
+                          == np.floor((hi - anchor) / step)):
+                pieces.append((
+                    np.asarray([np.int64(np.floor((lo - anchor) / step))]),
+                    np.asarray([summ.count]),
+                    np.asarray([summ.v_sum]),
+                    np.asarray([summ.v_min]),
+                    np.asarray([summ.v_max]),
+                    np.asarray([summ.t_max]),
+                    np.asarray([summ.v_last]),
+                    np.asarray([seq_base + summ.count - 1]),
+                ))
             else:
                 ct, cv = _cached_decompress(cache, series.chunk_ids[i],
                                             series.chunks[i],
                                             series.chunk_hints[i])
                 mask = (ct >= t0) & (ct < t1)
                 if mask.any():
-                    add_piece(ct[mask], cv[mask],
-                              seq_base + np.flatnonzero(mask))
+                    pieces.append(fold_partials(
+                        ct[mask], cv[mask], anchor, step,
+                        seq=seq_base + np.flatnonzero(mask),
+                    ))
             seq_base += summ.count
         if series.head_t:
             ht = np.asarray(series.head_t)
@@ -792,40 +815,12 @@ class SeriesQueryMixin:
                 seq = seq_base + np.flatnonzero(mask)
                 ht, hv = ht[mask], hv[mask]
                 order = np.argsort(ht, kind="stable")
-                add_piece(ht[order], hv[order], seq[order])
+                pieces.append(fold_partials(ht[order], hv[order],
+                                            anchor, step, seq=seq[order]))
 
-        if not rows_b:
+        if not pieces:
             return SeriesBatch.empty(metric)
-        b = np.concatenate(rows_b)
-        cnt = np.concatenate(rows_n)
-        vsum = np.concatenate(rows_s)
-        vmin = np.concatenate(rows_lo)
-        vmax = np.concatenate(rows_hi)
-        t_last = np.concatenate(rows_tl)
-        v_last = np.concatenate(rows_vl)
-        seq = np.concatenate(rows_sq)
-        # rows sorted by bucket, then (t_last, seq): the last row of each
-        # bucket group is the stable-sort winner for agg="last"
-        order = np.lexsort((seq, t_last, b))
-        b, cnt, vsum = b[order], cnt[order], vsum[order]
-        vmin, vmax, v_last = vmin[order], vmax[order], v_last[order]
-        cuts = np.flatnonzero(b[1:] != b[:-1]) + 1
-        starts = np.concatenate(([0], cuts))
-        ends = np.append(starts[1:], len(b))
-        out_t = t0 + b[starts] * step
-        if agg == "sum":
-            out_v = np.add.reduceat(vsum, starts)
-        elif agg == "mean":
-            out_v = (np.add.reduceat(vsum, starts)
-                     / np.add.reduceat(cnt, starts))
-        elif agg == "min":
-            out_v = np.minimum.reduceat(vmin, starts)
-        elif agg == "max":
-            out_v = np.maximum.reduceat(vmax, starts)
-        elif agg == "last":
-            out_v = v_last[ends - 1]
-        else:                          # count
-            out_v = np.add.reduceat(cnt, starts).astype(np.float64)
+        out_t, out_v = reduce_partials(pieces, anchor, step, agg)
         return SeriesBatch.for_component(metric, component, out_t, out_v)
 
     def aggregate_across(
@@ -843,7 +838,9 @@ class SeriesQueryMixin:
         summed over all OSTs per time bucket.  Samples are time-sorted
         across components before bucketing, so order-sensitive aggs
         (``last``) see the true latest sample, not whichever component
-        iterated last.
+        iterated last.  Buckets sit on the step-aligned grid anchored at
+        ``bucket_anchor(t0, step)`` (or at the first sample when ``t0``
+        is unbounded), matching every other bucketing path.
         """
         if agg not in _AGGS:
             raise ValueError(f"unknown agg {agg!r}")
@@ -861,7 +858,7 @@ class SeriesQueryMixin:
         order = np.argsort(t, kind="stable")
         t, v = t[order], v[order]
         lo = float(t[0]) if not np.isfinite(t0) else t0
-        out_t, out_v = _bucket_agg(t, v, lo, step, agg)
+        out_t, out_v = _bucket_agg(t, v, bucket_anchor(lo, step), step, agg)
         return SeriesBatch.for_component(metric, f"agg({agg})", out_t, out_v)
 
 
@@ -874,14 +871,25 @@ class TimeSeriesStore(SeriesQueryMixin):
     clock = None
 
     def __init__(self, chunk_size: int = 512,
-                 cache: ChunkCache | None = None) -> None:
+                 cache: ChunkCache | None = None,
+                 pyramid_levels: Sequence[float] | None = None) -> None:
         if chunk_size < 2:
             raise ValueError("chunk_size must be >= 2")
         self.chunk_size = int(chunk_size)
         # the decompressed-chunk cache may be shared (the sharded store
         # passes one instance to every shard for a global memory bound)
         self.cache = cache if cache is not None else ChunkCache()
+        # rollup-pyramid levels maintained at seal time for the serving
+        # plane (None = no pyramids, the pre-serve ingest cost)
+        self.pyramid_levels = (
+            tuple(float(x) for x in pyramid_levels)
+            if pyramid_levels else None
+        )
         self._series: dict[MetricKey, _Series] = {}
+        # per-metric mutation epochs: bumped on any change that can alter
+        # query results, so the serving plane's result cache invalidates
+        # precisely (stale entries die, untouched metrics keep serving)
+        self._epochs: dict[str, int] = {}
         # aggregate counters so stats() is O(1), not a walk over every
         # series — the self-monitoring plane reads it on a cadence
         self._samples = 0
@@ -907,6 +915,7 @@ class TimeSeriesStore(SeriesQueryMixin):
         n = len(batch)
         if n == 0:
             return 0
+        self._epochs[batch.metric] = self._epochs.get(batch.metric, 0) + 1
         tr = batch.trace
         if self.clock is not None and tr is not None:
             # inlined TraceContext.stamp(HOP_INGEST, ...) — per-batch
@@ -935,7 +944,7 @@ class TimeSeriesStore(SeriesQueryMixin):
                 key = MetricKey(batch.metric, str(c))
                 series = get(key)
                 if series is None:
-                    series = self._series[key] = _Series()
+                    series = self._series[key] = _Series(self.pyramid_levels)
                 series.head_t.append(t)
                 series.head_v.append(v)
                 if len(series.head_t) >= cs:
@@ -956,7 +965,7 @@ class TimeSeriesStore(SeriesQueryMixin):
             key = MetricKey(batch.metric, str(uniq[g]))
             series = self._series.get(key)
             if series is None:
-                series = self._series[key] = _Series()
+                series = self._series[key] = _Series(self.pyramid_levels)
             c, smp, byt = series.append_array(
                 st[bounds[g] : bounds[g + 1]],
                 sv[bounds[g] : bounds[g + 1]], cs,
@@ -1013,12 +1022,20 @@ class TimeSeriesStore(SeriesQueryMixin):
             return None
         return series, self.cache
 
+    def query_epoch(self, metric: str) -> int:
+        """Mutation epoch of a metric — the serving plane's result-cache
+        validity token.  Any append/drop/evict/import touching the
+        metric bumps it; an unchanged epoch guarantees every query
+        answer for the metric is still exact."""
+        return self._epochs.get(metric, 0)
+
     # -- maintenance / stats ---------------------------------------------------
 
     def drop_series(self, metric: str, component: str) -> bool:
         s = self._series.pop(MetricKey(metric, component), None)
         if s is None:
             return False
+        self._epochs[metric] = self._epochs.get(metric, 0) + 1
         self.cache.invalidate(s.chunk_ids)
         self._samples -= s.n_samples
         self._sealed_samples -= s.n_sealed_samples
@@ -1083,6 +1100,8 @@ class TimeSeriesStore(SeriesQueryMixin):
         s.chunk_hints = [r[4] for r in keep]
         if gone_ids:
             self.cache.invalidate(gone_ids)
+            self._epochs[key.metric] = self._epochs.get(key.metric, 0) + 1
+            s.rebuild_pyramid(self.cache)
         return len(gone_ids)
 
     def import_chunks(
@@ -1099,7 +1118,7 @@ class TimeSeriesStore(SeriesQueryMixin):
         """
         s = self._series.get(key)
         if s is None:
-            s = self._series[key] = _Series()
+            s = self._series[key] = _Series(self.pyramid_levels)
         incoming = []
         n_in = b_in = 0
         for blob, span in zip(chunks, spans):
@@ -1123,6 +1142,10 @@ class TimeSeriesStore(SeriesQueryMixin):
         s.chunk_hints = [r[4] for r in merged]
         s.n_sealed_samples += n_in
         s.sealed_bytes += b_in
+        self._epochs[key.metric] = self._epochs.get(key.metric, 0) + 1
+        # the merge reordered the chunk list, so seq numbering (and with
+        # it every rollup row) is re-derived in the new list order
+        s.rebuild_pyramid(self.cache)
         self._samples += n_in
         self._sealed_samples += n_in
         self._sealed_chunks += len(chunks)

@@ -240,6 +240,35 @@ class Dashboard:
                      max(total * 2, 5.0),
                      "ok" if total == 0 else "crit")
             )
+        # serving-plane panels (absent when no query front end is wired)
+        queries = self._latest_sweep("selfmon.serve.queries", window_s,
+                                     now)
+        served_any = len(queries) and float(queries.values[-1]) > 0
+        hit = self._latest_sweep("selfmon.serve.cache_hit_ratio",
+                                 window_s, now)
+        if len(hit):
+            pct = 100.0 * float(hit.values[-1])
+            out.append(
+                # a 0% ratio on an idle plane is not a problem — only
+                # warn when queries have actually flowed
+                Tile("query cache hit ratio", pct, "%", 100.0,
+                     "warn" if served_any and pct < 50 else "ok",
+                     trend=self._trend("selfmon.serve.cache_hit_ratio",
+                                       "result-cache", now))
+            )
+        qps = self._latest_sweep("selfmon.serve.qps", window_s, now)
+        if len(qps):
+            val = float(qps.values[-1])
+            out.append(
+                Tile("query rate", val, " q/s", max(val * 1.5, 1.0), "ok")
+            )
+        shed = self._latest_sweep("selfmon.serve.rejected", window_s, now)
+        if len(shed):
+            val = float(shed.values[-1])
+            out.append(
+                Tile("queries shed", val, "", max(val * 2, 10.0),
+                     "ok" if val == 0 else "warn")
+            )
         return out
 
     def render(self, now: float, window_s: float = 600.0) -> str:

@@ -1,0 +1,154 @@
+"""Property-based tests: serving-plane answers == the raw-store oracle.
+
+The query front end may answer from rollup-pyramid rows, from its
+result cache, or from the store's own (summary-pruned) path — the
+invariant is that every route produces *exactly* the answer the store's
+forced-decompress raw path would.  Values are drawn integer-valued (so
+float summation is associativity-independent and ``sum``/``mean`` are
+held bit-exact, not approximately) mixed with NaN/±inf specials (whose
+propagation is order-independent by IEEE semantics); times sit on a
+millisecond grid.  Windows are deliberately non-step-aligned and the
+store keeps an unsealed in-memory tail, so edge buckets exercise the
+raw/pyramid stitching.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metric import SeriesBatch
+from repro.serve.frontend import QueryFrontend
+from repro.storage.rollup import DEFAULT_LEVELS
+from repro.storage.sharded import ShardedTimeSeriesStore
+from repro.storage.tsdb import TimeSeriesStore
+
+AGGS = ("mean", "sum", "min", "max", "last", "count")
+
+#: integer-valued floats sum exactly in any association order; the
+#: specials propagate to NaN/±inf independent of order too
+exact_values = st.one_of(
+    st.integers(min_value=-(1 << 30), max_value=1 << 30).map(float),
+    st.sampled_from([float("nan"), float("inf"), float("-inf"),
+                     0.0, -0.0]),
+)
+
+#: millisecond-grid times in a few-hour range (duplicates allowed —
+#: the stable time sort + sequence tiebreak must agree across paths)
+times_ms = st.lists(
+    st.integers(min_value=0, max_value=7_200_000),
+    min_size=1, max_size=80,
+).map(lambda ms: np.asarray(sorted(ms), dtype=np.float64) / 1000.0)
+
+#: steps both planner-eligible (multiples of a rollup level with an
+#: aligned anchor) and not (7 s, 77 s force the raw fallback)
+steps = st.sampled_from([10.0, 30.0, 60.0, 120.0, 600.0, 3600.0,
+                         7.0, 77.0])
+
+windows = st.tuples(
+    st.floats(min_value=-100.0, max_value=7200.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=7300.0, allow_nan=False),
+).map(lambda w: (min(w), max(w) + 1.0))
+
+
+def _ingest(store, batches):
+    for metric, comp, t, v in batches:
+        store.append(SeriesBatch.for_component(metric, comp, t, v))
+
+
+def _values(data, n):
+    return np.asarray(
+        data.draw(st.lists(exact_values, min_size=n, max_size=n)),
+        dtype=np.float64,
+    )
+
+
+def assert_batches_equal(got, want, ctx):
+    assert np.array_equal(got.times, want.times), ctx
+    assert np.array_equal(got.values, want.values, equal_nan=True), ctx
+
+
+class TestServingEqualsRaw:
+    @given(times=times_ms, step=steps, window=windows,
+           agg=st.sampled_from(AGGS), data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_downsample_matches_forced_decompress(self, times, step,
+                                                  window, agg, data):
+        # small chunks => sealed pyramid pieces plus an unsealed tail
+        store = TimeSeriesStore(chunk_size=16,
+                                pyramid_levels=DEFAULT_LEVELS)
+        half = len(times) // 2
+        _ingest(store, [
+            ("m.x", "c0", times[:half], _values(data, half)),
+            ("m.x", "c0", times[half:], _values(data, len(times) - half)),
+        ])
+        fe = QueryFrontend(store)
+        t0, t1 = window
+        got = fe.downsample("m.x", "c0", t0, t1, step, agg)
+        want = store.downsample("m.x", "c0", t0, t1, step, agg,
+                                prune=False)
+        assert_batches_equal(got, want, (step, agg, window))
+        # a second ask must come from the result cache, unchanged
+        again = fe.downsample("m.x", "c0", t0, t1, step, agg)
+        assert again is got
+        assert fe.stats().cache.hits >= 1
+
+    @given(times=times_ms, step=steps, window=windows,
+           agg=st.sampled_from(AGGS),
+           unbounded=st.booleans(), data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_aggregate_across_matches_forced_decompress(
+            self, times, step, window, agg, unbounded, data):
+        store = TimeSeriesStore(chunk_size=16,
+                                pyramid_levels=DEFAULT_LEVELS)
+        third = max(1, len(times) // 3)
+        _ingest(store, [
+            ("m.x", "c0", times[:third], _values(data, third)),
+            ("m.x", "c1", times[third:], _values(data,
+                                                 len(times) - third)),
+            ("m.x", "c2", times, _values(data, len(times))),
+        ])
+        fe = QueryFrontend(store)
+        t0, t1 = (-np.inf, np.inf) if unbounded else window
+        got = fe.aggregate_across("m.x", None, t0, t1, step, agg)
+        want = store.aggregate_across("m.x", None, t0, t1, step, agg)
+        assert_batches_equal(got, want, (step, agg, t0, t1))
+
+    @given(times=times_ms, step=steps, window=windows,
+           agg=st.sampled_from(AGGS), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_sharded_store_matches(self, times, step, window, agg, data):
+        store = ShardedTimeSeriesStore(shards=3, chunk_size=16,
+                                       pyramid_levels=DEFAULT_LEVELS)
+        for i in range(4):
+            _ingest(store, [("m.x", f"c{i}", times,
+                             _values(data, len(times)))])
+        fe = QueryFrontend(store)
+        t0, t1 = window
+        got = fe.aggregate_across("m.x", None, t0, t1, step, agg)
+        want = store.aggregate_across("m.x", None, t0, t1, step, agg)
+        assert_batches_equal(got, want, (step, agg, window))
+        for comp in ("c0", "c2"):
+            g = fe.downsample("m.x", comp, t0, t1, step, agg)
+            w = store.downsample("m.x", comp, t0, t1, step, agg,
+                                 prune=False)
+            assert_batches_equal(g, w, (comp, step, agg, window))
+
+    @given(times=times_ms, agg=st.sampled_from(AGGS), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_planner_actually_answers_from_pyramids(self, times, agg,
+                                                    data):
+        """Eligible grids must take the pyramid route, not silently
+        fall back (the perf claim depends on it)."""
+        store = TimeSeriesStore(chunk_size=16,
+                                pyramid_levels=DEFAULT_LEVELS)
+        _ingest(store, [("m.x", "c0", times,
+                         _values(data, len(times)))])
+        fe = QueryFrontend(store)
+        span = float(times[-1] - times[0])
+        got = fe.downsample("m.x", "c0", 0.0, times[-1] + 1.0, 60.0, agg)
+        want = store.downsample("m.x", "c0", 0.0, times[-1] + 1.0, 60.0,
+                                agg, prune=False)
+        assert_batches_equal(got, want, agg)
+        if span >= 60.0:
+            # at least one full bucket => planner eligibility
+            assert fe.stats().pyramid_answers == 1

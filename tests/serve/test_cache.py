@@ -1,0 +1,76 @@
+"""Unit tests: the query-result cache's epoch invalidation and bounds."""
+
+import numpy as np
+
+from repro.core.metric import SeriesBatch
+from repro.serve.cache import QueryResultCache
+from repro.serve.plan import QueryPlan
+
+
+def batch(n=8):
+    return SeriesBatch.for_component(
+        "m.x", "c0", np.arange(n, dtype=float), np.ones(n))
+
+
+def plan(i=0):
+    return QueryPlan.downsample("m.x", "c0", 0.0, 100.0, 10.0 + i, "mean")
+
+
+class TestQueryResultCache:
+    def test_hit_after_put(self):
+        c = QueryResultCache()
+        b = batch()
+        c.put(plan(), 1, b)
+        assert c.get(plan(), 1) is b
+        s = c.stats()
+        assert (s.hits, s.misses, s.entries) == (1, 0, 1)
+
+    def test_epoch_move_invalidates(self):
+        c = QueryResultCache()
+        c.put(plan(), 1, batch())
+        assert c.get(plan(), 2) is None     # metric mutated since
+        s = c.stats()
+        assert s.stale == 1 and s.misses == 1 and s.entries == 0
+        assert s.bytes == 0                 # stale entry's bytes released
+
+    def test_miss_on_absent_plan(self):
+        c = QueryResultCache()
+        assert c.get(plan(), 0) is None
+        assert c.stats().misses == 1
+
+    def test_lru_byte_bound_evicts_oldest(self):
+        c = QueryResultCache(max_bytes=1000)
+        for i in range(8):
+            c.put(plan(i), 1, batch(16))    # ~384 B each incl. overhead
+        s = c.stats()
+        assert s.bytes <= 1000
+        assert s.evictions >= 1
+        assert c.get(plan(0), 1) is None    # oldest went first
+        assert c.get(plan(7), 1) is not None
+
+    def test_dict_payload_accounted(self):
+        c = QueryResultCache()
+        c.put(plan(), 1, {"c0": batch(), "c1": batch()})
+        assert c.stats().bytes > 2 * 8 * 16
+
+    def test_zero_bytes_disables(self):
+        c = QueryResultCache(max_bytes=0)
+        c.put(plan(), 1, batch())
+        assert c.get(plan(), 1) is None
+        assert c.stats().entries == 0
+
+    def test_clear_keeps_lifetime_counters(self):
+        c = QueryResultCache()
+        c.put(plan(), 1, batch())
+        c.get(plan(), 1)
+        c.clear()
+        s = c.stats()
+        assert s.entries == 0 and s.bytes == 0 and s.hits == 1
+
+    def test_replace_same_plan_reaccounts_bytes(self):
+        c = QueryResultCache()
+        c.put(plan(), 1, batch(64))
+        big = c.stats().bytes
+        c.put(plan(), 2, batch(4))
+        s = c.stats()
+        assert s.entries == 1 and s.bytes < big

@@ -1,0 +1,70 @@
+"""Unit tests: per-tenant token-bucket + concurrency admission."""
+
+from repro.serve.quota import TenantGovernor, TenantQuota
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestTenantGovernor:
+    def test_unconfigured_tenant_is_unlimited_but_accounted(self):
+        g = TenantGovernor(clock=FakeClock())
+        assert all(g.admit("anon") for _ in range(100))
+        ts = g.tenant_stats("anon")
+        assert ts.admitted == 100 and ts.rejected == 0
+        assert g.tenants() == ["anon"]
+
+    def test_burst_then_rate_rejections(self):
+        clk = FakeClock()
+        g = TenantGovernor({"t": TenantQuota(qps=1.0, burst=3.0)},
+                           clock=clk)
+        got = [g.admit("t") for _ in range(5)]
+        assert got == [True, True, True, False, False]
+        ts = g.tenant_stats("t")
+        assert ts.admitted == 3 and ts.rejected_rate == 2
+
+    def test_tokens_refill_with_clock(self):
+        clk = FakeClock()
+        g = TenantGovernor({"t": TenantQuota(qps=2.0, burst=2.0)},
+                           clock=clk)
+        assert g.admit("t") and g.admit("t") and not g.admit("t")
+        clk.t = 1.0                      # 2 qps * 1 s = 2 tokens back
+        assert g.admit("t") and g.admit("t") and not g.admit("t")
+        clk.t = 100.0                    # refill caps at burst
+        assert [g.admit("t") for _ in range(3)] == [True, True, False]
+
+    def test_qps_without_burst_still_limits(self):
+        # a finite rate with the default infinite burst must not mean an
+        # infinite bucket: capacity falls back to max(1, qps)
+        g = TenantGovernor({"t": TenantQuota(qps=4.0)}, clock=FakeClock())
+        assert sum(g.admit("t") for _ in range(10)) == 4
+
+    def test_concurrency_cap_and_release(self):
+        g = TenantGovernor({"t": TenantQuota(max_concurrent=2)},
+                           clock=FakeClock())
+        assert g.admit("t") and g.admit("t")
+        assert not g.admit("t")
+        assert g.tenant_stats("t").rejected_concurrency == 1
+        g.release("t")
+        assert g.admit("t")
+
+    def test_set_quota_clamps_existing_bucket(self):
+        clk = FakeClock()
+        g = TenantGovernor(clock=clk)
+        g.admit("t")                     # materialize unlimited state
+        g.set_quota("t", TenantQuota(qps=1.0, burst=1.0))
+        assert g.admit("t")
+        assert not g.admit("t")          # bucket clamped to new burst
+
+    def test_totals_sum_over_tenants(self):
+        g = TenantGovernor({"b": TenantQuota(qps=0.0, burst=0.0)},
+                           clock=FakeClock())
+        g.admit("a")
+        g.admit("b")
+        tot = g.totals()
+        assert tot.admitted == 1 and tot.rejected_rate == 1

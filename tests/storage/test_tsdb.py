@@ -233,10 +233,15 @@ class TestAggregateAcross:
                         ("last", lambda a: a[-1]),
                         ("count", len)):
             out = store.aggregate_across("m", step=60.0, agg=agg)
-            buckets = np.floor((t - t[0]) / 60.0).astype(int)
+            # unbounded windows anchor on the step grid at/below the
+            # first sample (bucket_anchor), like every bucketing path
+            anchor = np.floor(t[0] / 60.0) * 60.0
+            buckets = np.floor((t - anchor) / 60.0).astype(int)
             expect = [float(fn(v[buckets == b]))
                       for b in np.unique(buckets)]
             assert np.allclose(out.values, expect, rtol=1e-12), agg
+            assert np.array_equal(out.times,
+                                  anchor + np.unique(buckets) * 60.0), agg
 
     def test_single_component_aggregate_equals_downsample(self, store):
         for i in range(100):

@@ -117,6 +117,22 @@ class TestCli:
         assert "balanced: published == stored + lost" in proc.stdout
         assert "chaos campaign PASSED" in proc.stdout
 
+    def test_serve_scenario_is_exact_and_sheds_guest(self):
+        proc = run_cli("serve", "--hours", "0.3")
+        assert proc.returncode == 0
+        assert "pyramid answers" in proc.stdout
+        assert "result cache:" in proc.stdout
+        assert "guest" in proc.stdout and "ops" in proc.stdout
+        # the burst-limited guest tenant was shed, the ops tenant not
+        assert "match the raw decompress path exactly" in proc.stdout
+        assert "EXACTNESS VIOLATION" not in proc.stdout
+
+    def test_obs_reports_serving_plane(self):
+        proc = run_cli("obs", "--hours", "0.2")
+        assert proc.returncode == 0
+        assert "serve:" in proc.stdout
+        assert "selfmon.serve.cache_hit_ratio" in proc.stdout
+
     def test_unknown_scenario_rejected(self):
         proc = run_cli("nonsense")
         assert proc.returncode != 0
