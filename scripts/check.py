@@ -35,6 +35,15 @@ runs those planes on worker threads, so a module-global ``dict`` /
 Keep mutable state on instances; a deliberate module global carries
 ``# shared-state: allowed``.
 
+Both paths also gate on **unmanaged file/mmap handles** inside
+``src/repro/storage``: the out-of-core tier keeps long-lived segment
+writers and memory maps, and a stray ``open()`` or ``mmap.mmap()``
+whose handle nobody owns leaks a descriptor per segment until the
+process hits its rlimit.  Every such call must either be the context
+expression of a ``with`` block or sit on a line documenting its owner
+with ``# handle-owner: <who closes it>`` (the disk tier routes these
+through its handle registry, closed on ``close()``/crash).
+
 Finally both paths gate on **blind exception swallows** inside
 ``src/repro``: an ``except Exception:`` (or bare ``except:``) whose
 body only discards (``pass``/``continue``/``break``/``...``) hides
@@ -439,6 +448,73 @@ def check_shared_state() -> list[str]:
     return problems
 
 
+_HANDLE_OWNER_MARKER = "# handle-owner:"
+
+#: directories whose file/mmap handles must be context-managed or
+#: ownership-documented (the out-of-core tier lives here)
+_FD_LIFETIME_DIRS = ("src/repro/storage",)
+
+
+def _is_handle_call(node: ast.expr) -> bool:
+    """True for ``open(...)`` and ``mmap.mmap(...)`` call expressions."""
+    if not isinstance(node, ast.Call):
+        return False
+    f = node.func
+    if isinstance(f, ast.Name):
+        return f.id == "open"
+    if isinstance(f, ast.Attribute):
+        return (f.attr == "mmap" and isinstance(f.value, ast.Name)
+                and f.value.id == "mmap")
+    return False
+
+
+def check_fd_lifetime(path: Path) -> list[str]:
+    """Flag unmanaged ``open()``/``mmap.mmap()`` calls in one module.
+
+    A handle created outside a ``with`` block and outside an
+    ownership-documented registry line is a descriptor leak waiting for
+    a long campaign: segment files and maps live for the process, and
+    the only safe idioms are scope-bound (context manager) or
+    owner-bound (a registry someone provably closes).
+    """
+    src = path.read_text()
+    try:
+        tree = ast.parse(src, filename=str(path))
+    except SyntaxError:
+        return []                    # surfaced by check_file already
+    lines = src.splitlines()
+    managed: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                managed.add(id(item.context_expr))
+    problems: list[str] = []
+    for node in ast.walk(tree):
+        if not _is_handle_call(node) or id(node) in managed:
+            continue
+        if _HANDLE_OWNER_MARKER in lines[node.lineno - 1]:
+            continue
+        what = ("open()" if isinstance(node.func, ast.Name)
+                else "mmap.mmap()")
+        problems.append(
+            f"{path}:{node.lineno}: {what} outside a context manager; "
+            f"wrap it in 'with' or document the closing owner on the "
+            f"line with '{_HANDLE_OWNER_MARKER} <owner>'"
+        )
+    return problems
+
+
+def check_fd_lifetime_storage() -> list[str]:
+    """Run :func:`check_fd_lifetime` over the handle-holding packages."""
+    problems: list[str] = []
+    for rel in _FD_LIFETIME_DIRS:
+        root = REPO / rel
+        if root.is_dir():
+            for path in sorted(root.rglob("*.py")):
+                problems.extend(check_fd_lifetime(path))
+    return problems
+
+
 #: a full selfmon metric name (at least two dotted segments after the
 #: prefix-qualifying first); prefixes like "selfmon." in startswith()
 #: guards deliberately do not match
@@ -506,7 +582,7 @@ def check_columnar_analysis() -> list[str]:
 def lint() -> int:
     gate_problems = (check_import_cycles() + check_columnar_analysis()
                      + check_swallows_repro() + check_selfmon_registry()
-                     + check_shared_state())
+                     + check_shared_state() + check_fd_lifetime_storage())
     for p in gate_problems:
         print(p)
     if gate_problems:

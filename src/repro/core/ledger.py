@@ -27,8 +27,12 @@ An injected duplicate is two publishes of the same points — both stamp
 holds; the ``duplicated`` counter is a diagnostic marking how many of
 those published points were fault-injected extras, not a balance term.
 
-All ledger counters are monotone; nothing is ever decremented, so a
-reconciliation that balances once cannot be un-balanced by replays.
+All ledger counters are monotone in normal operation; the single
+documented exception is :meth:`DeliveryLedger.account_crash`, the
+crash-recovery reconciliation: points that were ``stored`` but sat past
+the disk tier's last fsync when the process died are moved from
+``stored`` to ``lost`` under a named cause — the identity stays exact
+across a hard crash, and the loss is a number, never a silence.
 """
 
 from __future__ import annotations
@@ -169,6 +173,32 @@ class DeliveryLedger:
         return dict(out)
 
     # -- reconciliation ------------------------------------------------------
+
+    def account_crash(
+        self,
+        durable: "dict[str, int]",
+        cause: str = "crash-unsynced",
+    ) -> int:
+        """Re-baseline ``stored`` to what actually survived a crash.
+
+        ``durable`` is the recovered store's per-metric point count
+        (``points_by_metric()``).  For each metric the shortfall
+        ``stored - durable`` — points acknowledged into the store but
+        past the WAL/segment fsync horizon when the process died — is
+        moved from ``stored`` to ``lost`` under ``cause``.  This is the
+        one deliberately non-monotone ledger operation (see module
+        docstring); it keeps ``published == stored + lost + pending +
+        in_flight`` exact across a hard crash.  Returns total points
+        moved.
+        """
+        moved = 0
+        for metric, n in list(self.stored.items()):
+            delta = n - int(durable.get(metric, 0))
+            if delta > 0:
+                self.stored[metric] = n - delta
+                self.lost[(cause, metric)] += delta
+                moved += delta
+        return moved
 
     def balance(self, pending: int = 0, in_flight: int = 0) -> BalanceReport:
         """Reconcile: live ``pending`` (store redo buffers) and

@@ -291,6 +291,24 @@ def _builtin_specs() -> Iterable[MetricSpec]:
     yield MetricSpec("selfmon.store.cache_bytes", "B", G, "monitor",
                      "Resident bytes of decompressed chunks held by the "
                      "cache.")
+    yield MetricSpec("selfmon.store.disk_bytes", "B", G, "monitor",
+                     "Bytes of sealed chunks persisted in the disk tier's "
+                     "segment files (plus WAL tail).")
+    yield MetricSpec("selfmon.store.disk_hot_bytes", "B", G, "monitor",
+                     "Sealed-chunk bytes resident in memory under the "
+                     "hot-tier byte budget.")
+    yield MetricSpec("selfmon.store.disk_spill_rate", "chunks/s", G,
+                     "monitor",
+                     "Sealed chunks demoted to disk-only refs per second "
+                     "over the self-monitor cadence.")
+    yield MetricSpec("selfmon.store.disk_load_rate", "chunks/s", G,
+                     "monitor",
+                     "Spilled chunks read back through the mmap on the "
+                     "query path per second over the self-monitor "
+                     "cadence.", higher_is_worse=True)
+    yield MetricSpec("selfmon.store.disk_map_hits", "count", C, "monitor",
+                     "Cumulative spilled-chunk reads served from an "
+                     "already-established mmap (no remap).")
     yield MetricSpec("selfmon.store.log_events", "count", C, "monitor",
                      "Events resident in the indexed log store.")
     yield MetricSpec("selfmon.store.sql_bytes", "B", G, "monitor",

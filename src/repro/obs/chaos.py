@@ -46,6 +46,8 @@ __all__ = [
     "TransportDuplication",
     "TransportStall",
     "ShardOutage",
+    "StoreCrash",
+    "crash_and_recover",
     "MonitorFaultInjector",
 ]
 
@@ -317,6 +319,107 @@ class ShardOutage(MonitorFault):
                 f"store:shard-{self.shard}", p.machine.now,
                 reason="shard recovered, redo replayed",
             )
+
+
+def crash_and_recover(
+    p: "MonitoringPipeline", cause: str = "crash-unsynced"
+) -> int:
+    """Hard-kill the pipeline's disk-backed store and recover from disk.
+
+    Models a power-loss crash: every disk tier is truncated to its last
+    fsynced extent (:meth:`~repro.storage.diskier.DiskTier.simulate_crash`
+    — pessimistic versus a plain SIGKILL, which would leave the OS page
+    cache intact), a fresh store is rebuilt from the surviving manifest,
+    segments and WAL, and the pipeline is rewired onto it.  Points that
+    were acknowledged ``stored`` but sat past the fsync horizon are moved
+    to accounted loss under ``cause`` via
+    :meth:`~repro.core.ledger.DeliveryLedger.account_crash` — the balance
+    identity stays exact across the crash.  Returns ``(moved, report)``:
+    the number of points so accounted and the
+    :class:`~repro.storage.diskier.RecoveryReport`.
+
+    Requires the pipeline's store to have been built with a disk tier
+    (``default_pipeline(store_dir=...)``); raises :class:`TypeError`
+    otherwise.
+    """
+    from pathlib import Path
+
+    from ..storage.diskier import recover_sharded, recover_store
+
+    old = p.tsdb
+    if hasattr(old, "shards"):
+        tiers = [s.disk for s in old.shards]
+        if any(t is None for t in tiers):
+            raise TypeError("crash_and_recover needs a disk-backed store")
+        root = Path(old.disk_dir)
+        for t in tiers:
+            t.simulate_crash()
+        first = tiers[0]
+        new, report = recover_sharded(
+            root,
+            shards=old.n_shards,
+            hot_bytes=first.hot_bytes,
+            segment_bytes=first.segment_bytes,
+            sync_every_bytes=first.sync_every_bytes,
+            redo_points=old.redo_points,
+        )
+    else:
+        tier = getattr(old, "disk", None)
+        if tier is None:
+            raise TypeError("crash_and_recover needs a disk-backed store")
+        tier.simulate_crash()
+        new, report = recover_store(
+            tier.root,
+            hot_bytes=tier.hot_bytes,
+            segment_bytes=tier.segment_bytes,
+            sync_every_bytes=tier.sync_every_bytes,
+        )
+
+    # Rewire the pipeline onto the recovered store, mirroring the wiring
+    # in MonitoringPipeline.__init__.
+    try:
+        new.clock = old.clock
+    except AttributeError:
+        pass
+    if hasattr(new, "redo_pending_points"):
+        new.ledger = p.ledger
+    p.tsdb = new
+    fe = p.frontend
+    fe.store = new
+    # recovered stores restart query epochs at 0 — stale cache entries
+    # would otherwise validate against the wrong store generation
+    fe._epoch_of = getattr(new, "query_epoch", None)
+    fe.result_cache.clear()
+
+    moved = p.ledger.account_crash(new.points_by_metric(), cause=cause)
+    if p.supervisor is not None:
+        p.supervisor.heal(
+            "store", p.machine.now,
+            reason=f"store recovered from disk, {moved} points to {cause}",
+        )
+    return moved, report
+
+
+@dataclass
+class StoreCrash(MonitorFault):
+    """Kill-and-recover the disk-backed store at ``start``.
+
+    A point-in-time fault: ``duration`` defaults to ``0.0`` so the
+    injector applies *and* reverts it inside the same step —
+    :func:`crash_and_recover` does the whole crash, restore and ledger
+    reconciliation in ``apply``; there is nothing left to revert.
+    """
+
+    name: str = "store-crash"
+    duration: float | None = 0.0
+    cause: str = "crash-unsynced"
+    points_accounted: int = field(default=0, init=False)
+    recovery: object = field(default=None, init=False, repr=False)
+
+    def apply(self, p):
+        self.points_accounted, self.recovery = crash_and_recover(
+            p, cause=self.cause
+        )
 
 
 class MonitorFaultInjector:

@@ -65,6 +65,8 @@ class HealthReport:
     shards: dict[str, dict[str, float]] = field(default_factory=dict)
     #: decompressed-chunk cache counters when the store carries a cache
     chunk_cache: dict[str, float] = field(default_factory=dict)
+    #: out-of-core disk-tier counters when the store spills to disk
+    disk: dict[str, float] = field(default_factory=dict)
     #: per-detector streaming-analysis counters (batches, detections,
     #: sweep-latency percentiles) when streaming detectors are installed
     analysis: dict[str, dict[str, float]] = field(default_factory=dict)
@@ -189,6 +191,23 @@ class PipelineIntrospector:
                 "bytes": float(cstats.bytes),
                 "hit_ratio": cstats.hit_ratio,
             }
+        disk: dict[str, float] = {}
+        dfn = getattr(p.tsdb, "disk_stats", None)
+        dstats = dfn() if callable(dfn) else None
+        if dstats is not None:
+            disk = {
+                "segments": float(dstats.segments),
+                "disk_bytes": float(dstats.disk_bytes),
+                "wal_bytes": float(dstats.wal_bytes),
+                "hot_bytes": float(dstats.hot_bytes),
+                "hot_chunks": float(dstats.hot_chunks),
+                "spills": float(dstats.spills),
+                "loads": float(dstats.loads),
+                "map_hits": float(dstats.map_hits),
+                "remaps": float(dstats.remaps),
+                "wal_records": float(dstats.wal_records),
+                "wal_syncs": float(dstats.wal_syncs),
+            }
         health = (p.health_report()
                   if callable(getattr(p, "health_report", None)) else {})
         fresh: dict = {}
@@ -262,6 +281,7 @@ class PipelineIntrospector:
             partitions=partitions,
             shards=shards,
             chunk_cache=chunk_cache,
+            disk=disk,
             analysis=analysis,
             health=health,
             ledger=ledger,
@@ -351,6 +371,17 @@ class PipelineIntrospector:
                 f"evictions={int(c['evictions'])} "
                 f"resident={int(c['bytes'])} B "
                 f"(hit ratio {c['hit_ratio']:.2f})"
+            )
+        if r.disk:
+            d = r.disk
+            lines.append(
+                f"disk tier: {int(d['disk_bytes'])} B on disk "
+                f"({int(d['segments'])} segments, "
+                f"{int(d['wal_bytes'])} B WAL); "
+                f"hot {int(d['hot_bytes'])} B "
+                f"({int(d['hot_chunks'])} chunks); "
+                f"spills={int(d['spills'])} loads={int(d['loads'])} "
+                f"map_hits={int(d['map_hits'])} remaps={int(d['remaps'])}"
             )
         if r.serve:
             s = r.serve

@@ -55,6 +55,11 @@ SELFMON_METRICS: tuple[str, ...] = (
     "selfmon.store.cache_misses",
     "selfmon.store.cache_evictions",
     "selfmon.store.cache_bytes",
+    "selfmon.store.disk_bytes",
+    "selfmon.store.disk_hot_bytes",
+    "selfmon.store.disk_spill_rate",
+    "selfmon.store.disk_load_rate",
+    "selfmon.store.disk_map_hits",
     "selfmon.store.log_events",
     "selfmon.store.sql_bytes",
     "selfmon.sec.rule_fires",
@@ -166,6 +171,7 @@ class SelfMonitor:
         self._prev_tsdb_samples = 0
         self._prev_tick: tuple[int, float] = (0, 0.0)
         self._prev_serve_queries = 0
+        self._prev_disk: tuple[int, int] = (0, 0)   # (spills, loads)
 
     def verify_registered(self, registry: MetricRegistry) -> None:
         """Fail fast if any self-metric is undocumented (Table I)."""
@@ -220,6 +226,10 @@ class SelfMonitor:
         self._prev_tick = agg if agg is not None else (0, 0.0)
         fe = getattr(p, "frontend", None)
         self._prev_serve_queries = fe.stats().queries if fe is not None else 0
+        disk = getattr(p.tsdb, "disk_stats", None)
+        dstats = disk() if callable(disk) else None
+        self._prev_disk = ((dstats.spills, dstats.loads)
+                           if dstats is not None else (0, 0))
         self._last_t = now
         self._next_due = now + self.interval_s
 
@@ -342,6 +352,22 @@ class SelfMonitor:
                 float(cstats.evictions))
             one("selfmon.store.cache_bytes", "chunk-cache",
                 float(cstats.bytes))
+        disk = getattr(p.tsdb, "disk_stats", None)
+        dstats = disk() if callable(disk) else None
+        if dstats is not None:
+            d_spills = dstats.spills - self._prev_disk[0]
+            d_loads = dstats.loads - self._prev_disk[1]
+            self._prev_disk = (dstats.spills, dstats.loads)
+            one("selfmon.store.disk_bytes", "disk-tier",
+                float(dstats.disk_bytes))
+            one("selfmon.store.disk_hot_bytes", "disk-tier",
+                float(dstats.hot_bytes))
+            one("selfmon.store.disk_spill_rate", "disk-tier",
+                d_spills / elapsed)
+            one("selfmon.store.disk_load_rate", "disk-tier",
+                d_loads / elapsed)
+            one("selfmon.store.disk_map_hits", "disk-tier",
+                float(dstats.map_hits))
         one("selfmon.store.log_events", "logstore", float(len(p.logs)))
         one("selfmon.store.sql_bytes", "sqlstore",
             float(p.sql.footprint_bytes()))

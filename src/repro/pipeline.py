@@ -498,6 +498,8 @@ def default_pipeline(
     tsdb=None,
     shards: int | None = None,
     workers: int | None = None,
+    store_dir: str | None = None,
+    hot_bytes: int = 64 << 20,
     **kw,
 ) -> MonitoringPipeline:
     """Assemble the full stack against ``machine`` (CSCS gate included).
@@ -512,14 +514,27 @@ def default_pipeline(
     ``workers=N`` (or ``executor=``, which it aliases) picks the
     execution model: N > 1 runs the data-parallel planes on a
     ``ThreadedExecutor`` over N workers; the default stays serial.
+    ``store_dir=`` attaches the out-of-core disk tier (per-shard
+    subdirectories when combined with ``shards=``): sealed chunks
+    persist to segment files, appends are WAL-logged, and resident
+    sealed bytes stay under ``hot_bytes``.
     """
     if transport is not None:
         transport = make_transport(transport)
+    if store_dir is not None and tsdb is not None:
+        raise ValueError("pass either tsdb= or store_dir=, not both")
     if shards is not None:
         if tsdb is not None:
             raise ValueError("pass either tsdb= or shards=, not both")
         tsdb = ShardedTimeSeriesStore(shards=shards,
-                                      pyramid_levels=DEFAULT_LEVELS)
+                                      pyramid_levels=DEFAULT_LEVELS,
+                                      disk_dir=store_dir,
+                                      hot_bytes=hot_bytes)
+    elif store_dir is not None:
+        from .storage.diskier import DiskTier
+        tsdb = TimeSeriesStore(pyramid_levels=DEFAULT_LEVELS,
+                               disk=DiskTier(store_dir,
+                                             hot_bytes=hot_bytes))
     if workers is not None:
         if kw.get("executor") is not None:
             raise ValueError("pass either workers= or executor=, not both")

@@ -2,6 +2,14 @@
 tiering, job index."""
 
 from .chunkcache import ChunkCache, ChunkCacheStats
+from .diskier import (
+    ChunkRef,
+    DiskTier,
+    DiskTierStats,
+    RecoveryReport,
+    recover_sharded,
+    recover_store,
+)
 from .hierarchy import ArchiveEntry, TieredStore
 from .jobstore import Allocation, JobIndex
 from .logstore import LogStore, tokenize
@@ -25,7 +33,13 @@ __all__ = [
     "tokenize",
     "ChunkCache",
     "ChunkCacheStats",
+    "ChunkRef",
     "ChunkSummary",
+    "DiskTier",
+    "DiskTierStats",
+    "RecoveryReport",
+    "recover_sharded",
+    "recover_store",
     "ShardedTimeSeriesStore",
     "JobRow",
     "SqlStore",

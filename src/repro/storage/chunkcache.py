@@ -13,6 +13,14 @@ One cache instance can be shared by many stores (the sharded store
 routes every shard through a single cache so the memory bound is
 global, not per-shard).  Hit/miss/eviction counters feed the
 ``selfmon.store.cache_*`` gauges.
+
+With the out-of-core tier (:mod:`repro.storage.diskier`) this cache is
+also the *warm* tier over spilled chunks: a read of a chunk whose bytes
+live only in a segment file decodes straight from the mmap-backed
+buffer (zero staging copy) and the decoded arrays land here, so repeat
+reads of cold data cost a cache hit, not a disk decode.  Chunk ids are
+process-unique and restored chunks get fresh ids, so a crash-recovered
+store can share a warm cache without aliasing stale entries.
 """
 
 from __future__ import annotations

@@ -1,0 +1,894 @@
+"""Out-of-core disk tier: chunk segments, a WAL, and crash recovery.
+
+The stores in this repro were RAM-resident, capping campaign length at
+memory size.  This module adds the backend the paper's sites actually
+run (DCDB and the MPCDF stack both persist sensor data behind a hot
+cache): an append-only on-disk tier under
+:class:`~repro.storage.tsdb.TimeSeriesStore` with three moving parts:
+
+* **Segment files** (``seg-NNNNNN.dat``): sealing a chunk appends its
+  compressed blob to the active segment as a self-describing record
+  (magic + lengths + crc32 + metric/component + blob).  Sealed chunks
+  are immutable byte blobs, so the copy on disk is exact forever.
+* **Hot tier**: resident blobs are LRU-tracked against a ``hot_bytes``
+  budget.  When the budget is exceeded the coldest sealed blobs are
+  *spilled* — the series' chunk list keeps a :class:`ChunkRef`
+  ``(segment, offset, len)`` and drops the bytes.  Spilled reads mmap
+  the segment and decode straight from the mapped buffer (the
+  vectorized codec accepts any buffer; no intermediate copy), with
+  decompressed arrays still served through the shared
+  :class:`~repro.storage.chunkcache.ChunkCache`.
+* **WAL** (``wal-NNNNNN.log``): every appended batch is logged before
+  it reaches a head chunk, so unsealed heads survive a crash.  Both
+  WAL and segments are fsync-batched: durability advances at
+  ``sync_every_bytes`` boundaries, and anything past the last sync is
+  *accounted loss* after a crash (the ledger names it), never silence.
+
+``snapshot()`` writes a manifest (segment extents, per-series chunk
+index, head samples, and serialized pyramid partials so rollups do not
+refold from a full decompress) and rotates the WAL;
+:func:`recover_store` / :func:`recover_sharded` rebuild a store from
+manifest + segment scan + WAL replay, deduplicating the overlap
+exactly by per-series arrival counts.
+
+File-handle lifetime is auditable by construction: every long-lived
+``open()``/``mmap`` in this package is either context-managed or
+registered with the owning tier's :class:`_HandleRegistry` (the
+``check_fd_lifetime`` lint gate enforces this).
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import pickle
+import struct
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.metric import MetricKey, SeriesBatch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from .chunkcache import ChunkCache
+    from .tsdb import TimeSeriesStore, _Series
+
+__all__ = [
+    "ChunkRef",
+    "DiskTier",
+    "DiskTierStats",
+    "RecoveryReport",
+    "merge_disk_stats",
+    "recover_store",
+    "recover_sharded",
+]
+
+
+# record framing ------------------------------------------------------------
+#
+# segment record: magic, metric_len, comp_len, blob_len, crc32 over
+# (metric + comp + blob); the ChunkRef offset points at the blob itself
+# so mmap reads land on the compressed bytes directly.
+_SEG_HDR = struct.Struct("<2sHHII")
+_SEG_MAGIC = b"SG"
+# wal record: magic, payload_len, crc32(payload)
+_WAL_HDR = struct.Struct("<2sII")
+_WAL_MAGIC = b"WL"
+
+_MANIFEST = "manifest.pkl"
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkRef:
+    """Location of one sealed chunk's blob inside a segment file."""
+
+    segment: int
+    offset: int
+    length: int
+
+
+@dataclass(frozen=True, slots=True)
+class DiskTierStats:
+    """Counters of one disk tier (merged across shards by
+    :func:`merge_disk_stats`; the selfmon plane samples these)."""
+
+    segments: int
+    disk_bytes: int        # segment file bytes + wal bytes
+    wal_bytes: int
+    hot_bytes: int         # resident sealed-blob bytes (the budget bound)
+    hot_chunks: int
+    spills: int            # blobs demoted to ref-only (budget + eviction)
+    loads: int             # spilled-chunk reads served from mmap
+    map_hits: int          # loads served by an already-live mapping
+    remaps: int
+    wal_records: int
+    wal_syncs: int
+
+
+def merge_disk_stats(parts: Iterable[DiskTierStats]) -> DiskTierStats:
+    """Field-wise sum (per-shard tiers -> one store-level view)."""
+    acc = [0] * 11
+    for p in parts:
+        acc[0] += p.segments
+        acc[1] += p.disk_bytes
+        acc[2] += p.wal_bytes
+        acc[3] += p.hot_bytes
+        acc[4] += p.hot_chunks
+        acc[5] += p.spills
+        acc[6] += p.loads
+        acc[7] += p.map_hits
+        acc[8] += p.remaps
+        acc[9] += p.wal_records
+        acc[10] += p.wal_syncs
+    return DiskTierStats(*acc)
+
+
+class _HandleRegistry:
+    """The single owner of every long-lived file object and mmap.
+
+    The ``check_fd_lifetime`` lint gate requires each ``open()``/
+    ``mmap.mmap()`` in ``src/repro/storage`` to be context-managed or
+    carry a ``# handle-owner:`` marker naming its registry; adopted
+    handles all die in :meth:`close_all`, the one teardown point
+    (``close()`` and ``simulate_crash()`` both route through it).
+    """
+
+    __slots__ = ("_handles",)
+
+    def __init__(self) -> None:
+        self._handles: list = []
+
+    def adopt(self, handle):
+        self._handles.append(handle)
+        return handle
+
+    def release(self, handle) -> None:
+        """Close one handle now and forget it."""
+        try:
+            self._handles.remove(handle)
+        except ValueError:
+            pass
+        try:
+            handle.close()
+        except (OSError, ValueError, BufferError):
+            pass
+
+    def close_all(self) -> None:
+        while self._handles:
+            try:
+                self._handles.pop().close()
+            except (OSError, ValueError, BufferError):
+                pass  # a still-exported mmap is freed when its views die
+
+
+class _Segment:
+    """One append-only segment file plus its (lazy) read mapping."""
+
+    __slots__ = ("seg_id", "path", "writer", "reader", "map", "mapped",
+                 "size", "synced")
+
+    def __init__(self, seg_id: int, path: Path) -> None:
+        self.seg_id = seg_id
+        self.path = path
+        self.writer = None
+        self.reader = None
+        self.map: mmap.mmap | None = None
+        self.mapped = 0                      # bytes covered by self.map
+        self.size = path.stat().st_size if path.exists() else 0
+        self.synced = self.size              # on-disk bytes known durable
+
+
+class _Wal:
+    """One write-ahead-log generation (append-only, length+crc framed)."""
+
+    __slots__ = ("gen", "path", "writer", "size", "synced", "records",
+                 "syncs")
+
+    def __init__(self, gen: int, path: Path) -> None:
+        self.gen = gen
+        self.path = path
+        self.writer = None
+        self.size = 0
+        self.synced = 0
+        self.records = 0
+        self.syncs = 0
+
+
+def _encode_wal_batch(metric: str, comps: Sequence, times: np.ndarray,
+                      values: np.ndarray) -> bytes:
+    """Frame one batch.  Mode 1 stores a uniform component once (the
+    series-chunk ingest shape, where per-element encoding would dominate
+    the whole WAL cost); mode 0 is the general per-element layout."""
+    mb = metric.encode("utf-8")
+    n = len(comps)
+    t = np.ascontiguousarray(times, dtype=np.float64)
+    v = np.ascontiguousarray(values, dtype=np.float64)
+    c0 = comps[0] if n else ""
+    if n and bool((np.asarray(comps, dtype=object) == c0).all()):
+        cb = str(c0).encode("utf-8")
+        comp_block = struct.pack("<H", len(cb)) + cb
+        mode = 1
+    else:
+        cbs = [str(c).encode("utf-8") for c in comps]
+        lens = np.fromiter((len(b) for b in cbs), dtype=np.uint32,
+                           count=n)
+        comp_block = lens.tobytes() + b"".join(cbs)
+        mode = 0
+    return b"".join((
+        struct.pack("<BHI", mode, len(mb), n), mb, comp_block,
+        t.tobytes(), v.tobytes(),
+    ))
+
+
+def _decode_wal_batch(
+    payload: bytes,
+) -> tuple[str, list[str], np.ndarray, np.ndarray]:
+    mode, mlen, n = struct.unpack_from("<BHI", payload, 0)
+    pos = 7
+    metric = payload[pos:pos + mlen].decode("utf-8")
+    pos += mlen
+    if mode == 1:
+        (clen,) = struct.unpack_from("<H", payload, pos)
+        pos += 2
+        comps = [payload[pos:pos + clen].decode("utf-8")] * n
+        pos += clen
+    else:
+        lens = np.frombuffer(payload, dtype=np.uint32, count=n,
+                             offset=pos)
+        pos += 4 * n
+        comps = []
+        for ln in lens.tolist():
+            comps.append(payload[pos:pos + ln].decode("utf-8"))
+            pos += ln
+    times = np.frombuffer(payload, dtype=np.float64, count=n,
+                          offset=pos).copy()
+    pos += 8 * n
+    values = np.frombuffer(payload, dtype=np.float64, count=n,
+                           offset=pos).copy()
+    return metric, comps, times, values
+
+
+def _scan_wal(data: bytes) -> tuple[list[bytes], int]:
+    """Parse wal payloads up to the first torn/corrupt record.
+
+    Returns ``(payloads, consumed)``: bytes past ``consumed`` are a torn
+    tail (counted, dropped — the ledger accounts the points they held).
+    """
+    out: list[bytes] = []
+    pos = 0
+    size = len(data)
+    hdr = _WAL_HDR.size
+    while pos + hdr <= size:
+        magic, plen, crc = _WAL_HDR.unpack_from(data, pos)
+        end = pos + hdr + plen
+        if magic != _WAL_MAGIC or end > size:
+            break
+        payload = bytes(data[pos + hdr:end])
+        if zlib.crc32(payload) != crc:
+            break
+        out.append(payload)
+        pos = end
+    return out, pos
+
+
+def _scan_segment(
+    data, start: int
+) -> tuple[list[tuple[str, str, int, bytes]], int]:
+    """Parse segment records from ``start`` up to the first torn record.
+
+    Returns ``([(metric, component, blob_offset, blob)], consumed)``.
+    """
+    out: list[tuple[str, str, int, bytes]] = []
+    pos = start
+    size = len(data)
+    hdr = _SEG_HDR.size
+    while pos + hdr <= size:
+        magic, mlen, clen, blen, crc = _SEG_HDR.unpack_from(data, pos)
+        boff = pos + hdr + mlen + clen
+        end = boff + blen
+        if magic != _SEG_MAGIC or end > size:
+            break
+        body = bytes(data[pos + hdr:end])
+        if zlib.crc32(body) != crc:
+            break
+        metric = body[:mlen].decode("utf-8")
+        comp = body[mlen:mlen + clen].decode("utf-8")
+        out.append((metric, comp, boff, body[mlen + clen:]))
+        pos = end
+    return out, pos
+
+
+class DiskTier:
+    """The on-disk tier under one :class:`TimeSeriesStore`.
+
+    One tier serves exactly one store (per-shard tiers live in
+    subdirectories of a common root).  Not thread-safe on its own — it
+    inherits the store's threading contract: all mutation of one shard
+    happens on one worker at a time, queries run between ticks.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        hot_bytes: int = 64 << 20,
+        segment_bytes: int = 64 << 20,
+        sync_every_bytes: int = 1 << 20,
+    ) -> None:
+        if hot_bytes < 0:
+            raise ValueError("hot_bytes must be >= 0")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hot_bytes = int(hot_bytes)
+        self.segment_bytes = int(segment_bytes)
+        self.sync_every_bytes = int(sync_every_bytes)
+        self._handles = _HandleRegistry()
+        self._dead = False
+        # resume-aware: reopen existing segments (recovery reuses the
+        # directory), append to the highest; WAL always starts a fresh
+        # generation so older generations stay replayable.
+        self._segments: dict[int, _Segment] = {}
+        for p in sorted(self.root.glob("seg-*.dat")):
+            sid = int(p.stem.split("-")[1])
+            self._segments[sid] = _Segment(sid, p)
+        self._active_id = max(self._segments) if self._segments else 0
+        if not self._segments:
+            self._segments[0] = _Segment(0, self._seg_path(0))
+        wal_gens = [int(p.stem.split("-")[1])
+                    for p in self.root.glob("wal-*.log")]
+        self._wal = self._new_wal(max(wal_gens) + 1 if wal_gens else 0)
+        # LRU of resident sealed blobs: chunk id -> owning series
+        self._hot: OrderedDict[int, "_Series"] = OrderedDict()
+        self.hot_bytes_used = 0
+        self._unsynced = 0
+        self._spills = 0
+        self._loads = 0
+        self._map_hits = 0
+        self._remaps = 0
+
+    # -- paths / handles ----------------------------------------------------
+
+    def _seg_path(self, seg_id: int) -> Path:
+        return self.root / f"seg-{seg_id:06d}.dat"
+
+    def _wal_path(self, gen: int) -> Path:
+        return self.root / f"wal-{gen:06d}.log"
+
+    def _new_wal(self, gen: int) -> _Wal:
+        wal = _Wal(gen, self._wal_path(gen))
+        wal.writer = self._handles.adopt(
+            open(wal.path, "ab",  # handle-owner: DiskTier._handles
+                 buffering=1 << 20)
+        )
+        return wal
+
+    def _writer(self, seg: _Segment):
+        if seg.writer is None:
+            seg.writer = self._handles.adopt(
+                open(seg.path, "ab",  # handle-owner: DiskTier._handles
+                     buffering=1 << 20)
+            )
+        return seg.writer
+
+    def _check_alive(self) -> None:
+        if self._dead:
+            raise RuntimeError(
+                "disk tier crashed (simulate_crash); recover a fresh "
+                "store with repro.storage.diskier.recover_store"
+            )
+
+    # -- write path ---------------------------------------------------------
+
+    def wal_append(self, batch: SeriesBatch) -> None:
+        """Log one ingest batch before it reaches any head chunk."""
+        self._check_alive()
+        payload = _encode_wal_batch(batch.metric, batch.components,
+                                    batch.times, batch.values)
+        wal = self._wal
+        wal.writer.write(_WAL_HDR.pack(_WAL_MAGIC, len(payload),
+                                       zlib.crc32(payload)) + payload)
+        wal.size += _WAL_HDR.size + len(payload)
+        wal.records += 1
+        self._unsynced += _WAL_HDR.size + len(payload)
+        if self._unsynced >= self.sync_every_bytes:
+            self.sync()
+
+    def append_blob(self, metric: str, comp: str, blob: bytes) -> ChunkRef:
+        """Append one sealed blob to the active segment -> its ref."""
+        self._check_alive()
+        seg = self._segments[self._active_id]
+        if seg.size >= self.segment_bytes:
+            seg = self._roll_segment(seg)
+        mb = metric.encode("utf-8")
+        cb = comp.encode("utf-8")
+        body = mb + cb + blob
+        w = self._writer(seg)
+        w.write(_SEG_HDR.pack(_SEG_MAGIC, len(mb), len(cb), len(blob),
+                              zlib.crc32(body)) + body)
+        off = seg.size + _SEG_HDR.size + len(mb) + len(cb)
+        seg.size = off + len(blob)
+        self._unsynced += seg.size - off + _SEG_HDR.size + len(mb) + len(cb)
+        if self._unsynced >= self.sync_every_bytes:
+            # WAL-bypassing ingest (chunk-aligned batches) must still
+            # honor the fsync cadence, not just WAL-logged appends
+            self.sync()
+        return ChunkRef(seg.seg_id, off, len(blob))
+
+    def _roll_segment(self, seg: _Segment) -> _Segment:
+        if seg.writer is not None:
+            seg.writer.flush()
+            os.fsync(seg.writer.fileno())
+            seg.synced = seg.size
+            self._handles.release(seg.writer)
+            seg.writer = None
+        nid = seg.seg_id + 1
+        new = self._segments[nid] = _Segment(nid, self._seg_path(nid))
+        self._active_id = nid
+        return new
+
+    def on_seal(self, series: "_Series", blob: bytes, cid: int) -> ChunkRef:
+        """Seal hook: persist the blob, track it in the hot LRU."""
+        ref = self.append_blob(series.key.metric, series.key.component, blob)
+        self._hot[cid] = series
+        self.hot_bytes_used += len(blob)
+        return ref
+
+    def enforce_budget(self) -> int:
+        """Spill coldest resident blobs until the hot tier fits."""
+        n = 0
+        while self.hot_bytes_used > self.hot_bytes and self._hot:
+            cid, series = self._hot.popitem(last=False)
+            idx = series.chunk_ids.index(cid)
+            series.chunks[idx] = None
+            self.hot_bytes_used -= series.chunk_refs[idx].length
+            self._spills += 1
+            n += 1
+        return n
+
+    def demote(self, series: "_Series", idx: int) -> bool:
+        """Spill one specific resident chunk (the eviction-as-demotion
+        path); returns False if it was already ref-only."""
+        if series.chunks[idx] is None:
+            return False
+        cid = series.chunk_ids[idx]
+        self._hot.pop(cid, None)
+        series.chunks[idx] = None
+        self.hot_bytes_used -= series.chunk_refs[idx].length
+        self._spills += 1
+        return True
+
+    def touch(self, cid: int) -> None:
+        if cid in self._hot:
+            self._hot.move_to_end(cid)
+
+    def forget(self, series: "_Series") -> None:
+        """Drop a series' resident chunks from the LRU (drop_series)."""
+        for cid, blob, ref in zip(series.chunk_ids, series.chunks,
+                                  series.chunk_refs):
+            if blob is not None and self._hot.pop(cid, None) is not None:
+                self.hot_bytes_used -= ref.length if ref else len(blob)
+
+    # -- read path ----------------------------------------------------------
+
+    def load(self, ref: ChunkRef) -> memoryview:
+        """Zero-copy view of a spilled blob from the segment mapping.
+
+        The vectorized codec decodes directly from this view
+        (``np.frombuffer``/``struct.unpack_from`` accept any buffer);
+        decompressed arrays never alias the mapping, so remaps are safe
+        once the decode returns.
+        """
+        self._check_alive()
+        seg = self._segments[ref.segment]
+        end = ref.offset + ref.length
+        self._loads += 1
+        if seg.map is None or seg.mapped < end:
+            self._remap(seg)
+        else:
+            self._map_hits += 1
+        return memoryview(seg.map)[ref.offset:end]
+
+    def _remap(self, seg: _Segment) -> None:
+        if seg.writer is not None:
+            seg.writer.flush()        # make buffered appends visible
+        if seg.reader is None:
+            seg.reader = self._handles.adopt(
+                open(seg.path, "rb")  # handle-owner: DiskTier._handles
+            )
+        if seg.map is not None:
+            self._handles.release(seg.map)
+        size = os.fstat(seg.reader.fileno()).st_size
+        seg.map = self._handles.adopt(
+            mmap.mmap(seg.reader.fileno(), size,  # handle-owner: DiskTier._handles
+                      access=mmap.ACCESS_READ)
+        )
+        seg.mapped = size
+        self._remaps += 1
+
+    # -- durability ---------------------------------------------------------
+
+    def sync(self) -> None:
+        """Fsync-batch point: everything written so far becomes durable."""
+        self._check_alive()
+        for seg in self._segments.values():
+            if seg.writer is not None and seg.size > seg.synced:
+                seg.writer.flush()
+                os.fsync(seg.writer.fileno())
+                seg.synced = seg.size
+        wal = self._wal
+        if wal.size > wal.synced:
+            wal.writer.flush()
+            os.fsync(wal.writer.fileno())
+            wal.synced = wal.size
+            wal.syncs += 1
+        self._unsynced = 0
+
+    def simulate_crash(self) -> None:
+        """Power-loss model: drop all process state, truncate every file
+        to its last-synced extent.
+
+        A plain SIGKILL would leave the OS page cache intact (buffered
+        but un-fsynced bytes still land on disk), which under-tests
+        recovery; truncating to the synced marks is the *pessimistic*
+        power-loss outcome the WAL contract is written against.
+        """
+        marks = [(seg.path, seg.synced) for seg in self._segments.values()]
+        marks.append((self._wal.path, self._wal.synced))
+        self._dead = True
+        self._handles.close_all()
+        for path, n in marks:
+            if path.exists():
+                with open(path, "r+b") as f:
+                    f.truncate(n)
+
+    def close(self) -> None:
+        if not self._dead:
+            self.sync()
+        self._dead = True
+        self._handles.close_all()
+
+    # -- snapshot -----------------------------------------------------------
+
+    def snapshot(self, store: "TimeSeriesStore") -> Path:
+        """Write a manifest of the store's full state; rotate the WAL.
+
+        The manifest carries per-series chunk refs/spans/summaries/
+        hints, head samples, and serialized pyramid partials — restore
+        rebuilds pyramids from the partials without decompressing any
+        chunk.  Covered segment extents bound the recovery scan, and
+        WAL generations older than the manifest are deleted once the
+        manifest is durably in place (write-tmp, fsync, rename).
+        """
+        self._check_alive()
+        self.sync()
+        series_state = {}
+        for key, s in store._series.items():
+            series_state[(key.metric, key.component)] = {
+                "refs": [(r.segment, r.offset, r.length)
+                         for r in s.chunk_refs],
+                "spans": list(s.chunk_spans),
+                "summaries": list(s.summaries),
+                "hints": list(s.chunk_hints),
+                "n_sealed": s.n_sealed_samples,
+                "sealed_bytes": s.sealed_bytes,
+                "head_t": list(s.head_t),
+                "head_v": list(s.head_v),
+                "pyramid": (s.pyramid.export_state()
+                            if s.pyramid is not None else None),
+            }
+        old_wal = self._wal
+        self._handles.release(old_wal.writer)
+        new_wal = self._new_wal(old_wal.gen + 1)
+        new_wal.syncs = old_wal.syncs
+        new_wal.records = old_wal.records
+        self._wal = new_wal
+        manifest = {
+            "version": 1,
+            "chunk_size": store.chunk_size,
+            "pyramid_levels": store.pyramid_levels,
+            "segments": {sid: seg.synced
+                         for sid, seg in self._segments.items()},
+            "wal_gen": new_wal.gen,
+            "series": series_state,
+        }
+        tmp = self.root / (_MANIFEST + ".tmp")
+        with open(tmp, "wb") as f:
+            pickle.dump(manifest, f, protocol=pickle.HIGHEST_PROTOCOL)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, self.root / _MANIFEST)
+        try:
+            dfd = os.open(self.root, os.O_RDONLY)
+            try:
+                os.fsync(dfd)
+            finally:
+                os.close(dfd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        for gen_path in self.root.glob("wal-*.log"):
+            if int(gen_path.stem.split("-")[1]) < new_wal.gen:
+                gen_path.unlink(missing_ok=True)
+        return self.root / _MANIFEST
+
+    # -- stats --------------------------------------------------------------
+
+    def stats(self) -> DiskTierStats:
+        seg_bytes = sum(seg.size for seg in self._segments.values())
+        return DiskTierStats(
+            segments=len(self._segments),
+            disk_bytes=seg_bytes + self._wal.size,
+            wal_bytes=self._wal.size,
+            hot_bytes=self.hot_bytes_used,
+            hot_chunks=len(self._hot),
+            spills=self._spills,
+            loads=self._loads,
+            map_hits=self._map_hits,
+            remaps=self._remaps,
+            wal_records=self._wal.records,
+            wal_syncs=self._wal.syncs,
+        )
+
+
+# --------------------------------------------------------------------------
+# recovery
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class RecoveryReport:
+    """What a recovery found and rebuilt (per store; shards summed)."""
+
+    series: int
+    points: int                  # total points in the recovered store
+    manifest_chunks: int         # sealed chunks restored from the manifest
+    scanned_chunks: int          # post-manifest chunks found by segment scan
+    wal_points_replayed: int
+    wal_points_skipped: int      # already covered by sealed chunks
+    torn_segment_bytes: int
+    torn_wal_bytes: int
+
+    def merged(self, other: "RecoveryReport") -> "RecoveryReport":
+        return RecoveryReport(*(a + b for a, b in
+                                zip(self._astuple(), other._astuple())))
+
+    def _astuple(self) -> tuple:
+        return (self.series, self.points, self.manifest_chunks,
+                self.scanned_chunks, self.wal_points_replayed,
+                self.wal_points_skipped, self.torn_segment_bytes,
+                self.torn_wal_bytes)
+
+
+def _read_manifest(root: Path) -> dict | None:
+    path = root / _MANIFEST
+    if not path.exists():
+        return None
+    with open(path, "rb") as f:
+        return pickle.load(f)
+
+
+def _scan_segments_on_disk(
+    root: Path, covered: Mapping[int, int]
+) -> tuple[list[tuple[int, str, str, int, bytes]], int]:
+    """Records beyond each segment's manifest-covered extent.
+
+    Torn tails are truncated away on disk so the reopened tier appends
+    at a clean record boundary.  Returns
+    ``([(segment, metric, comp, blob_off, blob)], torn_bytes)``.
+    """
+    out: list[tuple[int, str, str, int, bytes]] = []
+    torn = 0
+    for path in sorted(root.glob("seg-*.dat")):
+        sid = int(path.stem.split("-")[1])
+        start = int(covered.get(sid, 0))
+        size = path.stat().st_size
+        if size <= start:
+            continue
+        with open(path, "rb") as f:
+            data = f.read()
+        recs, consumed = _scan_segment(data, start)
+        out.extend((sid, m, c, off, blob) for m, c, off, blob in recs)
+        if consumed < size:
+            torn += size - consumed
+            with open(path, "r+b") as f:
+                f.truncate(consumed)
+    return out, torn
+
+
+def _read_wal_records(root: Path, min_gen: int) -> tuple[list[bytes], int]:
+    payloads: list[bytes] = []
+    torn = 0
+    gens = sorted((int(p.stem.split("-")[1]), p)
+                  for p in root.glob("wal-*.log"))
+    for gen, path in gens:
+        if gen < min_gen:
+            continue
+        with open(path, "rb") as f:
+            data = f.read()
+        recs, consumed = _scan_wal(data)
+        payloads.extend(recs)
+        torn += len(data) - consumed
+    return payloads, torn
+
+
+def recover_store(
+    root: str | Path,
+    hot_bytes: int = 64 << 20,
+    segment_bytes: int = 64 << 20,
+    sync_every_bytes: int = 1 << 20,
+    cache: "ChunkCache | None" = None,
+    snapshot_after: bool = True,
+) -> tuple["TimeSeriesStore", RecoveryReport]:
+    """Rebuild a :class:`TimeSeriesStore` from its disk tier.
+
+    Three sources compose, deduplicated by per-series arrival counts:
+
+    1. the manifest (sealed-chunk index + heads + pyramid partials),
+    2. a scan of segment bytes past the manifest-covered extents
+       (chunks sealed after the last snapshot — one decompress each to
+       rebuild summaries/hints and fold pyramids),
+    3. WAL replay of batches not yet represented by sealed chunks.
+
+    Every restored sealed chunk starts *spilled* (ref-only), so the
+    recovered resident footprint is bounded regardless of history
+    size.  With ``snapshot_after`` (default) the recovery ends by
+    writing a fresh manifest, so repeated crashes never replay more
+    than one campaign's tail.
+    """
+    from .rollup import SeriesPyramid
+    from .tsdb import (TimeSeriesStore, _chunk_ids, _summarize,
+                       _xor_token_lens, decompress_chunk)
+
+    root = Path(root)
+    manifest = _read_manifest(root)
+    covered = manifest["segments"] if manifest else {}
+    min_gen = manifest["wal_gen"] if manifest else 0
+    scanned, torn_seg = _scan_segments_on_disk(root, covered)
+    wal_payloads, torn_wal = _read_wal_records(root, min_gen)
+
+    tier = DiskTier(root, hot_bytes=hot_bytes, segment_bytes=segment_bytes,
+                    sync_every_bytes=sync_every_bytes)
+    chunk_size = manifest["chunk_size"] if manifest else 512
+    pyramid_levels = manifest["pyramid_levels"] if manifest else None
+    store = TimeSeriesStore(chunk_size=chunk_size, cache=cache,
+                            pyramid_levels=pyramid_levels, disk=tier)
+
+    manifest_chunks = 0
+    manifest_heads: dict[MetricKey, tuple[list, list]] = {}
+    base_sealed: dict[MetricKey, int] = {}
+    if manifest:
+        for (metric, comp), st in manifest["series"].items():
+            key = MetricKey(metric, comp)
+            s = store._new_series(key)
+            s.chunk_refs = [ChunkRef(*r) for r in st["refs"]]
+            s.chunks = [None] * len(s.chunk_refs)
+            s.chunk_spans = list(st["spans"])
+            s.summaries = list(st["summaries"])
+            s.chunk_hints = list(st["hints"])
+            s.chunk_ids = [next(_chunk_ids) for _ in s.chunk_refs]
+            s.n_sealed_samples = int(st["n_sealed"])
+            s.sealed_bytes = int(st["sealed_bytes"])
+            if st["pyramid"] is not None and s.pyramid is not None:
+                s.pyramid = SeriesPyramid.from_state(st["pyramid"])
+            manifest_chunks += len(s.chunk_refs)
+            manifest_heads[key] = (list(st["head_t"]), list(st["head_v"]))
+            base_sealed[key] = s.n_sealed_samples
+            store._samples += s.n_sealed_samples
+            store._sealed_samples += s.n_sealed_samples
+            store._sealed_chunks += len(s.chunk_refs)
+            store._sealed_bytes += s.sealed_bytes
+
+    # 2) chunks sealed after the snapshot: one decompress each rebuilds
+    # span/summary/hint and folds the pyramid; the blob stays on disk.
+    scanned_chunks = 0
+    for sid, metric, comp, boff, blob in scanned:
+        ct, cv = decompress_chunk(blob)
+        if not len(ct):
+            continue
+        key = MetricKey(metric, comp)
+        s = store._series.get(key) or store._new_series(key)
+        s.chunks.append(None)
+        s.chunk_refs.append(ChunkRef(sid, boff, len(blob)))
+        s.chunk_spans.append((float(ct[0]), float(ct[-1])))
+        s.chunk_ids.append(next(_chunk_ids))
+        s.summaries.append(_summarize(ct, cv))
+        s.chunk_hints.append(_xor_token_lens(cv))
+        if s.pyramid is not None:
+            s.pyramid.add_sealed(ct, cv, s.n_sealed_samples)
+        s.n_sealed_samples += len(ct)
+        s.sealed_bytes += len(blob)
+        store._samples += len(ct)
+        store._sealed_samples += len(ct)
+        store._sealed_chunks += 1
+        store._sealed_bytes += len(blob)
+        scanned_chunks += 1
+
+    # 3) dedup bookkeeping: a series' arrival stream was
+    # [manifest-sealed | manifest-head | wal records]; sealed chunks
+    # recovered above cover a prefix, so drop exactly that prefix from
+    # the head and the WAL replay.
+    wal_skip: dict[MetricKey, int] = {}
+    for key, s in store._series.items():
+        head_t, head_v = manifest_heads.get(key, ([], []))
+        drop = s.n_sealed_samples - base_sealed.get(key, 0)
+        if drop > 0:
+            wal_skip[key] = max(0, drop - len(head_t))
+            head_t, head_v = head_t[drop:], head_v[drop:]
+        s.head_t, s.head_v = head_t, head_v
+        store._samples += len(head_t)
+
+    replayed = skipped = 0
+    for payload in wal_payloads:
+        metric, comps, times, values = _decode_wal_batch(payload)
+        if not comps:
+            continue
+        if wal_skip:
+            keep = np.ones(len(comps), dtype=bool)
+            for i, c in enumerate(comps):
+                key = MetricKey(metric, c)
+                left = wal_skip.get(key, 0)
+                if left:
+                    keep[i] = False
+                    wal_skip[key] = left - 1
+                    if left == 1:
+                        del wal_skip[key]
+            skipped += int((~keep).sum())
+            if not keep.all():
+                comps = [c for c, k in zip(comps, keep.tolist()) if k]
+                times, values = times[keep], values[keep]
+            if not comps:
+                continue
+        replayed += len(comps)
+        store.append(SeriesBatch(
+            metric, np.asarray(comps, dtype=object), times, values,
+        ))
+
+    report = RecoveryReport(
+        series=len(store._series),
+        points=store._samples,
+        manifest_chunks=manifest_chunks,
+        scanned_chunks=scanned_chunks,
+        wal_points_replayed=replayed,
+        wal_points_skipped=skipped,
+        torn_segment_bytes=torn_seg,
+        torn_wal_bytes=torn_wal,
+    )
+    if snapshot_after:
+        store.snapshot()
+    return store, report
+
+
+def recover_sharded(
+    root: str | Path,
+    shards: int,
+    hot_bytes: int = 64 << 20,
+    segment_bytes: int = 64 << 20,
+    sync_every_bytes: int = 1 << 20,
+    redo_points: int = 100_000,
+    snapshot_after: bool = True,
+):
+    """Rebuild a :class:`ShardedTimeSeriesStore` from per-shard tiers.
+
+    ``root`` must hold the ``shard-N`` subdirectories a disk-enabled
+    sharded store writes; shard count and routing must match the
+    original, or series land on the wrong shard.
+    """
+    from .sharded import ShardedTimeSeriesStore
+
+    root = Path(root)
+    sh = ShardedTimeSeriesStore(shards=shards, redo_points=redo_points)
+    report = RecoveryReport(0, 0, 0, 0, 0, 0, 0, 0)
+    rebuilt = []
+    for i in range(shards):
+        store, rep = recover_store(
+            root / f"shard-{i}", hot_bytes=hot_bytes,
+            segment_bytes=segment_bytes, sync_every_bytes=sync_every_bytes,
+            cache=sh.cache, snapshot_after=snapshot_after,
+        )
+        rebuilt.append(store)
+        report = report.merged(rep)
+    sh.shards = rebuilt
+    sh.disk_dir = str(root)
+    sh.pyramid_levels = rebuilt[0].pyramid_levels
+    return sh, report

@@ -216,6 +216,29 @@ class SeriesPyramid:
     def rows(self, level: float) -> int:
         return len(self.level_columns(level)[0])
 
+    def export_state(self) -> dict:
+        """Snapshot-serializable state (the disk-tier manifest payload).
+
+        Pieces are merged per level first, so the manifest carries one
+        consolidated bucket-sorted piece per level instead of one per
+        seal — and restore never refolds from a chunk decompress.
+        """
+        return {
+            "levels": self.levels,
+            "samples_folded": self.samples_folded,
+            "pieces": {lv: self.level_columns(lv) for lv in self.levels},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SeriesPyramid":
+        """Inverse of :meth:`export_state`."""
+        p = cls(state["levels"])
+        p.samples_folded = int(state["samples_folded"])
+        for lv, cols in state["pieces"].items():
+            if len(cols[0]):
+                p._pieces[float(lv)].append(tuple(cols))
+        return p
+
 
 def _merge_pieces(
     pieces: Sequence[tuple[np.ndarray, ...]],

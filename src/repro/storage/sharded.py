@@ -55,15 +55,35 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
     def __init__(self, shards: int = 4, chunk_size: int = 512,
                  cache: ChunkCache | None = None,
                  redo_points: int = 100_000,
-                 pyramid_levels: "tuple[float, ...] | None" = None) -> None:
+                 pyramid_levels: "tuple[float, ...] | None" = None,
+                 disk_dir: "str | None" = None,
+                 hot_bytes: int = 64 << 20,
+                 segment_bytes: int = 64 << 20,
+                 sync_every_bytes: int = 1 << 20) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self.n_shards = int(shards)
         self.cache = cache if cache is not None else ChunkCache()
+        if disk_dir is not None:
+            # one tier per shard under a common root: per-shard segment
+            # files and WALs, so shard-parallel ingest never shares a
+            # file handle; the hot budget is per shard
+            from pathlib import Path
+
+            from .diskier import DiskTier
+            tiers = [
+                DiskTier(Path(disk_dir) / f"shard-{i}", hot_bytes=hot_bytes,
+                         segment_bytes=segment_bytes,
+                         sync_every_bytes=sync_every_bytes)
+                for i in range(self.n_shards)
+            ]
+        else:
+            tiers = [None] * self.n_shards
+        self.disk_dir = disk_dir
         self.shards = [
             TimeSeriesStore(chunk_size=chunk_size, cache=self.cache,
-                            pyramid_levels=pyramid_levels)
-            for _ in range(self.n_shards)
+                            pyramid_levels=pyramid_levels, disk=tiers[i])
+            for i in range(self.n_shards)
         ]
         self.pyramid_levels = self.shards[0].pyramid_levels
         # store-wide epoch component: health flips change what reads
@@ -392,6 +412,27 @@ class ShardedTimeSeriesStore(SeriesQueryMixin):
     def cache_stats(self) -> ChunkCacheStats:
         """Counters of the shared decompressed-chunk cache."""
         return self.cache.stats()
+
+    # hooks used by the out-of-core disk tier -----------------------------------
+
+    def disk_stats(self):
+        """Merged per-shard disk-tier counters, or None when in-memory."""
+        from .diskier import merge_disk_stats
+        per = [s.disk_stats() for s in self.shards]
+        per = [p for p in per if p is not None]
+        return merge_disk_stats(per) if per else None
+
+    def snapshot(self) -> list:
+        """Snapshot every disk-backed shard (per-shard manifests)."""
+        return [s.snapshot() for s in self.shards if s.disk is not None]
+
+    def points_by_metric(self) -> dict[str, int]:
+        """Per-metric stored point counts merged across shards."""
+        out: dict[str, int] = {}
+        for s in self.shards:
+            for metric, n in s.points_by_metric().items():
+                out[metric] = out.get(metric, 0) + n
+        return out
 
     # hooks used by the hierarchical tier manager -------------------------------
 

@@ -27,6 +27,14 @@ that comparison turns on:
 
 Chunks are transparently decompressed on query; the open (mutable) head
 chunk is queried in place.
+
+With a :class:`~repro.storage.diskier.DiskTier` attached (``disk=``),
+sealed blobs are additionally persisted to append-only segment files
+and the resident set is bounded by the tier's ``hot_bytes`` budget:
+cold blobs are spilled to ``(segment, offset, len)`` refs and read back
+zero-copy through ``mmap`` (``_Series.chunk_blob`` is the one accessor
+every read path goes through).  Appends are WAL-logged first, so heads
+survive a crash; see ``storage/diskier.py`` for recovery.
 """
 
 from __future__ import annotations
@@ -508,18 +516,26 @@ class _Series:
     """One (metric, component) series: sealed chunks + open head.
 
     Parallel to ``chunks``: ``chunk_spans`` (rounded-ms time span),
-    ``chunk_ids`` (cache keys), ``summaries`` (seal-time aggregates) and
-    ``chunk_hints`` (XOR block index for fast decode, or None).
+    ``chunk_ids`` (cache keys), ``summaries`` (seal-time aggregates),
+    ``chunk_hints`` (XOR block index for fast decode, or None) and
+    ``chunk_refs`` (disk-tier location, or None without a tier).  A
+    spilled chunk has ``chunks[i] is None`` and is read back through
+    :meth:`chunk_blob` — the single accessor every query path uses.
     """
 
     __slots__ = ("chunks", "chunk_spans", "chunk_ids", "summaries",
-                 "chunk_hints", "head_t", "head_v", "n_sealed_samples",
-                 "sealed_bytes", "pyramid")
+                 "chunk_hints", "chunk_refs", "head_t", "head_v",
+                 "n_sealed_samples", "sealed_bytes", "pyramid", "tier",
+                 "key")
 
     def __init__(
-        self, pyramid_levels: Sequence[float] | None = None
+        self, pyramid_levels: Sequence[float] | None = None,
+        tier=None, key: MetricKey | None = None,
     ) -> None:
-        self.chunks: list[bytes] = []
+        self.tier = tier            # DiskTier (duck-typed) or None
+        self.key = key              # needed for segment records
+        self.chunk_refs: list = []
+        self.chunks: list[bytes | None] = []
         self.chunk_spans: list[tuple[float, float]] = []  # (t_min, t_max)
         self.chunk_ids: list[int] = []
         self.summaries: list[ChunkSummary] = []
@@ -574,11 +590,17 @@ class _Series:
         # span + summary use the codec's ms rounding, so they describe
         # exactly what the chunk decompresses back to
         t_r = np.round(t * 1000.0).astype(np.int64).astype(np.float64) / 1000.0
+        cid = next(_chunk_ids)
         self.chunks.append(blob)
         self.chunk_spans.append((float(t_r[0]), float(t_r[-1])))
-        self.chunk_ids.append(next(_chunk_ids))
+        self.chunk_ids.append(cid)
         self.summaries.append(_summarize(t_r, v))
         self.chunk_hints.append(_xor_token_lens(v))
+        if self.tier is not None:
+            # persist the immutable blob now; spill to budget afterwards
+            self.chunk_refs.append(self.tier.on_seal(self, blob, cid))
+        else:
+            self.chunk_refs.append(None)
         if self.pyramid is not None:
             # fold the exact arrays the chunk decompresses back to, with
             # seq numbers continuing the chunk-list stable sort order
@@ -587,7 +609,23 @@ class _Series:
         self.sealed_bytes += len(blob)
         self.head_t = []
         self.head_v = []
+        if self.tier is not None:
+            self.tier.enforce_budget()
         return len(t), len(blob)
+
+    def chunk_blob(self, i: int):
+        """Sealed blob ``i``, resident or mapped from the disk tier.
+
+        Returns ``bytes`` for hot chunks (touching the tier LRU) or a
+        zero-copy ``memoryview`` over the segment mmap for spilled ones
+        — :func:`decompress_chunk` accepts either.
+        """
+        blob = self.chunks[i]
+        if blob is not None:
+            if self.tier is not None:
+                self.tier.touch(self.chunk_ids[i])
+            return blob
+        return self.tier.load(self.chunk_refs[i])
 
     def read(
         self, t0: float, t1: float, cache: ChunkCache | None = None
@@ -599,7 +637,7 @@ class _Series:
             if hi < t0 or lo >= t1:
                 continue
             ct, cv = _cached_decompress(cache, self.chunk_ids[i],
-                                        self.chunks[i],
+                                        self.chunk_blob(i),
                                         self.chunk_hints[i])
             mask = (ct >= t0) & (ct < t1)
             ts.append(ct[mask])
@@ -623,8 +661,9 @@ class _Series:
             return
         self.pyramid = SeriesPyramid(self.pyramid.levels)
         seq_base = 0
-        for i, blob in enumerate(self.chunks):
-            ct, cv = _cached_decompress(cache, self.chunk_ids[i], blob,
+        for i in range(len(self.chunks)):
+            ct, cv = _cached_decompress(cache, self.chunk_ids[i],
+                                        self.chunk_blob(i),
                                         self.chunk_hints[i])
             self.pyramid.add_sealed(ct, cv, seq_base)
             seq_base += len(ct)
@@ -798,7 +837,7 @@ class SeriesQueryMixin:
                 ))
             else:
                 ct, cv = _cached_decompress(cache, series.chunk_ids[i],
-                                            series.chunks[i],
+                                            series.chunk_blob(i),
                                             series.chunk_hints[i])
                 mask = (ct >= t0) & (ct < t1)
                 if mask.any():
@@ -872,10 +911,15 @@ class TimeSeriesStore(SeriesQueryMixin):
 
     def __init__(self, chunk_size: int = 512,
                  cache: ChunkCache | None = None,
-                 pyramid_levels: Sequence[float] | None = None) -> None:
+                 pyramid_levels: Sequence[float] | None = None,
+                 disk=None) -> None:
         if chunk_size < 2:
             raise ValueError("chunk_size must be >= 2")
         self.chunk_size = int(chunk_size)
+        # optional out-of-core tier (repro.storage.diskier.DiskTier,
+        # duck-typed): sealed blobs persist to segments, appends are
+        # WAL-logged, and the resident set is budget-bounded
+        self.disk = disk
         # the decompressed-chunk cache may be shared (the sharded store
         # passes one instance to every shard for a global memory bound)
         self.cache = cache if cache is not None else ChunkCache()
@@ -903,6 +947,17 @@ class TimeSeriesStore(SeriesQueryMixin):
             self._sealed_chunks += 1
             self._sealed_bytes += sealed[1]
 
+    def _new_series(self, key: MetricKey) -> _Series:
+        s = self._series[key] = _Series(self.pyramid_levels,
+                                        tier=self.disk, key=key)
+        return s
+
+    def _head_is_empty(self, metric: str, comp) -> bool:
+        """True when the series has no open head — a chunk-aligned
+        single-series batch then seals whole and needs no WAL record."""
+        s = self._series.get(MetricKey(metric, str(comp)))
+        return s is None or not s.head_t
+
     # -- ingest ---------------------------------------------------------------
 
     def append(self, batch: SeriesBatch) -> int:
@@ -916,6 +971,19 @@ class TimeSeriesStore(SeriesQueryMixin):
         if n == 0:
             return 0
         self._epochs[batch.metric] = self._epochs.get(batch.metric, 0) + 1
+        comps = batch.components.tolist()
+        n_uniq = len(set(comps))
+        if self.disk is not None and not (
+            n_uniq == 1 and n % self.chunk_size == 0
+            and self._head_is_empty(batch.metric, comps[0])
+        ):
+            # WAL before any head mutation: unsealed points survive a
+            # crash up to the last fsync batch.  Chunk-aligned
+            # single-series batches skip the WAL: every point seals into
+            # a segment record in this same call, and segments ride the
+            # same fsync batch, so logging them first would just double
+            # the write volume (the bulk-load shape).
+            self.disk.wal_append(batch)
         tr = batch.trace
         if self.clock is not None and tr is not None:
             # inlined TraceContext.stamp(HOP_INGEST, ...) — per-batch
@@ -933,8 +1001,7 @@ class TimeSeriesStore(SeriesQueryMixin):
             else:
                 tr.truncated += 1
         cs = self.chunk_size
-        comps = batch.components.tolist()
-        if len(set(comps)) == n:
+        if n_uniq == n:
             # sweep shape (every row its own series): grouping would
             # produce n single-sample slices, so append scalars instead
             get = self._series.get
@@ -944,7 +1011,7 @@ class TimeSeriesStore(SeriesQueryMixin):
                 key = MetricKey(batch.metric, str(c))
                 series = get(key)
                 if series is None:
-                    series = self._series[key] = _Series(self.pyramid_levels)
+                    series = self._new_series(key)
                 series.head_t.append(t)
                 series.head_v.append(v)
                 if len(series.head_t) >= cs:
@@ -965,7 +1032,7 @@ class TimeSeriesStore(SeriesQueryMixin):
             key = MetricKey(batch.metric, str(uniq[g]))
             series = self._series.get(key)
             if series is None:
-                series = self._series[key] = _Series(self.pyramid_levels)
+                series = self._new_series(key)
             c, smp, byt = series.append_array(
                 st[bounds[g] : bounds[g + 1]],
                 sv[bounds[g] : bounds[g + 1]], cs,
@@ -986,6 +1053,8 @@ class TimeSeriesStore(SeriesQueryMixin):
         """Seal every open head chunk (checkpoint before archiving)."""
         for s in self._series.values():
             self._note_seal(s.seal())
+        if self.disk is not None:
+            self.disk.sync()
 
     # -- query ---------------------------------------------------------------
 
@@ -1036,6 +1105,8 @@ class TimeSeriesStore(SeriesQueryMixin):
         if s is None:
             return False
         self._epochs[metric] = self._epochs.get(metric, 0) + 1
+        if self.disk is not None:
+            self.disk.forget(s)
         self.cache.invalidate(s.chunk_ids)
         self._samples -= s.n_samples
         self._sealed_samples -= s.n_sealed_samples
@@ -1063,26 +1134,46 @@ class TimeSeriesStore(SeriesQueryMixin):
     # hooks used by the hierarchical tier manager -------------------------------
 
     def export_series(self, key: MetricKey) -> tuple[list[bytes], list[tuple[float, float]]]:
-        """Sealed chunks + spans for archiving (head is sealed first)."""
+        """Sealed chunks + spans for archiving (head is sealed first).
+
+        Blobs are materialized as ``bytes`` (spilled chunks are copied
+        out of the mmap) so the archive owns its data outright.
+        """
         s = self._series[key]
         self._note_seal(s.seal())
-        return list(s.chunks), list(s.chunk_spans)
+        return ([bytes(s.chunk_blob(i)) for i in range(len(s.chunks))],
+                list(s.chunk_spans))
 
     def evict_chunks_before(self, key: MetricKey, t_cut: float) -> int:
-        """Drop sealed chunks wholly before ``t_cut``; returns count evicted.
+        """Evict sealed chunks wholly before ``t_cut``.
 
-        Summaries, chunk ids, and cache entries stay consistent: the
-        parallel lists are pruned together and evicted ids are
-        invalidated from the shared cache.
+        Without a disk tier this *discards* them (the original
+        behaviour: parallel lists pruned together, cache entries
+        invalidated, counters and pyramid rebuilt, epoch bumped) and
+        returns the count dropped.  With a disk tier attached eviction
+        becomes a *demotion*: qualifying chunks spill to their on-disk
+        refs instead of being lost, queries still answer exactly, no
+        counter or epoch changes, and the return value is the number of
+        chunks newly demoted by this call.
         """
         s = self._series.get(key)
         if s is None:
             return 0
+        if self.disk is not None:
+            demoted_ids = []
+            for i, span in enumerate(s.chunk_spans):
+                if span[1] < t_cut and self.disk.demote(s, i):
+                    demoted_ids.append(s.chunk_ids[i])
+            if demoted_ids:
+                # release the decompressed copies too — demotion exists
+                # to shrink the resident set
+                self.cache.invalidate(demoted_ids)
+            return len(demoted_ids)
         keep: list[tuple] = []
         gone_ids = []
         for row in zip(s.chunks, s.chunk_spans, s.chunk_ids,
-                       s.summaries, s.chunk_hints):
-            blob, span, cid, summ, _ = row
+                       s.summaries, s.chunk_hints, s.chunk_refs):
+            blob, span, cid, summ, _, _ = row
             if span[1] < t_cut:
                 gone_ids.append(cid)
                 s.n_sealed_samples -= summ.count
@@ -1098,6 +1189,7 @@ class TimeSeriesStore(SeriesQueryMixin):
         s.chunk_ids = [r[2] for r in keep]
         s.summaries = [r[3] for r in keep]
         s.chunk_hints = [r[4] for r in keep]
+        s.chunk_refs = [r[5] for r in keep]
         if gone_ids:
             self.cache.invalidate(gone_ids)
             self._epochs[key.metric] = self._epochs.get(key.metric, 0) + 1
@@ -1118,7 +1210,7 @@ class TimeSeriesStore(SeriesQueryMixin):
         """
         s = self._series.get(key)
         if s is None:
-            s = self._series[key] = _Series(self.pyramid_levels)
+            s = self._new_series(key)
         incoming = []
         n_in = b_in = 0
         for blob, span in zip(chunks, spans):
@@ -1127,12 +1219,15 @@ class TimeSeriesStore(SeriesQueryMixin):
                 0, span[0], span[1], np.nan, np.nan, 0.0, np.nan, np.nan
             )
             hint = _xor_token_lens(cv) if len(cv) else None
-            incoming.append((blob, span, next(_chunk_ids), summ, hint))
+            cid = next(_chunk_ids)
+            ref = (self.disk.on_seal(s, blob, cid)
+                   if self.disk is not None else None)
+            incoming.append((blob, span, cid, summ, hint, ref))
             n_in += summ.count
             b_in += len(blob)
         merged = sorted(
             incoming + list(zip(s.chunks, s.chunk_spans, s.chunk_ids,
-                                s.summaries, s.chunk_hints)),
+                                s.summaries, s.chunk_hints, s.chunk_refs)),
             key=lambda row: row[1][0],
         )
         s.chunks = [r[0] for r in merged]
@@ -1140,6 +1235,7 @@ class TimeSeriesStore(SeriesQueryMixin):
         s.chunk_ids = [r[2] for r in merged]
         s.summaries = [r[3] for r in merged]
         s.chunk_hints = [r[4] for r in merged]
+        s.chunk_refs = [r[5] for r in merged]
         s.n_sealed_samples += n_in
         s.sealed_bytes += b_in
         self._epochs[key.metric] = self._epochs.get(key.metric, 0) + 1
@@ -1150,3 +1246,26 @@ class TimeSeriesStore(SeriesQueryMixin):
         self._sealed_samples += n_in
         self._sealed_chunks += len(chunks)
         self._sealed_bytes += b_in
+        if self.disk is not None:
+            self.disk.enforce_budget()
+
+    # hooks used by the out-of-core disk tier -----------------------------------
+
+    def disk_stats(self):
+        """Disk-tier counters, or None when running in-memory only."""
+        return self.disk.stats() if self.disk is not None else None
+
+    def snapshot(self):
+        """Write a disk-tier manifest (series index + pyramid partials
+        + heads) and rotate the WAL; returns the manifest path."""
+        if self.disk is None:
+            raise RuntimeError("snapshot() requires a disk tier")
+        return self.disk.snapshot(self)
+
+    def points_by_metric(self) -> dict[str, int]:
+        """Per-metric stored point counts — the durable truth the
+        ledger reconciles against after a crash recovery."""
+        out: dict[str, int] = {}
+        for key, s in self._series.items():
+            out[key.metric] = out.get(key.metric, 0) + s.n_samples
+        return out

@@ -365,3 +365,73 @@ class TestSharedStateGate:
 
         src = inspect.getsource(check_mod.lint)
         assert "check_shared_state" in src
+
+
+class TestFdLifetimeGate:
+    """File/mmap handles in the storage plane must have a clear owner."""
+
+    def test_storage_handles_are_owned(self):
+        problems = check_mod.check_fd_lifetime_storage()
+        assert not problems, "\n".join(problems)
+
+    def test_flags_bare_open(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("f = open('x')\n")
+        problems = check_mod.check_fd_lifetime(f)
+        assert len(problems) == 1
+        assert "open()" in problems[0]
+        assert "handle-owner" in problems[0]
+
+    def test_flags_bare_mmap(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text(
+            "import mmap\n"
+            "def remap(fd, n):\n"
+            "    return mmap.mmap(fd, n)\n"
+        )
+        problems = check_mod.check_fd_lifetime(f)
+        assert len(problems) == 1
+        assert "mmap.mmap()" in problems[0]
+
+    def test_with_block_passes(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text(
+            "import mmap\n"
+            "with open('x', 'rb') as fh:\n"
+            "    with mmap.mmap(fh.fileno(), 0) as m:\n"
+            "        data = m[:]\n"
+        )
+        assert check_mod.check_fd_lifetime(f) == []
+
+    def test_owner_marker_passes(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text(
+            "import mmap\n"
+            "class Seg:\n"
+            "    def __init__(self, path, fd):\n"
+            "        self.w = open(path, 'ab')  # handle-owner: Seg.close\n"
+            "        self.m = mmap.mmap(fd, 0)  # handle-owner: Seg.close\n"
+        )
+        assert check_mod.check_fd_lifetime(f) == []
+
+    def test_unrelated_calls_pass(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text(
+            "import os\n"
+            "fd = os.open('/dev/null', 0)\n"   # not the gated surface
+            "x = max(1, 2)\n"
+            "y = {}.get('mmap')\n"
+        )
+        assert check_mod.check_fd_lifetime(f) == []
+
+    def test_syntax_errors_left_to_the_syntax_check(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text("def broken(:\n")
+        assert check_mod.check_fd_lifetime(f) == []
+
+    def test_gate_is_wired_into_lint(self):
+        """The gate must actually run as part of ``scripts/check.py``."""
+        import inspect
+
+        src = inspect.getsource(check_mod.lint)
+        assert "check_fd_lifetime_storage" in src
