@@ -110,7 +110,14 @@ class JobState(str, enum.Enum):
 
 
 class Job:
-    """One batch job instance."""
+    """One batch job instance.
+
+    Generated jobs get their IDs from the owning
+    :class:`JobGenerator` (per-machine, so two simulated sites in one
+    process never interleave job identities); the class counter is only
+    the fallback for directly constructed jobs without an explicit
+    ``job_id``.
+    """
 
     _counter = itertools.count(1)
 
@@ -397,6 +404,11 @@ class JobGenerator:
             self._rng.exponential(self.mean_interarrival_s)
         )
         self.seed = seed
+        # job IDs are per-generator, not process-global: a second
+        # machine in the same process (federation) gets the same ID
+        # sequence a solo run would, keeping job identity — and the
+        # ID-derived per-job RNG streams — site-local and reproducible
+        self._ids = itertools.count(1)
 
     def poll(self, now: float) -> list[Job]:
         """Jobs submitted up to ``now`` since the last poll."""
@@ -412,6 +424,7 @@ class JobGenerator:
                     n_nodes,
                     submit_time=self._next_arrival,
                     seed=self.seed,
+                    job_id=next(self._ids),
                     user=f"user{int(self._rng.integers(0, 8))}",
                 )
             )

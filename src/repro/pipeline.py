@@ -56,7 +56,7 @@ from .sources.counters import (
 from .sources.environment import EnvironmentCollector
 from .sources.erd import DelugeTap, EventRouter
 from .sources.fsprobes import FsProbeCollector, OstCounterCollector
-from .sources.health import HealthGate, NodeHealthSuite
+from .sources.health import NodeHealthSuite
 from .sources.powermon import PowerCollector
 from .sources.queuestats import QueueStatsCollector
 from .sources.sedc import SedcCollector
@@ -70,10 +70,9 @@ from .stages import (
 from .storage.jobstore import JobIndex
 from .storage.logstore import LogStore
 from .storage.rollup import DEFAULT_LEVELS
-from .storage.sharded import ShardedTimeSeriesStore
 from .storage.sqlstore import SqlStore
 from .storage.tsdb import TimeSeriesStore
-from .transport.base import Transport, make_transport
+from .transport.base import Transport
 from .transport.bus import MessageBus
 from .viz.dashboard import Dashboard
 
@@ -104,8 +103,14 @@ class MonitoringPipeline:
         freshness_slos: Sequence[FreshnessSLO] | None = None,
         executor: "ExecutionModel | int | str | None" = None,
         serve_quotas: "dict[str, TenantQuota] | None" = None,
+        site: str = "",
     ) -> None:
         self.machine = machine
+        # federation identity: non-empty when this stack is one site of
+        # several in a process; namespaces the selfmon publisher and the
+        # merged supervisor/ledger views (per-site surfaces stay local,
+        # so a site federated with others reports identically to solo)
+        self.site = site
         self.registry = registry or default_registry()
         self.tick_s = float(tick_s)
 
@@ -232,7 +237,10 @@ class MonitoringPipeline:
 
         self.selfmon: SelfMonitor | None = None
         if selfmon_interval_s is not None:
-            self.selfmon = SelfMonitor(self, interval_s=selfmon_interval_s)
+            self.selfmon = SelfMonitor(
+                self, interval_s=selfmon_interval_s,
+                source=f"{site}/selfmon" if site else "selfmon",
+            )
             self.selfmon.verify_registered(self.registry)
 
     # -- transport alias ---------------------------------------------------------
@@ -518,38 +526,35 @@ def default_pipeline(
     subdirectories when combined with ``shards=``): sealed chunks
     persist to segment files, appends are WAL-logged, and resident
     sealed bytes stay under ``hot_bytes``.
+
+    This is a thin shim over the declarative site layer: the knobs
+    validate through :meth:`~repro.sites.config.SiteConfig.from_knobs`
+    (the one home of the mutual-exclusion rules) and the stack
+    assembles through :func:`~repro.sites.build.build_site` against a
+    one-site config.
     """
-    if transport is not None:
-        transport = make_transport(transport)
-    if store_dir is not None and tsdb is not None:
-        raise ValueError("pass either tsdb= or store_dir=, not both")
-    if shards is not None:
-        if tsdb is not None:
-            raise ValueError("pass either tsdb= or shards=, not both")
-        tsdb = ShardedTimeSeriesStore(shards=shards,
-                                      pyramid_levels=DEFAULT_LEVELS,
-                                      disk_dir=store_dir,
-                                      hot_bytes=hot_bytes)
-    elif store_dir is not None:
-        from .storage.diskier import DiskTier
-        tsdb = TimeSeriesStore(pyramid_levels=DEFAULT_LEVELS,
-                               disk=DiskTier(store_dir,
-                                             hot_bytes=hot_bytes))
-    if workers is not None:
-        if kw.get("executor") is not None:
-            raise ValueError("pass either workers= or executor=, not both")
-        kw["executor"] = workers
-    pipeline = MonitoringPipeline(
-        machine,
-        collectors=default_collectors(
-            machine, metric_interval_s=metric_interval_s, seed=seed
-        ),
+    from .sites.build import build_site
+    from .sites.config import SITE_FIELD_NAMES, SiteConfig
+
+    declarative, overrides = {}, {}
+    aliases = {"serve_quotas": "quotas", "site": "name"}
+    for key in list(kw):
+        name = aliases.get(key, key)
+        if name in SITE_FIELD_NAMES:
+            declarative[name] = kw.pop(key)
+    config, instance_overrides = SiteConfig.from_knobs(
+        metric_interval_s=metric_interval_s,
+        with_health_gate=with_health_gate,
+        seed=seed,
         transport=transport,
         tsdb=tsdb,
-        **kw,
+        shards=shards,
+        store_dir=store_dir,
+        workers=workers,
+        executor=kw.pop("executor", None),
+        hot_bytes=hot_bytes,
+        **declarative,
     )
-    if with_health_gate and machine.scheduler.health_gate is None:
-        gate = HealthGate(machine)
-        machine.scheduler.health_gate = gate.gate
-        pipeline.health_gate = gate
-    return pipeline
+    overrides.update(instance_overrides)
+    overrides.update(kw)      # pipeline-only plumbing: sec/registry/...
+    return build_site(config, machine=machine, overrides=overrides)

@@ -21,11 +21,14 @@ existing stores:
 """
 
 from .cache import QueryResultCache, ResultCacheStats
+from .federated import FederatedFrontend, FederatedStats
 from .frontend import QueryFrontend, ServeStats
 from .plan import QueryPlan
 from .quota import TenantGovernor, TenantQuota, TenantStats
 
 __all__ = [
+    "FederatedFrontend",
+    "FederatedStats",
     "QueryFrontend",
     "QueryPlan",
     "QueryResultCache",

@@ -98,7 +98,10 @@ class SqlStore:
     """sqlite3-backed relational store (in-memory by default)."""
 
     def __init__(self, path: str = ":memory:") -> None:
-        self._db = sqlite3.connect(path)
+        # a pipeline's tick may run on whichever worker thread the
+        # federation driver hands it; access is still serialized (one
+        # tick at a time per pipeline), so cross-thread use is safe
+        self._db = sqlite3.connect(path, check_same_thread=False)
         self._db.executescript(_SCHEMA)
 
     def close(self) -> None:

@@ -17,6 +17,7 @@ from .figures import (
 )
 from .render import ascii_chart, bar_row, from_csv, sparkline, to_csv
 from .series import condense, percent_of, resample, series_matrix
+from .sitematrix import capability_matrix
 from .topoview import (
     by_link_class,
     cabinet_rollup,
@@ -43,6 +44,7 @@ __all__ = [
     "from_csv",
     "sparkline",
     "to_csv",
+    "capability_matrix",
     "condense",
     "percent_of",
     "resample",

@@ -1,0 +1,202 @@
+"""The declarative site layer: validation, the single knob path, and
+the config round-trip contract.
+
+A :class:`~repro.sites.config.SiteConfig` is a whole deployment as
+data; building it (:func:`~repro.sites.build.build_site`) and then
+introspecting the live stack
+(:func:`~repro.sites.build.site_capabilities`) must reproduce the
+declared capability row *exactly* — that equality is what keeps the
+regenerated Table I machine-checkable instead of hand-maintained.
+"""
+
+import pytest
+
+from repro.pipeline import MonitoringPipeline, default_pipeline
+from repro.serve.quota import TenantQuota
+from repro.sites import (
+    PAPER_SITES,
+    SiteConfig,
+    build_machine,
+    build_site,
+    paper_site,
+    site_capabilities,
+)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        cfg = SiteConfig()
+        assert cfg.name == ""
+        assert cfg.expected_nodes() == 2 * 3 * 4 * 4
+
+    def test_qualified_name_syntax_is_reserved(self):
+        with pytest.raises(ValueError, match="may not contain"):
+            SiteConfig(name="a/b")
+        with pytest.raises(ValueError, match="may not contain"):
+            SiteConfig(name="two words")
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            SiteConfig(topology="hypercube")
+
+    def test_dragonfly_wiring_constraint(self):
+        with pytest.raises(ValueError, match="multiple of 3"):
+            SiteConfig(chassis_per_group=4)
+
+    def test_torus_dims(self):
+        with pytest.raises(ValueError, match="three counts"):
+            SiteConfig(topology="torus", torus_dims=(4, 4, 0))
+        cfg = SiteConfig(topology="torus", torus_dims=(3, 2, 2))
+        assert cfg.expected_nodes() == 3 * 2 * 2 * 2
+
+    def test_unknown_transport(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            SiteConfig(transport="carrier-pigeon")
+
+    def test_bad_counts(self):
+        with pytest.raises(ValueError, match="shards"):
+            SiteConfig(shards=0)
+        with pytest.raises(ValueError, match="workers"):
+            SiteConfig(workers=0)
+        with pytest.raises(ValueError, match="chunk_size"):
+            SiteConfig(chunk_size=1)
+        with pytest.raises(ValueError, match="pyramid_levels"):
+            SiteConfig(pyramid_levels=())
+
+    def test_bad_intervals(self):
+        with pytest.raises(ValueError, match="tick_s"):
+            SiteConfig(tick_s=0.0)
+        with pytest.raises(ValueError, match="selfmon_interval_s"):
+            SiteConfig(selfmon_interval_s=-1.0)
+        # None means "selfmon off", not an interval
+        assert SiteConfig(selfmon_interval_s=None).selfmon_interval_s is None
+
+    def test_gpu_nodes_shapes(self):
+        SiteConfig(gpu_nodes=None)
+        SiteConfig(gpu_nodes="all")
+        SiteConfig(gpu_nodes=("c0-0c0s0n0",))
+        with pytest.raises(ValueError, match="gpu_nodes"):
+            SiteConfig(gpu_nodes=42)
+
+
+class TestFromKnobs:
+    """The historically mutually-exclusive knobs, one validated path."""
+
+    def test_tsdb_vs_store_dir(self):
+        with pytest.raises(ValueError,
+                           match="pass either tsdb= or store_dir=, not both"):
+            SiteConfig.from_knobs(tsdb=object(), store_dir="/tmp/x")
+
+    def test_tsdb_vs_shards(self):
+        with pytest.raises(ValueError,
+                           match="pass either tsdb= or shards=, not both"):
+            SiteConfig.from_knobs(tsdb=object(), shards=4)
+
+    def test_workers_vs_executor(self):
+        with pytest.raises(ValueError,
+                           match="pass either workers= or executor=, not both"):
+            SiteConfig.from_knobs(workers=2, executor=4)
+
+    def test_int_executor_aliases_workers(self):
+        cfg, overrides = SiteConfig.from_knobs(executor=3)
+        assert cfg.workers == 3
+        assert overrides == {}
+
+    def test_instances_become_overrides(self):
+        store, ex = object(), object()
+        cfg, overrides = SiteConfig.from_knobs(tsdb=store, executor=ex)
+        assert overrides == {"tsdb": store, "executor": ex}
+        assert cfg.shards is None and cfg.workers is None
+
+    def test_string_transport_is_declarative(self):
+        cfg, overrides = SiteConfig.from_knobs(transport="tree")
+        assert cfg.transport == "tree"
+        assert overrides == {}
+
+    def test_instance_transport_is_an_override(self):
+        from repro.transport import MessageBus
+
+        bus = MessageBus()
+        cfg, overrides = SiteConfig.from_knobs(transport=bus)
+        assert overrides == {"transport": bus}
+        assert cfg.transport == "flat"
+
+    def test_default_pipeline_raises_the_same_ladder(self):
+        machine = build_machine(SiteConfig())
+        with pytest.raises(ValueError,
+                           match="pass either tsdb= or shards=, not both"):
+            default_pipeline(machine, tsdb=object(), shards=2)
+        with pytest.raises(ValueError,
+                           match="pass either workers= or executor=, not both"):
+            default_pipeline(machine, workers=2, executor=2)
+
+
+class TestRoundTrip:
+    """SiteConfig -> build_site -> introspect reproduces the declaration."""
+
+    @pytest.mark.parametrize("name", sorted(PAPER_SITES))
+    def test_every_paper_preset_round_trips(self, name):
+        config = paper_site(name)
+        pipeline = build_site(config)
+        assert site_capabilities(pipeline) == config.capabilities()
+
+    def test_anonymous_default_round_trips(self):
+        config = SiteConfig()
+        pipeline = build_site(config)
+        assert site_capabilities(pipeline) == config.capabilities()
+        # anonymous single-site keeps the historic selfmon identity
+        assert pipeline.site == ""
+
+    def test_disk_tier_round_trips(self, tmp_path):
+        config = SiteConfig(name="d", shards=2,
+                            store_dir=str(tmp_path / "cold"))
+        pipeline = build_site(config)
+        caps = site_capabilities(pipeline)
+        assert caps == config.capabilities()
+        assert caps["disk"] is True and caps["shards"] == 2
+
+    def test_quotas_round_trip(self):
+        config = SiteConfig(name="q", quotas={
+            "users": TenantQuota(qps=10.0), "ops": TenantQuota(),
+        })
+        assert site_capabilities(build_site(config))["tenants"] == 2
+
+    def test_unknown_preset_is_a_clear_error(self):
+        with pytest.raises(KeyError, match="unknown site"):
+            paper_site("antarctica")
+
+    def test_ten_sites_and_they_differ(self):
+        assert len(PAPER_SITES) == 10
+        rows = [c.capabilities() for c in PAPER_SITES.values()]
+        # heterogeneity is the point: the rows must not collapse
+        assert len({r["transport"] for r in rows}) == 3
+        assert len({(r["topology"], r["nodes"]) for r in rows}) > 1
+
+
+class TestDefaultPipelineShim:
+    """``default_pipeline`` keeps its exact historic surface."""
+
+    def test_plain_call_is_anonymous_and_runs(self):
+        machine = build_machine(SiteConfig(seed=3))
+        pipeline = default_pipeline(machine, seed=3)
+        assert isinstance(pipeline, MonitoringPipeline)
+        assert pipeline.site == ""
+        pipeline.run(hours=0.05, dt=10.0)
+        pipeline.bus.flush()
+        report = pipeline.delivery_report()
+        assert report.balanced and report.unaccounted == 0
+
+    def test_shim_attaches_the_declared_config(self):
+        machine = build_machine(SiteConfig())
+        pipeline = default_pipeline(machine, shards=2, workers=2)
+        assert pipeline.site_config.shards == 2
+        assert pipeline.site_config.workers == 2
+        pipeline.executor.shutdown()
+
+    def test_pipeline_only_plumbing_still_passes_through(self):
+        from repro.core.registry import default_registry
+
+        reg = default_registry()
+        machine = build_machine(SiteConfig())
+        pipeline = default_pipeline(machine, registry=reg)
+        assert pipeline.registry is reg

@@ -133,6 +133,19 @@ class TestCli:
         assert "serve:" in proc.stdout
         assert "selfmon.serve.cache_hit_ratio" in proc.stdout
 
+    def test_sites_stands_up_the_federation(self):
+        proc = run_cli("sites", "--hours", "0.1")
+        assert proc.returncode == 0
+        assert "per-site capability matrix" in proc.stdout
+        # all ten paper sites appear as matrix rows
+        for site in ("lanl", "ncsa", "nersc", "csc", "cscs", "ornl",
+                     "kaust", "alcf", "snl", "hlrs"):
+            assert f"\n{site}" in proc.stdout
+        assert "federated query: sum(cabinet.power_w)" in proc.stdout
+        assert "delivery identity holds exactly" in proc.stdout
+        assert "IMBALANCED" not in proc.stdout
+        assert "drift" not in proc.stdout.split("matrix")[0]
+
     def test_unknown_scenario_rejected(self):
         proc = run_cli("nonsense")
         assert proc.returncode != 0

@@ -9,8 +9,6 @@ gauges (``*_ms`` histograms, ``selfmon.exec.*`` vitals) may differ,
 because they measure the real machine, not the simulated one.
 """
 
-import itertools
-
 import numpy as np
 import pytest
 
@@ -21,7 +19,7 @@ from repro.cluster import (
     PackedPlacement,
     build_dragonfly,
 )
-from repro.cluster.workload import Job, JobGenerator
+from repro.cluster.workload import JobGenerator
 from repro.runtime.executor import (
     ExecutionModel,
     SerialExecutor,
@@ -246,9 +244,8 @@ class TestAppendParallel:
 
 
 def _fresh_machine(seed):
-    # Job ids come from a process-global class counter; reset it so both
-    # runs of the harness see identical job names
-    Job._counter = itertools.count(1)
+    # Job ids are per-generator, so two seeded machines already see
+    # identical job names — no global state to reset between runs
     topo = build_dragonfly(groups=2, chassis_per_group=3,
                            blades_per_chassis=4)
     machine = Machine(
